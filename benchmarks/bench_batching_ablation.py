@@ -1,0 +1,24 @@
+"""Ablation — PBFT batch size (the baseline's main throughput lever).
+
+Batching amortises the baseline's quadratic vote cost; this sweep documents
+how much of the E5 gap it can close, which contextualises the paper's
+1.5×–6× range (the low end corresponds to an aggressively batched baseline).
+"""
+
+import pytest
+
+from repro.eval.experiments import ExperimentConfig, batching_ablation
+
+
+def test_pbft_batch_size_sweep(benchmark, bench_network):
+    config = ExperimentConfig(transfers_per_process=5, network=bench_network, seed=7)
+
+    def run():
+        return batching_ablation(process_count=15, batch_sizes=(1, 4, 8, 16), config=config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    throughputs = {row.label: row.summary.throughput for row in rows}
+    for label, throughput in throughputs.items():
+        benchmark.extra_info[label + "_tps"] = round(throughput, 1)
+    # Larger batches must not be slower than unbatched ordering.
+    assert throughputs["batch=16"] >= throughputs["batch=1"]

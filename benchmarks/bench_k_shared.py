@@ -1,0 +1,65 @@
+"""Experiment E7 — k-shared accounts in message passing (Section 6).
+
+Measures the cost of the per-account sequencing service plus account-order
+broadcast, and confirms the containment property: compromising one shared
+account's owners does not affect the other accounts' liveness.
+"""
+
+import pytest
+
+from repro.common.types import OwnershipMap
+from repro.eval.experiments import k_shared_experiment
+from repro.mp.k_shared import KSharedSystem
+from repro.workloads.generators import WorkloadConfig, k_shared_workload
+
+
+def test_k_shared_transfer_cost(benchmark, bench_network):
+    """Committed transfers per simulated second with one 3-owner account."""
+    ownership = OwnershipMap(
+        {"joint": (0, 1, 2), "3": (3,), "4": (4,), "5": (5,), "6": (6,), "7": (7,)}
+    )
+    balances = {account: 1_000 for account in ownership.accounts}
+    submissions = k_shared_workload(ownership, WorkloadConfig(transfers_per_process=3, seed=9))
+
+    def run():
+        system = KSharedSystem(
+            ownership=ownership,
+            process_count=8,
+            initial_balances=balances,
+            network_config=bench_network,
+            seed=9,
+        )
+        for submission in submissions:
+            system.submit(
+                submission.time,
+                submission.issuer,
+                submission.source,
+                submission.destination,
+                submission.amount,
+            )
+        return system.run(until=5.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["committed"] = result.committed_count
+    benchmark.extra_info["simulated_throughput_tps"] = round(result.throughput, 1)
+    benchmark.extra_info["simulated_avg_latency_ms"] = round(result.average_latency * 1000, 2)
+    assert result.committed_count == len(submissions)
+
+
+def test_compromised_account_containment(benchmark, bench_network):
+    """A compromised shared account blocks only itself (Section 6 claim)."""
+
+    def run():
+        return k_shared_experiment(
+            owners_per_shared_account=3,
+            singleton_accounts=5,
+            transfers_per_owner=2,
+            compromise=True,
+            network=bench_network,
+        )
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["healthy_committed"] = outcome.committed_on_healthy_accounts
+    benchmark.extra_info["compromised_committed"] = outcome.committed_on_compromised_account
+    assert outcome.healthy_account_liveness
+    assert outcome.committed_on_compromised_account == 0

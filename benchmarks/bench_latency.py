@@ -1,0 +1,29 @@
+"""Experiment E6 — latency: consensusless vs consensus-based (§5 prose).
+
+The paper reports up to 2× lower latency than the consensus-based baseline.
+At low load the gap comes purely from the critical path: three one-way
+delays for the broadcast protocol versus request forwarding + batching +
+three PBFT phases for the baseline.
+"""
+
+import pytest
+
+from repro.eval.experiments import ExperimentConfig, latency_experiment
+
+PROCESS_COUNTS = [10, 20, 30]
+
+
+@pytest.mark.parametrize("process_count", PROCESS_COUNTS)
+def test_low_load_latency_comparison(benchmark, process_count, bench_network):
+    config = ExperimentConfig(network=bench_network, seed=7)
+
+    def run():
+        return latency_experiment(process_counts=(process_count,), transfers=8, config=config)[0]
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["n"] = process_count
+    benchmark.extra_info["consensusless_latency_ms"] = round(row.consensusless_latency * 1000, 2)
+    benchmark.extra_info["consensus_latency_ms"] = round(row.consensus_latency * 1000, 2)
+    benchmark.extra_info["latency_ratio"] = round(row.latency_ratio, 2)
+    assert row.latency_ratio > 1.0, "the broadcast protocol should have lower latency"
+    assert row.consensusless_latency > 0

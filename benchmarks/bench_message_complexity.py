@@ -1,0 +1,52 @@
+"""Experiment E8 — message complexity per committed transfer (§5.2).
+
+The consensusless protocol costs one secure-broadcast instance per transfer
+(O(N²) messages for Bracha, O(N) for the signed echo broadcast), while the
+consensus baseline amortises its O(N²) agreement cost over a batch.  This
+benchmark records messages per committed transfer for both systems and for
+both broadcast variants.
+"""
+
+import pytest
+
+from repro.eval.experiments import (
+    ExperimentConfig,
+    broadcast_ablation,
+    message_complexity_experiment,
+)
+
+PROCESS_COUNTS = [10, 20]
+
+
+@pytest.mark.parametrize("process_count", PROCESS_COUNTS)
+def test_messages_per_commit(benchmark, process_count, bench_network):
+    config = ExperimentConfig(transfers_per_process=4, network=bench_network, seed=7)
+
+    def run():
+        return message_complexity_experiment(process_counts=(process_count,), config=config)[0]
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(row)
+    assert row["consensusless_msgs_per_tx"] > 0
+    assert row["consensus_msgs_per_tx"] > 0
+
+
+def test_echo_broadcast_reduces_message_count(benchmark, bench_network):
+    """Ablation: Bracha (quadratic) vs signed echo broadcast (linear)."""
+    config = ExperimentConfig(transfers_per_process=4, network=bench_network, seed=7)
+
+    def run():
+        return broadcast_ablation(process_count=15, config=config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_label = {row.label: row.summary for row in rows}
+    benchmark.extra_info["bracha_msgs_per_tx"] = round(
+        by_label["broadcast=bracha"].messages_per_commit, 1
+    )
+    benchmark.extra_info["echo_msgs_per_tx"] = round(
+        by_label["broadcast=echo"].messages_per_commit, 1
+    )
+    assert (
+        by_label["broadcast=echo"].messages_per_commit
+        < by_label["broadcast=bracha"].messages_per_commit
+    )

@@ -1,0 +1,76 @@
+"""Experiments E1–E3 — cost of the shared-memory constructions.
+
+These benchmarks quantify the register-level cost of the paper's wait-free
+constructions: Figure 1 on the primitive snapshot versus on the Afek et al.
+register-only construction, and Figure 3's k-consensus round usage under
+owner contention.  There is no table in the paper for these (they back
+Theorems 1 and 2), but they document the constants behind "wait-free".
+"""
+
+import pytest
+
+from repro.common.rng import SeededRng
+from repro.common.types import OwnershipMap
+from repro.core.consensus_from_asset_transfer import ConsensusFromAssetTransfer
+from repro.core.k_shared_asset_transfer import KSharedAssetTransfer
+from repro.core.snapshot_asset_transfer import SnapshotAssetTransfer
+from repro.shared_memory.afek_snapshot import AfekSnapshot
+from repro.shared_memory.atomic_snapshot import AtomicSnapshot
+
+
+ACCOUNTS = {"a": 0, "b": 1, "c": 2, "d": 3}
+BALANCES = {"a": 10_000, "b": 10_000, "c": 10_000, "d": 10_000}
+
+
+def _run_transfers(asset_transfer, count, rng):
+    accounts = list(ACCOUNTS)
+    for _ in range(count):
+        source = rng.choice(accounts)
+        destination = rng.choice([acc for acc in accounts if acc != source])
+        asset_transfer.transfer_now(ACCOUNTS[source], source, destination, rng.randint(1, 3))
+
+
+@pytest.mark.parametrize("memory_kind", ["primitive", "afek"])
+def test_figure1_transfer_cost(benchmark, memory_kind):
+    """Figure 1 throughput on the primitive vs register-built snapshot."""
+    ownership = OwnershipMap.single_owner(ACCOUNTS)
+
+    def run():
+        memory = (
+            AtomicSnapshot(size=4) if memory_kind == "primitive" else AfekSnapshot(size=4)
+        )
+        asset_transfer = SnapshotAssetTransfer(ownership, BALANCES, memory=memory)
+        _run_transfers(asset_transfer, 300, SeededRng(3))
+        return memory
+
+    memory = benchmark(run)
+    benchmark.extra_info["memory"] = memory_kind
+    benchmark.extra_info["primitive_accesses"] = getattr(memory, "access_count", 0)
+
+
+def test_figure2_consensus_cost(benchmark):
+    """Cost of one consensus decision per Figure 2 (k sequential proposers)."""
+    def run():
+        protocol = ConsensusFromAssetTransfer(k=8)
+        return [protocol.propose_now(p, p) for p in range(8)]
+
+    decisions = benchmark(run)
+    assert len(set(decisions)) == 1
+
+
+def test_figure3_round_usage_under_contention(benchmark):
+    """k-consensus rounds consumed per transfer with 4 owners of one account."""
+    ownership = OwnershipMap({"joint": (0, 1, 2, 3), "sink": ()})
+
+    def run():
+        obj = KSharedAssetTransfer(ownership, {"joint": 10_000, "sink": 0})
+        for round_index in range(50):
+            for owner in range(4):
+                obj.transfer_now(owner, "joint", "sink", 1)
+        return obj
+
+    obj = benchmark(run)
+    rounds = obj.rounds_used("joint")
+    benchmark.extra_info["rounds_used"] = rounds
+    benchmark.extra_info["transfers"] = 200
+    assert rounds >= 200

@@ -1,0 +1,71 @@
+"""Experiment E5 — throughput: consensusless vs consensus-based (§5 prose).
+
+The paper reports that the broadcast-based protocol outperforms a
+consensus-based implementation by 1.5×–6× in throughput on systems of up to
+100 processes.  This benchmark regenerates the comparison series at
+test-friendly sizes (the full paper-scale sweep is
+``examples/throughput_comparison.py --full``).
+"""
+
+import pytest
+
+from repro.eval.experiments import ExperimentConfig, run_consensus_based, run_consensusless
+
+PROCESS_COUNTS = [10, 20, 30]
+TRANSFERS_PER_PROCESS = 5
+
+
+def _config(bench_network):
+    return ExperimentConfig(
+        transfers_per_process=TRANSFERS_PER_PROCESS, network=bench_network, seed=7
+    )
+
+
+@pytest.mark.parametrize("process_count", PROCESS_COUNTS)
+def test_consensusless_throughput(benchmark, process_count, bench_network):
+    """Throughput of the Figure 4 protocol (Bracha secure broadcast)."""
+    config = _config(bench_network)
+
+    def run():
+        summary, _ = run_consensusless(process_count, config)
+        return summary
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["n"] = process_count
+    benchmark.extra_info["simulated_throughput_tps"] = round(summary.throughput, 1)
+    benchmark.extra_info["simulated_avg_latency_ms"] = round(summary.latency.average * 1000, 2)
+    benchmark.extra_info["messages_per_commit"] = round(summary.messages_per_commit, 1)
+    assert summary.committed == process_count * TRANSFERS_PER_PROCESS
+
+
+@pytest.mark.parametrize("process_count", PROCESS_COUNTS)
+def test_consensus_based_throughput(benchmark, process_count, bench_network):
+    """Throughput of the PBFT-ordered baseline on the identical workload."""
+    config = _config(bench_network)
+
+    def run():
+        summary, _ = run_consensus_based(process_count, config)
+        return summary
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["n"] = process_count
+    benchmark.extra_info["simulated_throughput_tps"] = round(summary.throughput, 1)
+    benchmark.extra_info["simulated_avg_latency_ms"] = round(summary.latency.average * 1000, 2)
+    benchmark.extra_info["messages_per_commit"] = round(summary.messages_per_commit, 1)
+    assert summary.committed == process_count * TRANSFERS_PER_PROCESS
+
+
+@pytest.mark.parametrize("process_count", PROCESS_COUNTS)
+def test_throughput_advantage_is_in_the_paper_band(benchmark, process_count, bench_network):
+    """The headline claim: consensusless throughput is 1.5×–6× the baseline's."""
+    config = _config(bench_network)
+
+    def run():
+        consensusless, _ = run_consensusless(process_count, config)
+        consensus, _ = run_consensus_based(process_count, config)
+        return consensusless.throughput / consensus.throughput
+
+    ratio = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["n"] = process_count
+    benchmark.extra_info["throughput_ratio"] = round(ratio, 2)
+    assert ratio > 1.2, f"expected a clear consensusless advantage, got {ratio:.2f}x"

@@ -1,0 +1,62 @@
+"""Wire messages of the PBFT substrate.
+
+Only the normal-case messages are modelled (request forwarding, pre-prepare,
+prepare, commit).  View changes are out of scope for the baseline — the
+leader is assumed correct, which gives the consensus-based comparator its
+*best-case* performance and therefore makes the throughput/latency comparison
+of experiments E5/E6 conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.types import ProcessId, Transfer
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """A transfer request submitted by a replica acting as a client."""
+
+    issuer: ProcessId
+    client_sequence: int
+    transfer: Transfer
+    submitted_at: float
+
+
+@dataclass(frozen=True)
+class ForwardRequest:
+    """A replica forwards a client request to the current leader."""
+
+    request: ClientRequest
+
+
+@dataclass(frozen=True)
+class PrePrepare:
+    """Leader's ordering proposal for one batch of requests."""
+
+    view: int
+    sequence: int
+    batch: Tuple[ClientRequest, ...]
+    digest: str
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """A replica's first-round vote for (view, sequence, digest)."""
+
+    view: int
+    sequence: int
+    digest: str
+    replica: ProcessId
+
+
+@dataclass(frozen=True)
+class Commit:
+    """A replica's second-round vote for (view, sequence, digest)."""
+
+    view: int
+    sequence: int
+    digest: str
+    replica: ProcessId

@@ -1,0 +1,72 @@
+"""The replicated state machine executed on top of PBFT's total order.
+
+Once PBFT assigns a batch a sequence number and the batch commits, every
+replica executes it against its local copy of the ledger in sequence order.
+Execution is deterministic: a transfer succeeds iff the issuer owns the
+source account and the balance suffices *at execution time* — identical
+inputs in identical order yield identical ledgers everywhere, which is the
+whole point of the consensus-based design (and its cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bft.messages import ClientRequest
+from repro.common.types import AccountId, Amount, OwnershipMap, ProcessId, Transfer
+from repro.core.accounts import Ledger
+
+
+@dataclass(frozen=True)
+class OrderedRequest:
+    """A client request together with its global execution position."""
+
+    position: int
+    request: ClientRequest
+    success: bool
+
+
+class LedgerStateMachine:
+    """Deterministic ledger execution over totally-ordered transfer requests."""
+
+    def __init__(self, ownership: OwnershipMap, initial_balances: Dict[AccountId, Amount]) -> None:
+        self._ledger = Ledger(ownership=ownership, balances=dict(initial_balances))
+        self._executed: List[OrderedRequest] = []
+
+    def execute(self, request: ClientRequest) -> OrderedRequest:
+        """Execute one request and record its outcome."""
+        success = self._ledger.apply(request.transfer)
+        ordered = OrderedRequest(position=len(self._executed), request=request, success=success)
+        self._executed.append(ordered)
+        return ordered
+
+    def execute_batch(self, requests: Tuple[ClientRequest, ...]) -> List[OrderedRequest]:
+        """Execute a committed batch in order."""
+        return [self.execute(request) for request in requests]
+
+    # -- queries -----------------------------------------------------------------------------
+
+    def balance(self, account: AccountId) -> Amount:
+        return self._ledger.balance(account)
+
+    def balances(self) -> Dict[AccountId, Amount]:
+        return dict(self._ledger.balances)
+
+    def total_supply(self) -> Amount:
+        return self._ledger.total_supply()
+
+    @property
+    def executed(self) -> List[OrderedRequest]:
+        return list(self._executed)
+
+    @property
+    def executed_count(self) -> int:
+        return len(self._executed)
+
+    def execution_digest(self) -> Tuple[Tuple[ProcessId, int, bool], ...]:
+        """Fingerprint of the execution history (for replica-agreement tests)."""
+        return tuple(
+            (ordered.request.issuer, ordered.request.client_sequence, ordered.success)
+            for ordered in self._executed
+        )

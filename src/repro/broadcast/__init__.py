@@ -1,0 +1,47 @@
+"""Secure and reliable broadcast primitives (Sections 5.2 and 6).
+
+* :class:`~repro.broadcast.secure_broadcast.BroadcastLayer` — the abstract
+  secure-broadcast interface (integrity, agreement, validity, source order).
+* :class:`~repro.broadcast.bracha.BrachaBroadcast` — the quadratic
+  echo/ready reliable broadcast the paper's deployment used.
+* :class:`~repro.broadcast.echo_broadcast.EchoBroadcast` — Malkhi–Reiter
+  signed echo broadcast with quorum certificates.
+* :class:`~repro.broadcast.account_order_broadcast.AccountOrderBroadcast` —
+  the Section 6 variant enforcing per-account delivery order.
+"""
+
+from repro.broadcast.account_order_broadcast import AccountOrderBroadcast
+from repro.broadcast.bracha import BrachaBroadcast
+from repro.broadcast.echo_broadcast import EchoBroadcast
+from repro.broadcast.messages import (
+    AccountTaggedPayload,
+    BroadcastMessage,
+    EchoMessage,
+    EchoSignatureMessage,
+    FinalMessage,
+    ReadyMessage,
+    SendMessage,
+)
+from repro.broadcast.secure_broadcast import (
+    BroadcastDelivery,
+    BroadcastLayer,
+    BroadcastStats,
+    SourceOrderBuffer,
+)
+
+__all__ = [
+    "AccountOrderBroadcast",
+    "AccountTaggedPayload",
+    "BrachaBroadcast",
+    "BroadcastDelivery",
+    "BroadcastLayer",
+    "BroadcastMessage",
+    "BroadcastStats",
+    "EchoBroadcast",
+    "EchoMessage",
+    "EchoSignatureMessage",
+    "FinalMessage",
+    "ReadyMessage",
+    "SendMessage",
+    "SourceOrderBuffer",
+]

@@ -1,0 +1,180 @@
+"""The secure-broadcast abstraction (Section 5.2) and shared plumbing.
+
+The consensusless protocol of Figure 4 is written against an abstract
+*secure broadcast* primitive with four properties:
+
+* **Integrity** — a benign process delivers a message from ``p`` at most once
+  and, if ``p`` is benign, only if ``p`` broadcast it.
+* **Agreement** — if two correct processes exist and one delivers ``m``, the
+  other delivers ``m`` as well.
+* **Validity** — a correct broadcaster eventually delivers its own message.
+* **Source order** — benign processes deliver messages from the same origin
+  in the same order.
+
+This module provides:
+
+* :class:`BroadcastLayer` — the abstract interface the protocol nodes use,
+  plus statistics common to all implementations,
+* :class:`SourceOrderBuffer` — per-origin sequence-number buffering that
+  turns "delivered in any order" into "handed to the application in source
+  order", shared by the concrete layers, and
+* :class:`BroadcastDelivery` — the record handed to the application.
+
+Concrete implementations live in :mod:`repro.broadcast.bracha` (the
+"naive quadratic" primitive the paper's deployment used) and
+:mod:`repro.broadcast.echo_broadcast` (the signature-based linear variant),
+with the Section 6 account-order extension in
+:mod:`repro.broadcast.account_order_broadcast`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import ProcessId
+
+
+@dataclass(frozen=True)
+class BroadcastDelivery:
+    """One delivered broadcast: who originated it, its sequence, the payload."""
+
+    origin: ProcessId
+    sequence: int
+    payload: Any
+
+
+#: Callback invoked by a layer whenever a broadcast is delivered.
+DeliverCallback = Callable[[BroadcastDelivery], None]
+
+#: Callback used by a layer to put a message on the wire: (recipient, message).
+SendCallback = Callable[[ProcessId, Any], None]
+
+
+@dataclass
+class BroadcastStats:
+    """Message accounting shared by every layer implementation."""
+
+    broadcasts_started: int = 0
+    messages_sent: int = 0
+    delivered: int = 0
+
+
+class SourceOrderBuffer:
+    """Reorders deliveries so each origin's messages come out in sequence order.
+
+    Layers call :meth:`offer` whenever their protocol logic decides a message
+    is deliverable; the buffer releases it (and any buffered successors) only
+    when all lower sequence numbers from the same origin have been released.
+    Sequence numbers start at 1, matching Figure 4's ``seq[q] + 1``
+    convention.
+    """
+
+    def __init__(self, deliver: DeliverCallback) -> None:
+        self._deliver = deliver
+        self._next_sequence: Dict[ProcessId, int] = {}
+        self._pending: Dict[ProcessId, Dict[int, Any]] = {}
+        self.reordered = 0
+
+    def offer(self, origin: ProcessId, sequence: int, payload: Any) -> None:
+        expected = self._next_sequence.get(origin, 1)
+        if sequence < expected:
+            # Duplicate or already-released sequence number: integrity says
+            # deliver at most once, so drop it silently.
+            return
+        pending = self._pending.setdefault(origin, {})
+        if sequence in pending:
+            return
+        pending[sequence] = payload
+        if sequence != expected:
+            self.reordered += 1
+        self._flush(origin)
+
+    def _flush(self, origin: ProcessId) -> None:
+        pending = self._pending.get(origin, {})
+        expected = self._next_sequence.get(origin, 1)
+        while expected in pending:
+            payload = pending.pop(expected)
+            self._deliver(BroadcastDelivery(origin=origin, sequence=expected, payload=payload))
+            expected += 1
+        self._next_sequence[origin] = expected
+
+    def delivered_up_to(self, origin: ProcessId) -> int:
+        """Highest sequence number released for ``origin`` (0 if none)."""
+        return self._next_sequence.get(origin, 1) - 1
+
+
+class BroadcastLayer(abc.ABC):
+    """Abstract secure-broadcast layer hosted inside a node.
+
+    A layer is bound to one node (``own_id``), knows the full membership
+    (``all_nodes``), sends through a :class:`SendCallback` provided by the
+    node and reports deliveries through a :class:`DeliverCallback`.
+
+    Layers are *sans-I/O*: they never talk to the simulator directly, which
+    makes them unit-testable by feeding messages by hand and reusable under
+    any transport.
+    """
+
+    def __init__(
+        self,
+        channel: str,
+        own_id: ProcessId,
+        all_nodes: Tuple[ProcessId, ...],
+        send: SendCallback,
+        deliver: DeliverCallback,
+    ) -> None:
+        if own_id not in all_nodes:
+            raise ConfigurationError(f"node {own_id} is not a member of {all_nodes}")
+        self.channel = channel
+        self.own_id = own_id
+        self.all_nodes = tuple(all_nodes)
+        self._send = send
+        self._deliver_upward = deliver
+        self.stats = BroadcastStats()
+        self._order_buffer = SourceOrderBuffer(self._deliver_in_order)
+        self._next_own_sequence = 1
+
+    # -- helpers for subclasses ---------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.all_nodes)
+
+    def next_sequence(self) -> int:
+        """Allocate the next sequence number for this node's own broadcasts."""
+        sequence = self._next_own_sequence
+        self._next_own_sequence += 1
+        return sequence
+
+    def _transmit(self, recipient: ProcessId, message: Any) -> None:
+        self.stats.messages_sent += 1
+        self._send(recipient, message)
+
+    def _transmit_to_all(self, message: Any) -> None:
+        for recipient in self.all_nodes:
+            self._transmit(recipient, message)
+
+    def _accept(self, origin: ProcessId, sequence: int, payload: Any) -> None:
+        """Called by subclasses when their protocol decides to deliver."""
+        self._order_buffer.offer(origin, sequence, payload)
+
+    def _deliver_in_order(self, delivery: BroadcastDelivery) -> None:
+        self.stats.delivered += 1
+        self._deliver_upward(delivery)
+
+    # -- the interface used by nodes -------------------------------------------------------
+
+    @abc.abstractmethod
+    def broadcast(self, payload: Any) -> int:
+        """Securely broadcast ``payload``; returns the sequence number used."""
+
+    @abc.abstractmethod
+    def on_message(self, sender: ProcessId, message: Any) -> None:
+        """Process a broadcast-layer message received from ``sender``."""
+
+    def handles(self, message: Any) -> bool:
+        """Does this layer own ``message``?  (Routing helper for nodes.)"""
+        return getattr(message, "channel", None) == self.channel

@@ -1,0 +1,127 @@
+"""Fault model: who is faulty, how, and how many faults protocols tolerate.
+
+The broadcast primitives and the PBFT substrate assume ``f < N/3`` Byzantine
+processes.  :class:`FaultModel` centralises that arithmetic (quorum sizes,
+maximum tolerated faults) and records which process identifiers are assigned
+which kind of fault in a given experiment, so that checkers know which
+processes count as *correct* when evaluating Definition 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import SeededRng
+from repro.common.types import ProcessId
+
+
+class FaultKind(enum.Enum):
+    """How a faulty process misbehaves."""
+
+    CRASH = "crash"           # halts (possibly after a delay), sends nothing further
+    SILENT = "silent"         # never sends anything (from the start)
+    EQUIVOCATE = "equivocate" # sends conflicting protocol messages
+    DOUBLE_SPEND = "double_spend"  # issues conflicting transfers (application-level attack)
+    ARBITRARY = "arbitrary"   # any scripted misbehaviour
+
+
+def max_tolerated_faults(n: int) -> int:
+    """Largest ``f`` with ``n >= 3f + 1`` (the BFT resilience bound)."""
+    if n <= 0:
+        raise ConfigurationError("n must be positive")
+    return (n - 1) // 3
+
+
+def byzantine_quorum(n: int) -> int:
+    """Quorum size ``ceil((n + f + 1) / 2)`` with ``f`` maximal for ``n``.
+
+    With ``n = 3f + 1`` this is the familiar ``2f + 1``.  Any two such quorums
+    intersect in at least one correct process, which is what the echo
+    broadcast and PBFT rely on.
+    """
+    f = max_tolerated_faults(n)
+    return (n + f + 2) // 2
+
+
+@dataclass
+class FaultModel:
+    """Assignment of fault kinds to process identifiers."""
+
+    total_processes: int
+    faults: Dict[ProcessId, FaultKind] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.total_processes <= 0:
+            raise ConfigurationError("total_processes must be positive")
+        for process in self.faults:
+            if not 0 <= process < self.total_processes:
+                raise ConfigurationError(f"faulty process {process} is out of range")
+
+    # -- constructors ------------------------------------------------------------------
+
+    @classmethod
+    def all_correct(cls, total_processes: int) -> "FaultModel":
+        return cls(total_processes=total_processes)
+
+    @classmethod
+    def with_random_faults(
+        cls,
+        total_processes: int,
+        fault_count: int,
+        kind: FaultKind,
+        rng: SeededRng,
+        protect: Iterable[ProcessId] = (),
+    ) -> "FaultModel":
+        """Assign ``fault_count`` faults of one kind to random processes.
+
+        ``protect`` lists processes that must stay correct (e.g. the client
+        whose liveness an experiment measures).
+        """
+        protected = set(protect)
+        candidates = [p for p in range(total_processes) if p not in protected]
+        if fault_count > len(candidates):
+            raise ConfigurationError(
+                f"cannot make {fault_count} of {len(candidates)} unprotected processes faulty"
+            )
+        chosen = rng.pick_subset(candidates, fault_count)
+        return cls(total_processes=total_processes, faults={p: kind for p in chosen})
+
+    # -- queries --------------------------------------------------------------------------
+
+    @property
+    def faulty(self) -> FrozenSet[ProcessId]:
+        return frozenset(self.faults)
+
+    @property
+    def correct(self) -> Tuple[ProcessId, ...]:
+        return tuple(p for p in range(self.total_processes) if p not in self.faults)
+
+    def is_faulty(self, process: ProcessId) -> bool:
+        return process in self.faults
+
+    def is_correct(self, process: ProcessId) -> bool:
+        return process not in self.faults
+
+    def kind_of(self, process: ProcessId) -> Optional[FaultKind]:
+        return self.faults.get(process)
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.faults)
+
+    def within_resilience(self) -> bool:
+        """Is the number of faults within the ``f < N/3`` bound?"""
+        return self.fault_count <= max_tolerated_faults(self.total_processes)
+
+    def quorum_size(self) -> int:
+        """The quorum size protocols should use for this system size."""
+        return byzantine_quorum(self.total_processes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultModel(n={self.total_processes}, f={self.fault_count}, "
+            f"kinds={sorted((p, k.value) for p, k in self.faults.items())})"
+        )

@@ -1,0 +1,49 @@
+"""The paper's core algorithms (Sections 3 and 4).
+
+* :class:`~repro.core.snapshot_asset_transfer.SnapshotAssetTransfer` —
+  Figure 1: asset transfer from an atomic snapshot (consensus number 1).
+* :class:`~repro.core.atomic_asset_transfer.AtomicAssetTransferObject` —
+  a linearizable asset-transfer base object used by the reductions.
+* :class:`~repro.core.k_consensus.KConsensus` /
+  :class:`~repro.core.k_consensus.KConsensusSeries` — k-consensus objects
+  (consensus number k) used by Figure 3.
+* :class:`~repro.core.consensus_from_asset_transfer.ConsensusFromAssetTransfer`
+  — Figure 2: consensus among k processes from one k-shared asset-transfer
+  object (the lower bound of Theorem 2).
+* :class:`~repro.core.k_shared_asset_transfer.KSharedAssetTransfer` —
+  Figure 3: k-shared asset transfer from k-consensus objects (the upper
+  bound of Theorem 2).
+* :class:`~repro.core.accounts.Ledger` — the sequential reference ledger.
+"""
+
+from repro.core.accounts import (
+    Ledger,
+    balance_from_decided_snapshot,
+    balance_from_snapshot,
+    balance_from_transfers,
+)
+from repro.core.atomic_asset_transfer import AtomicAssetTransferObject
+from repro.core.consensus_from_asset_transfer import (
+    ConsensusFromAssetTransfer,
+    make_shared_object,
+    solve_consensus_sequentially,
+)
+from repro.core.k_consensus import BOTTOM, KConsensus, KConsensusSeries
+from repro.core.k_shared_asset_transfer import KSharedAssetTransfer
+from repro.core.snapshot_asset_transfer import SnapshotAssetTransfer
+
+__all__ = [
+    "AtomicAssetTransferObject",
+    "BOTTOM",
+    "ConsensusFromAssetTransfer",
+    "KConsensus",
+    "KConsensusSeries",
+    "KSharedAssetTransfer",
+    "Ledger",
+    "SnapshotAssetTransfer",
+    "balance_from_decided_snapshot",
+    "balance_from_snapshot",
+    "balance_from_transfers",
+    "make_shared_object",
+    "solve_consensus_sequentially",
+]

@@ -1,0 +1,133 @@
+"""Account-book helpers shared by the asset-transfer implementations.
+
+Both shared-memory algorithms (Figures 1 and 3) compute an account's balance
+by folding over the successful transfers found in a snapshot of the shared
+memory: the balance of ``a`` is its initial balance, plus the incoming
+amounts, minus the outgoing amounts.  This module hosts that computation,
+together with a small :class:`Ledger` convenience used by examples and the
+sequential facades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccountId, Amount, OwnershipMap, Transfer, TransferStatus
+
+
+def balance_from_transfers(
+    account: AccountId,
+    initial_balance: Amount,
+    transfers: Iterable[Transfer],
+) -> Amount:
+    """Balance of ``account`` after applying the given successful transfers."""
+    balance = initial_balance
+    for transfer in transfers:
+        if transfer.is_incoming_for(account):
+            balance += transfer.amount
+        if transfer.is_outgoing_for(account):
+            balance -= transfer.amount
+    return balance
+
+
+def balance_from_snapshot(
+    account: AccountId,
+    initial_balance: Amount,
+    snapshot: Iterable[Optional[Iterable[Transfer]]],
+) -> Amount:
+    """Balance of ``account`` from an atomic-snapshot vector of transfer sets.
+
+    This is ``balance(a, S)`` of Figure 1: every segment of the snapshot holds
+    the set of successful transfers executed by one process (or ``None`` if
+    that process has not written yet).  A transfer counts once even if it
+    appears in several segments (set semantics, as in the paper).
+    """
+    seen: set = set()
+    for segment in snapshot:
+        if segment:
+            seen.update(segment)
+    return balance_from_transfers(account, initial_balance, seen)
+
+
+def balance_from_decided_snapshot(
+    account: AccountId,
+    initial_balance: Amount,
+    snapshot: Iterable[Optional[Iterable[Tuple[Transfer, TransferStatus]]]],
+) -> Amount:
+    """Balance of ``account`` from a snapshot of (transfer, status) histories.
+
+    This is ``balance(a, snapshot)`` of Figure 3: segments hold sets of
+    *decided* transfer/result pairs and only successful ones count.  The same
+    decision may appear in several processes' segments (every owner records
+    the decisions it observes), so the union is taken before summing — the
+    paper's ``(tx, success) ∈ AS`` is an existence test, not a multiset count.
+    """
+    successful: set = set()
+    for segment in snapshot:
+        if not segment:
+            continue
+        for transfer, status in segment:
+            if status is TransferStatus.SUCCESS:
+                successful.add(transfer)
+    return balance_from_transfers(account, initial_balance, successful)
+
+
+@dataclass
+class Ledger:
+    """A plain sequential ledger: the reference the checkers compare against.
+
+    The ledger applies transfers under the sequential specification rules and
+    is used by examples, benchmarks (for validating final balances) and by
+    the consensus-based baseline's execution layer.
+    """
+
+    ownership: OwnershipMap
+    balances: Dict[AccountId, Amount] = field(default_factory=dict)
+    applied: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for account in self.ownership.accounts:
+            self.balances.setdefault(account, 0)
+
+    @classmethod
+    def with_initial_balance(
+        cls, ownership: OwnershipMap, balance: Amount, overrides: Optional[Mapping[AccountId, Amount]] = None
+    ) -> "Ledger":
+        balances = {account: balance for account in ownership.accounts}
+        if overrides:
+            for account, amount in overrides.items():
+                if account not in balances:
+                    raise ConfigurationError(f"override for unknown account {account!r}")
+                balances[account] = amount
+        return cls(ownership=ownership, balances=balances)
+
+    def balance(self, account: AccountId) -> Amount:
+        return self.balances.get(account, 0)
+
+    def can_apply(self, transfer: Transfer) -> bool:
+        """Check ownership and balance for ``transfer`` without applying it."""
+        if not self.ownership.is_owner(transfer.issuer, transfer.source):
+            return False
+        return self.balances.get(transfer.source, 0) >= transfer.amount
+
+    def apply(self, transfer: Transfer) -> bool:
+        """Apply ``transfer`` if it is valid; return whether it succeeded."""
+        if not self.can_apply(transfer):
+            return False
+        self.balances[transfer.source] = self.balances.get(transfer.source, 0) - transfer.amount
+        self.balances[transfer.destination] = (
+            self.balances.get(transfer.destination, 0) + transfer.amount
+        )
+        self.applied.append(transfer)
+        return True
+
+    def total_supply(self) -> Amount:
+        """Sum of all balances; invariant under :meth:`apply`."""
+        return sum(self.balances.values())
+
+    def copy(self) -> "Ledger":
+        clone = Ledger(ownership=self.ownership, balances=dict(self.balances))
+        clone.applied = list(self.applied)
+        return clone

@@ -1,0 +1,130 @@
+"""A linearizable asset-transfer *base object*.
+
+Sections 3 and 4 reason about the asset-transfer **type**: its consensus
+number is determined by what can be built from atomic objects of that type
+plus registers.  The reduction of Figure 2 (consensus from a k-shared
+asset-transfer object) therefore needs an *atomic* asset-transfer object to
+use as a black box.  This module provides exactly that: a primitive whose
+``transfer`` and ``read`` each take effect in a single atomic access, with
+the transition relation of Section 2.2.
+
+Under the single-threaded cooperative scheduler one atomic access is
+trivially linearizable, so this object is a faithful oracle for the type.
+Tests also run Figure 2 on top of the *implemented* k-shared object of
+Figure 3, closing the loop between the two reductions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccountId, Amount, OwnershipMap, ProcessId
+from repro.shared_memory.access import MemoryProgram, atomic
+
+
+class AtomicAssetTransferObject:
+    """Primitive linearizable asset-transfer object (possibly k-shared).
+
+    Parameters
+    ----------
+    ownership:
+        The owner map ``mu``; its sharing degree is the object's consensus
+        number (Theorem 2).
+    initial_balances:
+        The map ``q0``; accounts not listed start at zero.
+    name:
+        Label used in schedules.
+    """
+
+    def __init__(
+        self,
+        ownership: OwnershipMap,
+        initial_balances: Optional[Mapping[AccountId, Amount]] = None,
+        name: str = "AT",
+    ) -> None:
+        self.ownership = ownership
+        self.name = name
+        self._balances: Dict[AccountId, Amount] = {
+            account: 0 for account in ownership.accounts
+        }
+        if initial_balances:
+            for account, amount in initial_balances.items():
+                if account not in self._balances:
+                    raise ConfigurationError(
+                        f"initial balance for unknown account {account!r}"
+                    )
+                if amount < 0:
+                    raise ConfigurationError("initial balances must be non-negative")
+                self._balances[account] = amount
+        self.transfer_count = 0
+        self.read_count = 0
+
+    # -- generator API -----------------------------------------------------------
+
+    def transfer(
+        self,
+        process: ProcessId,
+        source: AccountId,
+        destination: AccountId,
+        amount: Amount,
+    ) -> MemoryProgram:
+        """Atomically attempt ``transfer(source, destination, amount)``."""
+        return (
+            yield from atomic(
+                f"{self.name}.transfer",
+                lambda: self._transfer_now(process, source, destination, amount),
+            )
+        )
+
+    def read(self, process: ProcessId, account: AccountId) -> MemoryProgram:
+        """Atomically read the balance of ``account``."""
+        return (
+            yield from atomic(f"{self.name}.read", lambda: self._read_now(account))
+        )
+
+    # -- immediate API --------------------------------------------------------------
+
+    def _transfer_now(
+        self,
+        process: ProcessId,
+        source: AccountId,
+        destination: AccountId,
+        amount: Amount,
+    ) -> bool:
+        self.transfer_count += 1
+        if amount < 0:
+            return False
+        if not self.ownership.is_owner(process, source):
+            return False
+        if self._balances.get(source, 0) < amount:
+            return False
+        self._balances[source] = self._balances.get(source, 0) - amount
+        self._balances[destination] = self._balances.get(destination, 0) + amount
+        return True
+
+    def _read_now(self, account: AccountId) -> Amount:
+        self.read_count += 1
+        return self._balances.get(account, 0)
+
+    def transfer_now(
+        self,
+        process: ProcessId,
+        source: AccountId,
+        destination: AccountId,
+        amount: Amount,
+    ) -> bool:
+        """Immediate-mode transfer (single-threaded callers only)."""
+        return self._transfer_now(process, source, destination, amount)
+
+    def read_now(self, account: AccountId) -> Amount:
+        """Immediate-mode read (single-threaded callers only)."""
+        return self._read_now(account)
+
+    @property
+    def sharing_degree(self) -> int:
+        """Return ``k``; by Theorem 2 this is the object's consensus number."""
+        return self.ownership.sharing_degree
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AtomicAssetTransferObject({self.name}, k={self.sharing_degree})"

@@ -1,0 +1,140 @@
+"""Figure 2: consensus among k processes from one k-shared asset-transfer object.
+
+Lemma 1 of the paper: ``k`` processes can solve consensus wait-free using
+only read/write registers and a *single* k-shared asset-transfer object.
+This gives the lower bound of Theorem 2 (consensus number ≥ k) and, for
+``k = 1``, is the trivial direction of Corollary 1.
+
+The construction uses one shared account ``a`` with initial balance ``2k``
+owned by all ``k`` processes, plus a sink account ``s``:
+
+* process ``p`` (numbered ``1..k`` in the paper) first announces its proposal
+  in register ``R[p]``,
+* then attempts ``transfer(a, s, 2k − p)``.  Any two such amounts sum to more
+  than ``2k``, so exactly one transfer can ever succeed, and
+* the remaining balance of ``a`` uniquely identifies the winner ``q``; every
+  process decides ``R[q]``.
+
+This module uses 0-based process identifiers ``0..k−1``; process ``p``
+transfers ``2k − (p + 1)`` and the remaining balance ``q + 1`` identifies
+winner ``q``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Protocol, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccountId, Amount, OwnershipMap, ProcessId
+from repro.core.atomic_asset_transfer import AtomicAssetTransferObject
+from repro.shared_memory.access import MemoryProgram, run_sequentially
+from repro.shared_memory.register import RegisterArray
+
+
+class AssetTransferLike(Protocol):
+    """The slice of the asset-transfer interface Figure 2 needs."""
+
+    def transfer(
+        self, process: ProcessId, source: AccountId, destination: AccountId, amount: Amount
+    ) -> MemoryProgram: ...
+
+    def read(self, process: ProcessId, account: AccountId) -> MemoryProgram: ...
+
+
+#: Names of the two accounts used by the construction.
+SHARED_ACCOUNT: AccountId = "shared"
+SINK_ACCOUNT: AccountId = "sink"
+
+
+def make_shared_object(k: int) -> AtomicAssetTransferObject:
+    """Build the k-shared asset-transfer object required by Figure 2.
+
+    The shared account is owned by processes ``0..k−1`` and starts with
+    balance ``2k``; the sink account has no owners and starts empty.
+    """
+    if k <= 0:
+        raise ConfigurationError("k must be positive")
+    ownership = OwnershipMap(
+        {SHARED_ACCOUNT: range(k), SINK_ACCOUNT: ()}
+    )
+    return AtomicAssetTransferObject(
+        ownership=ownership,
+        initial_balances={SHARED_ACCOUNT: 2 * k, SINK_ACCOUNT: 0},
+        name="AT(fig2)",
+    )
+
+
+class ConsensusFromAssetTransfer:
+    """Wait-free consensus for ``k`` processes (Figure 2).
+
+    Parameters
+    ----------
+    k:
+        Number of participating processes (identifiers ``0..k−1``).
+    asset_transfer:
+        The k-shared asset-transfer object to use.  Defaults to the atomic
+        base object from :func:`make_shared_object`; tests also pass the
+        Figure 3 implementation to close the reduction loop.
+    shared_account / sink_account:
+        Account names inside ``asset_transfer`` (defaults match
+        :func:`make_shared_object`).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        asset_transfer: Optional[AssetTransferLike] = None,
+        shared_account: AccountId = SHARED_ACCOUNT,
+        sink_account: AccountId = SINK_ACCOUNT,
+    ) -> None:
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        self.k = k
+        self._asset_transfer = asset_transfer or make_shared_object(k)
+        self._shared_account = shared_account
+        self._sink_account = sink_account
+        # R[i], i ∈ 0..k−1: single-writer announcement registers.
+        self._registers = RegisterArray(size=k, initial=None, name="R", single_writer=True)
+
+    # -- the algorithm -----------------------------------------------------------------
+
+    def propose(self, process: ProcessId, value: Any) -> MemoryProgram:
+        """``propose(v)`` executed by ``process``; returns the decided value."""
+        if not 0 <= process < self.k:
+            raise ConfigurationError(
+                f"process {process} is not one of the {self.k} participants"
+            )
+        # Line 1: announce the proposal.
+        yield from self._registers.write(process, value, process)
+        # Line 2: try to withdraw 2k − (p+1) from the shared account.
+        amount = 2 * self.k - (process + 1)
+        yield from self._asset_transfer.transfer(
+            process, self._shared_account, self._sink_account, amount
+        )
+        # Line 3: the remaining balance q+1 identifies the winner q.
+        balance = yield from self._asset_transfer.read(process, self._shared_account)
+        winner = balance - 1
+        if not 0 <= winner < self.k:
+            raise ConfigurationError(
+                f"shared account balance {balance} does not identify a winner; "
+                "was the object initialised with balance 2k and no incoming transfers?"
+            )
+        decided = yield from self._registers.read(winner, process)
+        return decided
+
+    def propose_now(self, process: ProcessId, value: Any) -> Any:
+        """Immediate-mode propose (sequential callers, e.g. the quickstart)."""
+        return run_sequentially(self.propose(process, value))
+
+
+def solve_consensus_sequentially(proposals: Dict[ProcessId, Any], k: Optional[int] = None) -> Dict[ProcessId, Any]:
+    """Run the Figure 2 protocol with the given proposals, one process at a time.
+
+    Returns the decision of every process.  Tests use the scheduler-driven
+    path for concurrency; this helper is the simple sequential entry point
+    used by examples.
+    """
+    participants: Sequence[ProcessId] = sorted(proposals)
+    size = k if k is not None else len(participants)
+    protocol = ConsensusFromAssetTransfer(k=size)
+    return {process: protocol.propose_now(process, proposals[process]) for process in participants}

@@ -1,0 +1,109 @@
+"""k-consensus objects (Jayanti & Toueg, 1992).
+
+A *k-consensus* object exports a single operation ``propose(v)``.  The first
+``k`` invocations return the argument of the **first** invocation; every
+later invocation returns ``⊥``.  Jayanti and Toueg showed this object has
+consensus number exactly ``k``; Section 4 of the paper uses it both as the
+target of the upper-bound reduction (Figure 3 implements k-shared asset
+transfer from k-consensus objects) and implicitly as the yardstick for the
+lower bound.
+
+The object here is a *primitive*: each ``propose`` is one atomic access,
+which under the single-threaded scheduler makes it trivially linearizable.
+A register-based *k-process* consensus protocol cannot exist (consensus
+number of registers is 1), so a primitive is the right modelling choice —
+exactly as the paper assumes k-consensus objects as given base objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.common.types import ProcessId
+from repro.shared_memory.access import MemoryProgram, atomic
+
+#: The ``⊥`` value returned once a k-consensus object is exhausted.
+BOTTOM = None
+
+
+class KConsensus:
+    """A single k-consensus object."""
+
+    def __init__(self, k: int, name: str = "kC") -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.name = name
+        self._decision: Any = BOTTOM
+        self._decided = False
+        self._invocations = 0
+
+    # -- generator API ---------------------------------------------------------
+
+    def propose(self, process: ProcessId, value: Any) -> MemoryProgram:
+        """Propose ``value``; returns the decided value or ``⊥``."""
+        return (
+            yield from atomic(
+                f"{self.name}.propose", lambda: self._propose_now(process, value)
+            )
+        )
+
+    # -- immediate API -----------------------------------------------------------
+
+    def _propose_now(self, process: ProcessId, value: Any) -> Any:
+        self._invocations += 1
+        if self._invocations > self.k:
+            return BOTTOM
+        if not self._decided:
+            self._decided = True
+            self._decision = value
+        return self._decision
+
+    def propose_now(self, process: ProcessId, value: Any) -> Any:
+        """Immediate-mode propose (single-threaded callers only)."""
+        return self._propose_now(process, value)
+
+    @property
+    def decided_value(self) -> Any:
+        """The decided value, or ``⊥`` if nothing has been proposed yet."""
+        return self._decision
+
+    @property
+    def invocation_count(self) -> int:
+        return self._invocations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KConsensus(k={self.k}, decided={self._decision!r})"
+
+
+class KConsensusSeries:
+    """An unbounded list of k-consensus objects, created on demand.
+
+    Figure 3 associates with every account an infinite list ``kC_a[i]``,
+    ``i ≥ 0``, of k-consensus objects — one per agreement round.  The series
+    materialises objects lazily as rounds are reached.
+    """
+
+    def __init__(self, k: int, name: str = "kC") -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.name = name
+        self._objects: List[KConsensus] = []
+
+    def __getitem__(self, round_number: int) -> KConsensus:
+        if round_number < 0:
+            raise IndexError("round numbers are non-negative")
+        while len(self._objects) <= round_number:
+            self._objects.append(
+                KConsensus(self.k, name=f"{self.name}[{len(self._objects)}]")
+            )
+        return self._objects[round_number]
+
+    def __len__(self) -> int:
+        """Number of rounds that have been materialised so far."""
+        return len(self._objects)
+
+    def decided_prefix(self) -> List[Any]:
+        """Decided values of all materialised rounds, in round order."""
+        return [obj.decided_value for obj in self._objects]

@@ -1,0 +1,243 @@
+"""Figure 3: k-shared asset transfer from k-consensus objects and registers.
+
+Lemma 2 of the paper (the upper bound of Theorem 2): an asset-transfer object
+whose accounts are owned by up to ``k`` processes is wait-free implementable
+from registers, an atomic snapshot, and **k-consensus** objects.  Together
+with the lower bound (Figure 2) this pins the consensus number of the
+k-shared type at exactly ``k``.
+
+Algorithm sketch (code for process ``p``):
+
+* The object state lives in an atomic snapshot ``AS``; segment ``p`` holds
+  ``hist_p``, the set of *decided* ``(transfer, result)`` pairs that ``p`` has
+  observed for accounts it owns.
+* Per account ``a`` there is an announcement register array ``R_a[i]`` (one
+  single-writer slot per process, enabling helping) and an infinite series of
+  k-consensus objects ``kC_a[i]``, one per agreement round.
+* To transfer from ``a``, ``p`` announces the transfer in ``R_a[p]``, then
+  repeatedly: collects announced-but-uncommitted transfers, picks the oldest
+  (round number, then process id), equips it with a success/failure flag based
+  on a fresh snapshot, proposes the pair to the current round's k-consensus
+  object, records the decision in ``hist_p``/``AS``, and moves to the next
+  round — until its own transfer has been decided.
+* ``read(a)`` returns the balance computed from a fresh snapshot.
+
+Because each process proposes to each ``kC_a[i]`` at most once and at most
+``k`` processes own ``a``, no k-consensus object is invoked more than ``k``
+times, so every invocation returns a proper value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import (
+    AccountId,
+    Amount,
+    OwnershipMap,
+    ProcessId,
+    Transfer,
+    TransferStatus,
+)
+from repro.core.accounts import balance_from_decided_snapshot
+from repro.core.k_consensus import KConsensusSeries
+from repro.shared_memory.access import MemoryProgram, run_sequentially
+from repro.shared_memory.atomic_snapshot import AtomicSnapshot
+from repro.shared_memory.register import RegisterArray
+
+# A decided transfer: the transfer plus its agreed success/failure flag.
+Decision = Tuple[Transfer, TransferStatus]
+
+
+class KSharedAssetTransfer:
+    """The Figure 3 implementation of a k-shared asset-transfer object.
+
+    Parameters
+    ----------
+    ownership:
+        Owner map; accounts may have up to ``k`` owners.
+    initial_balances:
+        The ``q0`` map; missing accounts start at zero.
+    process_count:
+        Total number of processes ``N`` (defaults to one past the largest
+        process id mentioned by the ownership map).  The snapshot object and
+        the announcement register arrays are sized to ``N``.
+    """
+
+    def __init__(
+        self,
+        ownership: OwnershipMap,
+        initial_balances: Optional[Mapping[AccountId, Amount]] = None,
+        process_count: Optional[int] = None,
+    ) -> None:
+        self.ownership = ownership
+        self._initial: Dict[AccountId, Amount] = {
+            account: 0 for account in ownership.accounts
+        }
+        if initial_balances:
+            for account, amount in initial_balances.items():
+                if account not in self._initial:
+                    raise ConfigurationError(
+                        f"initial balance for unknown account {account!r}"
+                    )
+                if amount < 0:
+                    raise ConfigurationError("initial balances must be non-negative")
+                self._initial[account] = amount
+        inferred = (max(ownership.processes) + 1) if ownership.processes else 1
+        self._process_count = process_count if process_count is not None else inferred
+        if self._process_count < inferred:
+            raise ConfigurationError(
+                f"process_count={self._process_count} is smaller than the largest "
+                f"process id mentioned by the ownership map ({inferred - 1})"
+            )
+
+        k = max(1, ownership.sharing_degree)
+        self.k = k
+        # Shared variables.
+        self._snapshot_memory = AtomicSnapshot(
+            size=self._process_count, initial=frozenset(), name="AS(fig3)"
+        )
+        self._announcements: Dict[AccountId, RegisterArray] = {
+            account: RegisterArray(
+                size=self._process_count,
+                initial=None,
+                name=f"R[{account}]",
+                single_writer=True,
+            )
+            for account in ownership.accounts
+        }
+        self._consensus: Dict[AccountId, KConsensusSeries] = {
+            account: KConsensusSeries(k=k, name=f"kC[{account}]")
+            for account in ownership.accounts
+        }
+        # Local variables, keyed by process (each process only touches its own).
+        self._hist: Dict[ProcessId, FrozenSet[Decision]] = {}
+        self._committed: Dict[ProcessId, Dict[AccountId, Set[Transfer]]] = {}
+        self._round: Dict[ProcessId, Dict[AccountId, int]] = {}
+
+    # -- local-state helpers -----------------------------------------------------------
+
+    def _local_hist(self, process: ProcessId) -> FrozenSet[Decision]:
+        return self._hist.get(process, frozenset())
+
+    def _local_committed(self, process: ProcessId, account: AccountId) -> Set[Transfer]:
+        return self._committed.setdefault(process, {}).setdefault(account, set())
+
+    def _local_round(self, process: ProcessId, account: AccountId) -> int:
+        return self._round.setdefault(process, {}).setdefault(account, 0)
+
+    def _bump_round(self, process: ProcessId, account: AccountId) -> None:
+        self._round[process][account] = self._round[process][account] + 1
+
+    # -- balance ------------------------------------------------------------------------
+
+    def initial_balance(self, account: AccountId) -> Amount:
+        return self._initial.get(account, 0)
+
+    def balance_in_snapshot(self, account: AccountId, snapshot: Tuple) -> Amount:
+        """``balance(a, snapshot)`` of Figure 3 (successful transfers only)."""
+        return balance_from_decided_snapshot(
+            account, self._initial.get(account, 0), snapshot
+        )
+
+    # -- Figure 3: transfer -----------------------------------------------------------------
+
+    def transfer(
+        self,
+        process: ProcessId,
+        source: AccountId,
+        destination: AccountId,
+        amount: Amount,
+    ) -> MemoryProgram:
+        """``transfer(a, b, x)`` executed by ``process``."""
+        if not self.ownership.is_owner(process, source) or amount < 0:   # lines 1-2
+            return False
+        round_number = self._local_round(process, source)
+        transfer = Transfer(                                             # line 3
+            source=source,
+            destination=destination,
+            amount=amount,
+            issuer=process,
+            sequence=round_number,
+        )
+        registers = self._announcements[source]
+        yield from registers.write(process, transfer, process)          # line 4
+
+        committed = self._local_committed(process, source)
+        collected = yield from self._collect(process, source)           # line 5
+        collected -= committed
+
+        while transfer in collected:                                     # line 6
+            request = self._oldest(collected)                            # line 7
+            snapshot = yield from self._snapshot_memory.snapshot(process)  # line 8
+            proposal = self._proposal(request, snapshot)
+            series = self._consensus[source]
+            current_round = self._local_round(process, source)
+            decision: Decision = yield from series[current_round].propose(  # line 9
+                process, proposal
+            )
+            new_hist = self._local_hist(process) | {decision}            # line 10
+            self._hist[process] = new_hist
+            yield from self._snapshot_memory.update(process, new_hist)   # line 11
+            committed.add(decision[0])                                   # line 12
+            collected = {t for t in collected if t not in committed}     # line 13
+            self._bump_round(process, source)                            # line 14
+
+        decided_success = (transfer, TransferStatus.SUCCESS) in self._local_hist(process)
+        return decided_success                                           # lines 15-18
+
+    def _collect(self, process: ProcessId, account: AccountId) -> MemoryProgram:
+        """``collect(a)``: read every announcement slot for ``account``."""
+        values = yield from self._announcements[account].collect(process)
+        return {value for value in values if value is not None}
+
+    @staticmethod
+    def _oldest(collected: Set[Transfer]) -> Transfer:
+        """The oldest announced transfer: lowest round, ties broken by process id."""
+        return min(collected, key=lambda t: (t.sequence, t.issuer))
+
+    def _proposal(self, request: Transfer, snapshot: Tuple) -> Decision:
+        """``proposal(req, snapshot)``: attach a success/failure flag (lines 25-29)."""
+        if self.balance_in_snapshot(request.source, snapshot) >= request.amount:
+            return (request, TransferStatus.SUCCESS)
+        return (request, TransferStatus.FAILURE)
+
+    # -- Figure 3: read --------------------------------------------------------------------
+
+    def read(self, process: ProcessId, account: AccountId) -> MemoryProgram:
+        """``read(a)``: balance from a fresh snapshot (line 19)."""
+        snapshot = yield from self._snapshot_memory.snapshot(process)
+        return self.balance_in_snapshot(account, snapshot)
+
+    # -- immediate-mode facade ----------------------------------------------------------------
+
+    def transfer_now(
+        self,
+        process: ProcessId,
+        source: AccountId,
+        destination: AccountId,
+        amount: Amount,
+    ) -> bool:
+        """Run ``transfer`` with no interleaving (sequential callers)."""
+        return run_sequentially(self.transfer(process, source, destination, amount))
+
+    def read_now(self, process: ProcessId, account: AccountId) -> Amount:
+        """Run ``read`` with no interleaving (sequential callers)."""
+        return run_sequentially(self.read(process, account))
+
+    # -- introspection (tests) --------------------------------------------------------------------
+
+    def decided_history(self, process: ProcessId) -> FrozenSet[Decision]:
+        """The decisions process ``process`` has recorded locally."""
+        return self._local_hist(process)
+
+    def rounds_used(self, account: AccountId) -> int:
+        """Number of k-consensus rounds materialised for ``account``."""
+        return len(self._consensus[account])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KSharedAssetTransfer(accounts={len(self.ownership)}, k={self.k}, "
+            f"N={self._process_count})"
+        )

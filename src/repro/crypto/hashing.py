@@ -1,0 +1,75 @@
+"""Deterministic content hashing for protocol messages and transfers.
+
+Hashes are computed over a canonical ``repr``-based encoding of the object.
+The encoding is stable across runs for the dataclass-based message types the
+protocols use (their ``repr`` is deterministic), which is all the simulation
+needs — the hashes identify content, they are not a security boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+def _canonical_bytes(payload: Any) -> bytes:
+    """Encode ``payload`` canonically for hashing.
+
+    Tuples, lists, dictionaries and dataclass-like objects are encoded
+    structurally so that logically equal values hash equally.
+    """
+    if isinstance(payload, bytes):
+        return b"b:" + payload
+    if isinstance(payload, str):
+        return b"s:" + payload.encode("utf-8")
+    if isinstance(payload, bool):
+        return b"B:" + (b"1" if payload else b"0")
+    if isinstance(payload, int):
+        return b"i:" + str(payload).encode("ascii")
+    if isinstance(payload, float):
+        return b"f:" + repr(payload).encode("ascii")
+    if payload is None:
+        return b"n:"
+    if isinstance(payload, (list, tuple)):
+        parts = b",".join(_canonical_bytes(item) for item in payload)
+        return b"l:[" + parts + b"]"
+    if isinstance(payload, (set, frozenset)):
+        parts = b",".join(sorted(_canonical_bytes(item) for item in payload))
+        return b"S:{" + parts + b"}"
+    if isinstance(payload, dict):
+        parts = b",".join(
+            _canonical_bytes(key) + b"=" + _canonical_bytes(value)
+            for key, value in sorted(payload.items(), key=lambda kv: repr(kv[0]))
+        )
+        return b"d:{" + parts + b"}"
+    # Dataclasses and other objects: rely on their (deterministic) repr.
+    return b"o:" + repr(payload).encode("utf-8")
+
+
+# Memo for hashable payloads.  Broadcast protocols hash the same (immutable)
+# payload once per received echo/ready message; memoising the digest turns an
+# O(messages) number of SHA-256-over-repr computations into O(unique payloads).
+_DIGEST_MEMO: dict = {}
+_DIGEST_MEMO_LIMIT = 200_000
+
+
+def content_hash(payload: Any) -> str:
+    """Return a hex SHA-256 digest of the canonical encoding of ``payload``."""
+    # The memo key includes the type so that values that compare equal across
+    # types (True == 1, 1 == 1.0) do not share a digest.
+    try:
+        key = (payload.__class__, payload)
+        cached = _DIGEST_MEMO.get(key)
+    except TypeError:
+        return hashlib.sha256(_canonical_bytes(payload)).hexdigest()
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256(_canonical_bytes(payload)).hexdigest()
+    if len(_DIGEST_MEMO) < _DIGEST_MEMO_LIMIT:
+        _DIGEST_MEMO[key] = digest
+    return digest
+
+
+def short_hash(payload: Any, length: int = 12) -> str:
+    """Return a truncated content hash (readable identifiers in logs/tests)."""
+    return content_hash(payload)[:length]

@@ -1,0 +1,143 @@
+"""HMAC-simulated digital signatures.
+
+Every process owns a :class:`KeyPair`.  Signing computes an HMAC over the
+canonical encoding of the payload with the pair's secret; verification
+recomputes it through the :class:`SignatureScheme`, which holds the mapping
+from process identifiers to verification secrets (the "public key
+directory").
+
+Unforgeability in the simulation comes from an object-capability argument:
+only code holding the :class:`KeyPair` instance can call :meth:`KeyPair.sign`
+for that process, and the Byzantine node implementations in this repository
+only ever hold their own key pairs.  The paper's assumption that malicious
+processes cannot subvert cryptographic primitives maps onto exactly this
+discipline.
+
+The scheme also supports *quorum certificates* — multisets of signatures over
+the same payload from distinct signers — used by the echo broadcast and by
+the k-shared BFT sequencing service.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import ProcessId
+from repro.crypto.hashing import _canonical_bytes
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature: the signer's identity plus the authentication tag."""
+
+    signer: ProcessId
+    tag: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sig(p{self.signer}:{self.tag[:8]})"
+
+
+class KeyPair:
+    """The signing capability of one process."""
+
+    def __init__(self, process: ProcessId, secret: bytes) -> None:
+        self.process = process
+        self._secret = secret
+
+    def sign(self, payload: Any) -> Signature:
+        """Sign ``payload`` as this process."""
+        tag = hmac.new(self._secret, _canonical_bytes(payload), hashlib.sha256).hexdigest()
+        return Signature(signer=self.process, tag=tag)
+
+
+class SignatureScheme:
+    """Key directory: generates key pairs and verifies signatures/certificates."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._secrets: Dict[ProcessId, bytes] = {}
+
+    # -- key management ---------------------------------------------------------------
+
+    def keypair_for(self, process: ProcessId) -> KeyPair:
+        """Return the key pair of ``process`` (creating it on first use).
+
+        The scheme hands each key pair to the code that plays that process;
+        handing a key pair to any other code would break the simulation's
+        unforgeability discipline, just as leaking a private key would in a
+        real deployment.
+        """
+        return KeyPair(process, self._secret_for(process))
+
+    def _secret_for(self, process: ProcessId) -> bytes:
+        secret = self._secrets.get(process)
+        if secret is None:
+            material = f"secret/{self._seed}/{process}".encode("utf-8")
+            secret = hashlib.sha256(material).digest()
+            self._secrets[process] = secret
+        return secret
+
+    # -- verification --------------------------------------------------------------------
+
+    def verify(self, payload: Any, signature: Signature) -> bool:
+        """Check that ``signature`` is a valid signature of ``payload``."""
+        expected = hmac.new(
+            self._secret_for(signature.signer), _canonical_bytes(payload), hashlib.sha256
+        ).hexdigest()
+        return hmac.compare_digest(expected, signature.tag)
+
+    def verify_all(self, payload: Any, signatures: Iterable[Signature]) -> bool:
+        """Check every signature in ``signatures`` against ``payload``."""
+        return all(self.verify(payload, signature) for signature in signatures)
+
+    # -- quorum certificates ------------------------------------------------------------
+
+    def make_certificate(
+        self, payload: Any, signatures: Iterable[Signature]
+    ) -> "QuorumCertificate":
+        """Bundle signatures over ``payload`` into a certificate."""
+        return QuorumCertificate(payload_hash=self._payload_hash(payload), signatures=tuple(signatures))
+
+    def verify_certificate(
+        self,
+        payload: Any,
+        certificate: "QuorumCertificate",
+        quorum_size: int,
+        allowed_signers: Optional[FrozenSet[ProcessId]] = None,
+    ) -> bool:
+        """Check a certificate: enough *distinct*, valid signatures over ``payload``."""
+        if quorum_size <= 0:
+            raise ConfigurationError("quorum_size must be positive")
+        if certificate.payload_hash != self._payload_hash(payload):
+            return False
+        signers = set()
+        for signature in certificate.signatures:
+            if allowed_signers is not None and signature.signer not in allowed_signers:
+                continue
+            if not self.verify(payload, signature):
+                return False
+            signers.add(signature.signer)
+        return len(signers) >= quorum_size
+
+    @staticmethod
+    def _payload_hash(payload: Any) -> str:
+        return hashlib.sha256(_canonical_bytes(payload)).hexdigest()
+
+
+@dataclass(frozen=True)
+class QuorumCertificate:
+    """A set of signatures binding distinct signers to one payload."""
+
+    payload_hash: str
+    signatures: Tuple[Signature, ...]
+
+    @property
+    def signers(self) -> FrozenSet[ProcessId]:
+        return frozenset(signature.signer for signature in self.signatures)
+
+    def __len__(self) -> int:
+        return len(self.signers)

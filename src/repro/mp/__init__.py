@@ -1,0 +1,33 @@
+"""Message-passing asset transfer (Sections 5 and 6).
+
+* :mod:`repro.mp.consensusless_transfer` — the Figure 4 protocol node.
+* :mod:`repro.mp.system` — the simulated-deployment façade and result types.
+* :mod:`repro.mp.attackers` — Byzantine nodes (double-spender, silent node).
+* :mod:`repro.mp.k_shared` — the Section 6 k-shared extension and its system
+  façade.
+"""
+
+from repro.mp.attackers import DoubleSpendAttacker, SilentNode
+from repro.mp.consensusless_transfer import (
+    ConsensuslessTransferNode,
+    TransferRecord,
+    account_of,
+)
+from repro.mp.k_shared import KSharedSystem, KSharedTransferNode
+from repro.mp.messages import SequencedAnnouncement, TransferAnnouncement
+from repro.mp.system import ClientSubmission, ConsensuslessSystem, SystemResult
+
+__all__ = [
+    "ClientSubmission",
+    "ConsensuslessSystem",
+    "ConsensuslessTransferNode",
+    "DoubleSpendAttacker",
+    "KSharedSystem",
+    "KSharedTransferNode",
+    "SequencedAnnouncement",
+    "SilentNode",
+    "SystemResult",
+    "TransferAnnouncement",
+    "TransferRecord",
+    "account_of",
+]

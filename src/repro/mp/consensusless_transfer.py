@@ -1,0 +1,384 @@
+"""Figure 4: the consensusless, broadcast-based asset-transfer protocol.
+
+Every process owns one account (named after its process id).  To transfer,
+the owner checks its local balance and, if sufficient, *securely broadcasts*
+a single message carrying the transfer, its per-issuer sequence number and
+its causal dependencies.  No other message is ever sent by the transfer layer
+itself: the protocol inherits its complexity entirely from the underlying
+secure broadcast.
+
+Validation (the ``Valid`` predicate, lines 21–26) is purely local: the issuer
+must own the debited account, the sequence number must be the next one for
+that issuer, the issuer's account history must cover the amount, and every
+declared dependency must already be validated.  Because all correct processes
+validate the same messages in the same per-source order (source order of the
+secure broadcast), they converge on the same per-account histories — without
+any agreement protocol.  That is the paper's practical point: **consensus is
+not needed to prevent double-spending**.
+
+The node exposes a small client API (:meth:`submit_transfer`, :meth:`read`)
+driven by the workload layer, and records everything the
+Definition 1 checker (:mod:`repro.spec.byzantine_spec`) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.broadcast.secure_broadcast import BroadcastDelivery, BroadcastLayer
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccountId, Amount, ProcessId, Transfer
+from repro.core.accounts import balance_from_transfers
+from repro.mp.messages import TransferAnnouncement
+from repro.network.node import Node
+from repro.spec.byzantine_spec import ClientOperation, ProcessObservation, ValidatedTransfer
+
+# Factory building a broadcast layer for a node: (channel, own_id, all_nodes,
+# send, deliver) -> BroadcastLayer.  The system façade binds the concrete
+# implementation (Bracha, echo, ...) and its parameters.
+BroadcastFactory = Callable[..., BroadcastLayer]
+
+
+def account_of(process: ProcessId) -> AccountId:
+    """The account owned by ``process`` (one account per process)."""
+    return str(process)
+
+
+@dataclass
+class PendingTransfer:
+    """A client transfer submitted locally and not yet completed."""
+
+    transfer: Transfer
+    submitted_at: float
+    announced: bool = False
+
+
+@dataclass
+class TransferRecord:
+    """Completion record handed to the metrics layer."""
+
+    transfer: Transfer
+    submitted_at: float
+    completed_at: float
+    success: bool
+
+    @property
+    def latency(self) -> float:
+        return self.completed_at - self.submitted_at
+
+
+class ConsensuslessTransferNode(Node):
+    """A correct process running the Figure 4 protocol.
+
+    Parameters
+    ----------
+    node_id:
+        The process identifier; the node owns account ``str(node_id)``.
+    initial_balances:
+        The initial balance of *every* account (``q0``), identical at all
+        correct nodes.
+    broadcast_factory:
+        Builds the secure-broadcast layer this node uses (bound to Bracha or
+        echo broadcast by the system façade).
+    on_complete:
+        Optional callback invoked with a :class:`TransferRecord` whenever a
+        locally submitted transfer completes.
+    """
+
+    def __init__(
+        self,
+        node_id: ProcessId,
+        initial_balances: Dict[AccountId, Amount],
+        broadcast_factory: BroadcastFactory,
+        on_complete: Optional[Callable[[TransferRecord], None]] = None,
+    ) -> None:
+        super().__init__(node_id)
+        self.account = account_of(node_id)
+        self._initial_balances = dict(initial_balances)
+        self._broadcast_factory = broadcast_factory
+        self._on_complete = on_complete
+
+        # Figure 4 local state.
+        self.seq: Dict[ProcessId, int] = {}
+        self.rec: Dict[ProcessId, int] = {}
+        self.hist: Dict[AccountId, Set[Transfer]] = {}
+        self.deps: Set[Transfer] = set()
+        self.to_validate: List[Tuple[ProcessId, TransferAnnouncement]] = []
+
+        # Client bookkeeping.
+        self._pending: Optional[PendingTransfer] = None
+        self._submit_queue: List[Tuple[AccountId, Amount]] = []
+        self._next_client_sequence = 0
+        self.completed: List[TransferRecord] = []
+        self.failed_immediately: List[TransferRecord] = []
+
+        # Observation log for the Definition 1 checker.
+        self._validated_log: List[ValidatedTransfer] = []
+        self._client_operations: List[ClientOperation] = []
+
+        self.broadcast_layer: Optional[BroadcastLayer] = None
+
+    # -- lifecycle --------------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self.broadcast_layer = self._broadcast_factory(
+            channel="transfer",
+            own_id=self.node_id,
+            all_nodes=self.peers,
+            send=self.send,
+            deliver=self._on_deliver,
+        )
+
+    def on_message(self, sender: ProcessId, message: Any) -> None:
+        if self.broadcast_layer is not None and self.broadcast_layer.handles(message):
+            self.broadcast_layer.on_message(sender, message)
+
+    def processing_cost(self, message: Any) -> Optional[float]:
+        """CPU cost of one incoming message.
+
+        Only messages that introduce a transfer (the broadcast's initial
+        ``SEND`` / the certificate-bearing ``FINAL``) require verifying a
+        digital signature; Bracha ``ECHO``/``READY`` traffic and the signed
+        acknowledgements the issuer collects ride on MAC-authenticated
+        channels and cost the flat per-message time.  This asymmetry —
+        one signature verification per transfer regardless of system size —
+        is the broadcast protocol's key cost advantage over signed consensus
+        votes.
+        """
+        from repro.broadcast.messages import FinalMessage, SendMessage
+
+        config = self.network.config
+        base = config.processing_time
+        if isinstance(message, SendMessage):
+            return base + config.signature_verification_time
+        if isinstance(message, FinalMessage):
+            # Verify the issuer's signature and the quorum certificate
+            # (modelled as one aggregate verification).
+            return base + 2 * config.signature_verification_time
+        return base
+
+    # -- client API (lines 1-7) ---------------------------------------------------------------
+
+    def submit_transfer(self, destination: AccountId, amount: Amount) -> None:
+        """Queue ``transfer(own-account, destination, amount)``.
+
+        Processes are sequential (Section 2.1): if a transfer is already in
+        flight the new one is queued and issued once the current one
+        completes.
+        """
+        self._submit_queue.append((destination, amount))
+        self._try_issue_next()
+
+    def read(self, account: Optional[AccountId] = None) -> Amount:
+        """``read(a)``: balance from the local history (line 7)."""
+        target = self.account if account is None else account
+        relevant = set(self.hist.get(target, set()))
+        if target == self.account:
+            relevant |= self.deps
+        balance = balance_from_transfers(
+            target, self._initial_balances.get(target, 0), relevant
+        )
+        self._client_operations.append(
+            ClientOperation(
+                process=self.node_id,
+                kind="read",
+                invoked_at=self.now,
+                responded_at=self.now,
+                response=balance,
+                account=target,
+            )
+        )
+        return balance
+
+    def _try_issue_next(self) -> None:
+        if self._pending is not None or not self._submit_queue:
+            return
+        destination, amount = self._submit_queue.pop(0)
+        self._issue_transfer(destination, amount)
+
+    def _issue_transfer(self, destination: AccountId, amount: Amount) -> None:
+        submitted_at = self.now
+        own_history = set(self.hist.get(self.account, set())) | self.deps
+        balance = balance_from_transfers(
+            self.account, self._initial_balances.get(self.account, 0), own_history
+        )
+        sequence = self.seq.get(self.node_id, 0) + 1
+        transfer = Transfer(
+            source=self.account,
+            destination=destination,
+            amount=amount,
+            issuer=self.node_id,
+            sequence=sequence,
+        )
+        if balance < amount:                                             # lines 2-3
+            record = TransferRecord(
+                transfer=transfer,
+                submitted_at=submitted_at,
+                completed_at=self.now,
+                success=False,
+            )
+            self.failed_immediately.append(record)
+            self._client_operations.append(
+                ClientOperation(
+                    process=self.node_id,
+                    kind="transfer",
+                    invoked_at=submitted_at,
+                    responded_at=self.now,
+                    response=False,
+                    transfer=transfer,
+                )
+            )
+            if self._on_complete is not None:
+                self._on_complete(record)
+            self._try_issue_next()
+            return
+
+        announcement = TransferAnnouncement(                             # line 4
+            transfer=transfer, dependencies=tuple(sorted(self.deps, key=lambda t: (t.issuer, t.sequence)))
+        )
+        self.deps = set()                                                # line 5
+        self._pending = PendingTransfer(transfer=transfer, submitted_at=submitted_at, announced=True)
+        assert self.broadcast_layer is not None, "node not started"
+        self.broadcast_layer.broadcast(announcement)
+
+    # -- delivery and validation (lines 8-20) -----------------------------------------------------
+
+    def _on_deliver(self, delivery: BroadcastDelivery) -> None:
+        payload = delivery.payload
+        if not isinstance(payload, TransferAnnouncement):
+            return
+        issuer = delivery.origin
+        transfer = payload.transfer
+        # Well-formedness (lines 9-12): the broadcast sequence number must be
+        # the next one we have *received* from this issuer.  Source order of
+        # the secure broadcast makes gaps impossible among benign issuers.
+        expected = self.rec.get(issuer, 0) + 1
+        if transfer.sequence != expected:
+            return
+        self.rec[issuer] = expected
+        self.to_validate.append((issuer, payload))
+        self._validation_pass()
+
+    def _validation_pass(self) -> None:
+        """Apply every pending announcement whose ``Valid`` predicate holds.
+
+        Validating one transfer can unblock others (its dependents), so the
+        pass loops until no further progress is made.
+        """
+        progress = True
+        while progress:
+            progress = False
+            still_pending: List[Tuple[ProcessId, TransferAnnouncement]] = []
+            for issuer, announcement in self.to_validate:
+                if self._valid(issuer, announcement):
+                    self._apply(issuer, announcement)
+                    progress = True
+                else:
+                    still_pending.append((issuer, announcement))
+            self.to_validate = still_pending
+
+    def _valid(self, issuer: ProcessId, announcement: TransferAnnouncement) -> bool:
+        """The ``Valid`` predicate (lines 21-26)."""
+        transfer = announcement.transfer
+        source = transfer.source
+        if source != account_of(issuer) or transfer.issuer != issuer:      # line 23
+            return False
+        if transfer.sequence != self.seq.get(issuer, 0) + 1:               # line 24
+            return False
+        source_history = self.hist.get(source, set())
+        balance = balance_from_transfers(
+            source, self._initial_balances.get(source, 0), source_history | set(announcement.dependencies)
+        )
+        if balance < transfer.amount:                                       # line 25
+            return False
+        for dependency in announcement.dependencies:                        # line 26
+            if dependency not in self.hist.get(dependency.source, set()):
+                return False
+        return True
+
+    def _apply(self, issuer: ProcessId, announcement: TransferAnnouncement) -> None:
+        """Apply a validated transfer (lines 14-20).
+
+        ``hist[a]`` maintains the invariant stated in Figure 4 ("set of
+        validated transfers *involving* a"), so the transfer is indexed under
+        both its source and its destination account; the declared
+        dependencies are folded into the source account's history exactly as
+        line 15 prescribes.
+        """
+        transfer = announcement.transfer
+        source_history = self.hist.setdefault(transfer.source, set())
+        source_history.update(announcement.dependencies)                    # line 15
+        source_history.add(transfer)
+        self.hist.setdefault(transfer.destination, set()).add(transfer)
+        self.seq[issuer] = transfer.sequence                                 # line 16
+        self._validated_log.append(
+            ValidatedTransfer(
+                transfer=transfer,
+                dependencies=tuple(d.transfer_id for d in announcement.dependencies),
+                position=len(self._validated_log),
+            )
+        )
+        if transfer.destination == self.account:                             # lines 17-18
+            self.deps.add(transfer)
+        if issuer == self.node_id:                                           # lines 19-20
+            self._complete_pending(success=True)
+
+    def _complete_pending(self, success: bool) -> None:
+        if self._pending is None:
+            return
+        pending = self._pending
+        self._pending = None
+        record = TransferRecord(
+            transfer=pending.transfer,
+            submitted_at=pending.submitted_at,
+            completed_at=self.now,
+            success=success,
+        )
+        self.completed.append(record)
+        self._client_operations.append(
+            ClientOperation(
+                process=self.node_id,
+                kind="transfer",
+                invoked_at=pending.submitted_at,
+                responded_at=self.now,
+                response=success,
+                transfer=pending.transfer,
+            )
+        )
+        if self._on_complete is not None:
+            self._on_complete(record)
+        self._try_issue_next()
+
+    # -- balances and observations -----------------------------------------------------------------
+
+    def balance_of(self, account: AccountId) -> Amount:
+        """Balance of ``account`` according to this node's validated history."""
+        relevant = set(self.hist.get(account, set()))
+        if account == self.account:
+            relevant |= self.deps
+        return balance_from_transfers(account, self._initial_balances.get(account, 0), relevant)
+
+    def all_known_balances(self) -> Dict[AccountId, Amount]:
+        """Balances of every account this node knows about."""
+        accounts = set(self._initial_balances) | set(self.hist) | {self.account}
+        return {account: self.balance_of(account) for account in sorted(accounts)}
+
+    def observation(self) -> ProcessObservation:
+        """Everything the Definition 1 checker needs about this node."""
+        return ProcessObservation(
+            process=self.node_id,
+            validated=list(self._validated_log),
+            operations=list(self._client_operations),
+        )
+
+    @property
+    def validated_count(self) -> int:
+        return len(self._validated_log)
+
+    @property
+    def has_pending_transfer(self) -> bool:
+        return self._pending is not None or bool(self._submit_queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConsensuslessTransferNode(p{self.node_id}, validated={self.validated_count})"

@@ -1,0 +1,269 @@
+"""Nodes, links and per-node CPU queues.
+
+The :class:`Network` connects a set of :class:`Node` objects through the
+discrete-event simulator.  Its cost model has two knobs, both of which the
+evaluation sweeps:
+
+* **Link latency** — every message experiences an exponentially distributed
+  network delay (mean ``latency_mean``) plus a fixed ``latency_base``.
+  Exponential delays model asynchrony: there is no bound on how late a
+  message can be, which is the regime the consensusless protocol is designed
+  for.
+* **Per-message CPU cost** — each node owns a single CPU that processes
+  incoming messages sequentially, spending ``processing_time`` per message
+  (modelling deserialization + signature verification + protocol logic).
+  The CPU queue is what creates the leader bottleneck in the consensus-based
+  baseline and the even load distribution in the broadcast-based protocol,
+  the effect behind the paper's 1.5×–6× throughput gap.
+
+Byzantine *behaviour* is not modelled here: a Byzantine node is simply a
+:class:`Node` subclass that sends whatever it likes (see
+:mod:`repro.byzantine.behaviors` and the attack nodes in :mod:`repro.mp`).
+The network delivers faithfully between benign pairs, which matches the
+standard assumption of reliable authenticated channels.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.rng import SeededRng
+from repro.common.types import ProcessId
+from repro.network.simulator import Event, Simulator
+
+
+@dataclass
+class NetworkConfig:
+    """Tunable parameters of the network and node cost model.
+
+    All times are in (simulated) seconds.  The defaults model a medium-area
+    network of commodity machines: 0.5 ms base latency, 1 ms mean additional
+    exponential delay, 5 µs of CPU work per received message (deserialization
+    plus MAC check on an authenticated channel) and 100 µs per digital
+    signature verification.
+
+    Which messages pay the signature surcharge is decided by each node's
+    :meth:`Node.processing_cost` override: PBFT votes and client requests
+    carry signatures, whereas Bracha echo/ready messages only need channel
+    authentication — an asymmetry that is one of the drivers of the
+    throughput gap the paper reports (see DESIGN.md §2).
+    """
+
+    latency_base: float = 0.0005
+    latency_mean: float = 0.001
+    processing_time: float = 0.000005
+    signature_verification_time: float = 0.0001
+    seed: int = 0
+    drop_probability: float = 0.0
+
+    def validate(self) -> None:
+        if self.latency_base < 0 or self.latency_mean < 0:
+            raise ConfigurationError("latencies must be non-negative")
+        if self.processing_time < 0:
+            raise ConfigurationError("processing_time must be non-negative")
+        if self.signature_verification_time < 0:
+            raise ConfigurationError("signature_verification_time must be non-negative")
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ConfigurationError("drop_probability must lie in [0, 1)")
+
+
+@dataclass
+class NodeStats:
+    """Per-node message and CPU accounting."""
+
+    sent: int = 0
+    received: int = 0
+    processed: int = 0
+    dropped: int = 0
+    busy_time: float = 0.0
+
+
+class Node(abc.ABC):
+    """Base class for every protocol participant.
+
+    Subclasses implement :meth:`on_message` (and optionally override
+    :meth:`on_start`).  They send through :meth:`send` / :meth:`broadcast`
+    and set timers with :meth:`set_timer`.  A node is attached to exactly one
+    network.
+    """
+
+    def __init__(self, node_id: ProcessId) -> None:
+        self.node_id = node_id
+        self._network: Optional["Network"] = None
+        self.stats = NodeStats()
+
+    # -- wiring -------------------------------------------------------------------
+
+    def attach(self, network: "Network") -> None:
+        if self._network is not None:
+            raise ConfigurationError(f"node {self.node_id} is already attached")
+        self._network = network
+
+    @property
+    def network(self) -> "Network":
+        if self._network is None:
+            raise ConfigurationError(f"node {self.node_id} is not attached to a network")
+        return self._network
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.network.simulator.now
+
+    @property
+    def peers(self) -> Tuple[ProcessId, ...]:
+        """Identifiers of every node in the network, including this one."""
+        return self.network.node_ids
+
+    # -- behaviour hooks ------------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called once when the simulation starts.  Default: nothing."""
+
+    def processing_cost(self, message: Any) -> Optional[float]:
+        """CPU time this node spends processing ``message``.
+
+        Return ``None`` to use the network's flat ``processing_time``.
+        Protocol nodes override this to charge signature verification on
+        messages that carry signatures (see :class:`NetworkConfig`).
+        """
+        return None
+
+    @abc.abstractmethod
+    def on_message(self, sender: ProcessId, message: Any) -> None:
+        """Handle a message delivered from ``sender``."""
+
+    # -- actions ----------------------------------------------------------------------
+
+    def send(self, recipient: ProcessId, message: Any) -> None:
+        """Send ``message`` to ``recipient`` over the (asynchronous) network."""
+        self.stats.sent += 1
+        self.network.transmit(self.node_id, recipient, message)
+
+    def broadcast(self, message: Any, include_self: bool = True) -> None:
+        """Send ``message`` to every node (the all-to-all primitive)."""
+        for recipient in self.peers:
+            if recipient == self.node_id and not include_self:
+                continue
+            self.send(recipient, message)
+
+    def set_timer(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` to run after ``delay`` simulated seconds."""
+        return self.network.simulator.schedule(delay, callback, label=label or f"timer@{self.node_id}")
+
+
+class Network:
+    """Connects nodes through the simulator and applies the cost model."""
+
+    def __init__(self, simulator: Simulator, config: Optional[NetworkConfig] = None) -> None:
+        self.simulator = simulator
+        self.config = config or NetworkConfig()
+        self.config.validate()
+        self._rng = SeededRng(self.config.seed).fork("network")
+        self._nodes: Dict[ProcessId, Node] = {}
+        self._cpu_free_at: Dict[ProcessId, float] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self._started = False
+
+    # -- membership -----------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        if node.node_id in self._nodes:
+            raise ConfigurationError(f"duplicate node id {node.node_id}")
+        node.attach(self)
+        self._nodes[node.node_id] = node
+        self._cpu_free_at[node.node_id] = 0.0
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        for node in nodes:
+            self.add_node(node)
+
+    @property
+    def node_ids(self) -> Tuple[ProcessId, ...]:
+        return tuple(sorted(self._nodes))
+
+    def node(self, node_id: ProcessId) -> Node:
+        return self._nodes[node_id]
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        return tuple(self._nodes[node_id] for node_id in self.node_ids)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Invoke every node's ``on_start`` hook (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for node_id in self.node_ids:
+            self._nodes[node_id].on_start()
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None,
+            stop_when: Optional[Callable[[], bool]] = None) -> float:
+        """Start all nodes (if needed) and drive the simulator."""
+        self.start()
+        return self.simulator.run(until=until, max_events=max_events, stop_when=stop_when)
+
+    # -- transmission ------------------------------------------------------------------
+
+    def transmit(self, sender: ProcessId, recipient: ProcessId, message: Any) -> None:
+        """Queue ``message`` for delivery from ``sender`` to ``recipient``."""
+        if recipient not in self._nodes:
+            raise SimulationError(f"message sent to unknown node {recipient}")
+        self.messages_sent += 1
+        if self.config.drop_probability and self._rng.maybe(self.config.drop_probability):
+            self.messages_dropped += 1
+            self._nodes[recipient].stats.dropped += 1
+            return
+        latency = self.config.latency_base
+        if self.config.latency_mean > 0:
+            latency += self._rng.exponential(self.config.latency_mean)
+        self.simulator.schedule(
+            latency,
+            lambda: self._arrive(sender, recipient, message),
+            label=f"deliver {sender}->{recipient}",
+        )
+
+    def _arrive(self, sender: ProcessId, recipient: ProcessId, message: Any) -> None:
+        """Message arrived at the recipient's NIC; queue it on the CPU."""
+        node = self._nodes[recipient]
+        node.stats.received += 1
+        arrival = self.simulator.now
+        cost = node.processing_cost(message)
+        if cost is None:
+            cost = self.config.processing_time
+        start = max(arrival, self._cpu_free_at[recipient])
+        finish = start + cost
+        self._cpu_free_at[recipient] = finish
+        node.stats.busy_time += cost
+        self.messages_delivered += 1
+        self.simulator.schedule_at(
+            finish,
+            lambda: self._process(node, sender, message),
+            label=f"process @{recipient}",
+        )
+
+    @staticmethod
+    def _process(node: Node, sender: ProcessId, message: Any) -> None:
+        node.stats.processed += 1
+        node.on_message(sender, message)
+
+    # -- metrics -----------------------------------------------------------------------
+
+    def cpu_utilisation(self, node_id: ProcessId) -> float:
+        """Fraction of virtual time the node's CPU has been busy so far."""
+        if self.simulator.now == 0:
+            return 0.0
+        return min(1.0, self._nodes[node_id].stats.busy_time / self.simulator.now)
+
+    def total_messages(self) -> int:
+        return self.messages_sent

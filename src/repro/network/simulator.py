@@ -1,0 +1,131 @@
+"""The discrete-event engine.
+
+A :class:`Simulator` owns virtual time and a priority queue of events.  Every
+other message-passing component (the network, nodes, timers, workload
+clients) schedules callbacks on it.  The engine is deliberately minimal: the
+interesting modelling (latencies, CPU queues, Byzantine behaviour) lives in
+:mod:`repro.network.node` and above.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.common.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, sequence)``; the sequence number makes the
+    order total and deterministic when several events share a timestamp.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    The simulator is single-threaded: events run one at a time, in timestamp
+    order, and may schedule further events.  ``run`` drives the loop until
+    the queue drains, a time horizon is reached, or an event budget is
+    exhausted (a guard against accidental livelock in protocol code).
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self.processed_events = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self._now
+
+    def schedule(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay}s in the past")
+        event = Event(time=self._now + delay, sequence=next(self._sequence), action=action, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at an absolute virtual time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time} (current time is {self._now})"
+            )
+        event = Event(time=time, sequence=next(self._sequence), action=action, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Run events until the queue drains or a limit is hit.
+
+        Parameters
+        ----------
+        until:
+            Stop once virtual time would exceed this horizon.
+        max_events:
+            Stop after this many events (guards against livelock).
+        stop_when:
+            Optional predicate checked after every event; the run stops as
+            soon as it returns ``True`` (used to stop when a workload has
+            fully committed).
+
+        Returns the virtual time at which the run stopped.
+        """
+        executed = 0
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.time > until:
+                self._now = until
+                break
+            heapq.heappop(self._queue)
+            self._now = event.time
+            event.action()
+            self.processed_events += 1
+            executed += 1
+            if stop_when is not None and stop_when():
+                break
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded the event budget of {max_events}; "
+                    "a protocol is likely flooding the network"
+                )
+        return self._now
+
+    def run_until_quiescent(self, max_events: int = 10_000_000) -> float:
+        """Run until no events remain (the common case in tests)."""
+        return self.run(max_events=max_events)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self._now:.6f}, pending={self.pending_events})"

@@ -1,0 +1,74 @@
+"""The unit of atomicity in the shared-memory runtime.
+
+Algorithms in the shared-memory model are written as Python generators.  Each
+time an algorithm needs to touch shared memory it yields a
+:class:`MemoryAccess`; the scheduler executes the access atomically when (and
+only when) it schedules that process.  Everything a process does between two
+yields is local computation and is executed together with the preceding
+access, which matches the standard model where only shared-memory accesses
+are interleaved.
+
+Shared objects expose *generator methods* that yield exactly one
+:class:`MemoryAccess` per atomic primitive they use; higher-level algorithms
+compose them with ``yield from``.  For example::
+
+    def transfer(self, process, source, destination, amount):
+        snapshot = yield from self._memory.snapshot(process)
+        ...
+        yield from self._memory.update(process, new_value)
+        return True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, TypeVar
+
+ResultT = TypeVar("ResultT")
+
+# The generator type used by every shared-memory operation.
+MemoryProgram = Generator["MemoryAccess", Any, ResultT]
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One atomic access to shared memory.
+
+    ``action`` performs the access and returns its result.  ``label`` is a
+    human-readable description used in schedules, logs and error messages
+    (e.g. ``"AS.snapshot"`` or ``"R[3].write"``).
+    """
+
+    action: Callable[[], Any]
+    label: str
+
+    def perform(self) -> Any:
+        """Execute the access.  Called exactly once, by the scheduler."""
+        return self.action()
+
+
+def atomic(label: str, action: Callable[[], ResultT]) -> MemoryProgram:
+    """Yield a single :class:`MemoryAccess` and return its result.
+
+    This helper keeps shared-object methods down to one line per primitive::
+
+        def read(self):
+            return (yield from atomic("R.read", lambda: self._value))
+    """
+    result = yield MemoryAccess(action=action, label=label)
+    return result
+
+
+def run_sequentially(program: MemoryProgram) -> Any:
+    """Run a memory program to completion with no interleaving.
+
+    Used by the immediate-mode facades (and by tests that only care about the
+    sequential behaviour of an algorithm): every access is performed as soon
+    as it is requested, in program order.
+    """
+    try:
+        access = next(program)
+        while True:
+            access = program.send(access.perform())
+    except StopIteration as stop:
+        return stop.value

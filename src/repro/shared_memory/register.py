@@ -1,0 +1,166 @@
+"""Atomic read/write registers.
+
+Registers are the base objects of the read/write shared-memory model
+(Section 2.1).  They come in two flavours:
+
+* :class:`AtomicRegister` — a multi-reader register.  Writes can optionally be
+  restricted to a single writer (``single_writer_id``), which the Afek et al.
+  snapshot construction and the helping registers of Figure 3 rely on.
+* :class:`RegisterArray` — a fixed-size array of registers indexed by process
+  identifier, matching the ``R_a[i]`` arrays used in Figures 2 and 3.
+
+All operations are generator methods yielding one :class:`MemoryAccess`, so
+they interleave correctly under the scheduler; ``*_now`` variants perform the
+access immediately for immediate-mode callers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.types import ProcessId
+from repro.shared_memory.access import MemoryProgram, atomic
+
+
+class AtomicRegister:
+    """A linearizable read/write register.
+
+    Parameters
+    ----------
+    initial:
+        The initial value (the paper uses ``⊥``, modelled as ``None``).
+    name:
+        Label used in schedules and error messages.
+    single_writer_id:
+        If given, only this process may write the register; other writers
+        trigger a :class:`SimulationError`, which in tests flags algorithm
+        bugs (e.g. a process writing another process's announcement slot).
+    """
+
+    def __init__(
+        self,
+        initial: Any = None,
+        name: str = "R",
+        single_writer_id: Optional[ProcessId] = None,
+    ) -> None:
+        self._value = initial
+        self.name = name
+        self.single_writer_id = single_writer_id
+        self.read_count = 0
+        self.write_count = 0
+
+    # -- generator API (scheduler-driven) ---------------------------------------
+
+    def read(self, process: Optional[ProcessId] = None) -> MemoryProgram:
+        """Atomically read the register."""
+        return (yield from atomic(f"{self.name}.read", lambda: self._read_now()))
+
+    def write(self, value: Any, process: Optional[ProcessId] = None) -> MemoryProgram:
+        """Atomically write ``value`` to the register."""
+        return (
+            yield from atomic(
+                f"{self.name}.write", lambda: self._write_now(value, process)
+            )
+        )
+
+    # -- immediate API ------------------------------------------------------------
+
+    def _read_now(self) -> Any:
+        self.read_count += 1
+        return self._value
+
+    def _write_now(self, value: Any, process: Optional[ProcessId] = None) -> None:
+        if (
+            self.single_writer_id is not None
+            and process is not None
+            and process != self.single_writer_id
+        ):
+            raise SimulationError(
+                f"process {process} wrote single-writer register {self.name} "
+                f"owned by process {self.single_writer_id}"
+            )
+        self.write_count += 1
+        self._value = value
+
+    def read_now(self) -> Any:
+        """Immediate-mode read (no scheduler involvement)."""
+        return self._read_now()
+
+    def write_now(self, value: Any, process: Optional[ProcessId] = None) -> None:
+        """Immediate-mode write (no scheduler involvement)."""
+        self._write_now(value, process)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AtomicRegister({self.name}={self._value!r})"
+
+
+class RegisterArray:
+    """A fixed array of atomic registers, one per process.
+
+    Figures 2 and 3 use per-account arrays ``R_a[i]``, ``i ∈ Π``, where entry
+    ``i`` is written only by process ``i`` (announcement slots).  The array
+    enforces that single-writer discipline when ``single_writer`` is true.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        initial: Any = None,
+        name: str = "R",
+        single_writer: bool = False,
+    ) -> None:
+        if size <= 0:
+            raise ConfigurationError("a register array needs at least one slot")
+        self.name = name
+        self._registers: List[AtomicRegister] = [
+            AtomicRegister(
+                initial=initial,
+                name=f"{name}[{index}]",
+                single_writer_id=index if single_writer else None,
+            )
+            for index in range(size)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._registers)
+
+    def __getitem__(self, index: int) -> AtomicRegister:
+        return self._registers[index]
+
+    def read(self, index: int, process: Optional[ProcessId] = None) -> MemoryProgram:
+        """Atomically read slot ``index``."""
+        return (yield from self._registers[index].read(process))
+
+    def write(
+        self, index: int, value: Any, process: Optional[ProcessId] = None
+    ) -> MemoryProgram:
+        """Atomically write ``value`` into slot ``index``."""
+        return (yield from self._registers[index].write(value, process))
+
+    def collect(self, process: Optional[ProcessId] = None) -> MemoryProgram:
+        """Read every slot, one atomic access per slot, and return the list.
+
+        This is the ``collect`` of Figure 3: a non-atomic sequence of reads.
+        The caller sees values that may come from different points in time,
+        which is exactly the behaviour the algorithms must tolerate.
+        """
+        values: List[Any] = []
+        for register in self._registers:
+            value = yield from register.read(process)
+            values.append(value)
+        return values
+
+    def snapshot_now(self) -> List[Any]:
+        """Immediate-mode read of every slot (used by test assertions only)."""
+        return [register.read_now() for register in self._registers]
+
+    @property
+    def total_accesses(self) -> int:
+        """Total number of primitive accesses performed on this array."""
+        return sum(r.read_count + r.write_count for r in self._registers)
+
+
+def make_registers(names: Iterable[str], initial: Any = None) -> Sequence[AtomicRegister]:
+    """Create one named register per entry of ``names`` (test convenience)."""
+    return tuple(AtomicRegister(initial=initial, name=name) for name in names)

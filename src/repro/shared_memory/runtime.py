@@ -1,0 +1,111 @@
+"""Runtime tying programs, scheduler and history recording together.
+
+A :class:`SharedMemoryProgram` describes the sequence of operations one
+process will perform (each operation is a generator factory plus the
+operation descriptor used by the sequential specification).  The
+:class:`SharedMemoryRuntime` instruments every operation with
+invocation/response events, runs all programs under a chosen scheduler and
+returns both the per-process results and the recorded
+:class:`~repro.spec.history.History`, ready to be fed to the
+linearizability checker.
+
+This is the machinery behind experiment **E1**: it lets tests run the
+Figure 1 algorithm under thousands of random interleavings (with and without
+crashes) and assert that every produced history is linearizable with respect
+to the asset-transfer specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import ProcessId
+from repro.shared_memory.access import MemoryProgram
+from repro.shared_memory.scheduler import Scheduler, SchedulerOutcome
+from repro.spec.history import History, HistoryRecorder
+
+# A single operation: (operation descriptor used by the spec, generator factory).
+OperationFactory = Callable[[], MemoryProgram]
+ProgramStep = Tuple[Any, OperationFactory]
+
+
+@dataclass
+class SharedMemoryProgram:
+    """The operations one process performs, in program order."""
+
+    process: ProcessId
+    steps: List[ProgramStep] = field(default_factory=list)
+
+    def add(self, operation: Any, factory: OperationFactory) -> "SharedMemoryProgram":
+        """Append an operation; returns ``self`` for fluent construction."""
+        self.steps.append((operation, factory))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+@dataclass
+class RuntimeOutcome:
+    """Everything a test needs after running a set of programs."""
+
+    history: History
+    results: Dict[ProcessId, Tuple[Any, ...]]
+    scheduler_outcome: SchedulerOutcome
+
+    def responses_of(self, process: ProcessId) -> Tuple[Any, ...]:
+        """Responses of the operations completed by ``process``, in order."""
+        return self.results.get(process, ())
+
+
+class SharedMemoryRuntime:
+    """Runs instrumented programs under a scheduler and records the history."""
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        self._scheduler = scheduler
+
+    def run(self, programs: Sequence[SharedMemoryProgram]) -> RuntimeOutcome:
+        """Run all programs to completion (or crash) and return the outcome."""
+        if not programs:
+            raise ConfigurationError("at least one program is required")
+        seen: set = set()
+        for program in programs:
+            if program.process in seen:
+                raise ConfigurationError(
+                    f"two programs provided for process {program.process}"
+                )
+            seen.add(program.process)
+
+        recorder = HistoryRecorder()
+        collected: Dict[ProcessId, List[Any]] = {p.process: [] for p in programs}
+        generators: Dict[ProcessId, MemoryProgram] = {
+            program.process: self._instrument(program, recorder, collected[program.process])
+            for program in programs
+        }
+        outcome = self._scheduler.run(generators)
+        results = {process: tuple(values) for process, values in collected.items()}
+        return RuntimeOutcome(
+            history=recorder.history(),
+            results=results,
+            scheduler_outcome=outcome,
+        )
+
+    @staticmethod
+    def _instrument(
+        program: SharedMemoryProgram,
+        recorder: HistoryRecorder,
+        sink: List[Any],
+    ) -> MemoryProgram:
+        """Wrap a program so each operation records invocation and response."""
+
+        def runner() -> MemoryProgram:
+            for operation, factory in program.steps:
+                operation_id = recorder.invoke(program.process, operation)
+                result = yield from factory()
+                recorder.respond(program.process, operation_id, result)
+                sink.append(result)
+            return tuple(sink)
+
+        return runner()

@@ -1,0 +1,143 @@
+"""The asset-transfer sequential object type of Section 2.2.
+
+States are maps ``q : A -> N`` assigning every account a balance.  The two
+operations are::
+
+    ("transfer", source, destination, amount)   -> True | False
+    ("read", account)                           -> balance
+
+A ``transfer(a, b, x)`` invoked by process ``p`` succeeds iff ``p ∈ mu(a)``
+and ``q(a) >= x``; it then moves ``x`` from ``a`` to ``b``.  Otherwise it
+fails, returning ``False``, and leaves the state untouched.  ``read(a)``
+returns the balance of ``a``.
+
+The state is represented as an immutable sorted tuple of ``(account, balance)``
+pairs so that it is hashable — the linearizability checker memoises visited
+(state, pending-set) configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccountId, Amount, OwnershipMap, ProcessId
+from repro.spec.object_type import SequentialObjectType, Transition
+
+# Immutable, hashable account->balance map.
+AssetTransferState = Tuple[Tuple[AccountId, Amount], ...]
+
+
+def freeze_balances(balances: Mapping[AccountId, Amount]) -> AssetTransferState:
+    """Convert a balance mapping into the canonical immutable state form."""
+    return tuple(sorted(balances.items()))
+
+
+def thaw_balances(state: AssetTransferState) -> Dict[AccountId, Amount]:
+    """Convert the immutable state form back into a mutable dictionary."""
+    return dict(state)
+
+
+class AssetTransferSpec(SequentialObjectType[AssetTransferState]):
+    """Sequential specification of the (possibly k-shared) asset-transfer type.
+
+    Parameters
+    ----------
+    ownership:
+        The owner map ``mu``.  With ``max |mu(a)| == 1`` this is the
+        Nakamoto-style type of Section 3 (consensus number 1); with larger
+        owner sets it is the k-shared type of Section 4.
+    initial_balances:
+        The map ``q0``.  Accounts missing from the map start at zero.
+    """
+
+    def __init__(
+        self,
+        ownership: OwnershipMap,
+        initial_balances: Optional[Mapping[AccountId, Amount]] = None,
+    ) -> None:
+        self.ownership = ownership
+        balances: Dict[AccountId, Amount] = {account: 0 for account in ownership.accounts}
+        if initial_balances:
+            for account, amount in initial_balances.items():
+                if account not in balances:
+                    raise ConfigurationError(
+                        f"initial balance given for unknown account {account!r}"
+                    )
+                if amount < 0:
+                    raise ConfigurationError(
+                        f"initial balance of {account!r} must be non-negative, got {amount}"
+                    )
+                balances[account] = amount
+        self._initial = freeze_balances(balances)
+
+    # -- SequentialSpec interface -------------------------------------------
+
+    def initial_state(self) -> AssetTransferState:
+        return self._initial
+
+    def _apply_transfer(
+        self,
+        state: AssetTransferState,
+        process: ProcessId,
+        source: AccountId,
+        destination: AccountId,
+        amount: Amount,
+    ) -> Transition[AssetTransferState]:
+        balances = thaw_balances(state)
+        allowed = self.ownership.is_owner(process, source)
+        sufficient = balances.get(source, 0) >= amount
+        if not allowed or not sufficient or amount < 0:
+            return Transition(new_state=state, response=False)
+        balances[source] = balances.get(source, 0) - amount
+        balances[destination] = balances.get(destination, 0) + amount
+        return Transition(new_state=freeze_balances(balances), response=True)
+
+    def _apply_read(
+        self, state: AssetTransferState, process: ProcessId, account: AccountId
+    ) -> Transition[AssetTransferState]:
+        balances = thaw_balances(state)
+        return Transition(new_state=state, response=balances.get(account, 0))
+
+    # -- convenience helpers used by tests and examples -----------------------
+
+    @property
+    def sharing_degree(self) -> int:
+        """Return ``k``, the maximal number of owners of any account."""
+        return self.ownership.sharing_degree
+
+    def balance_in(self, state: AssetTransferState, account: AccountId) -> Amount:
+        """Return the balance of ``account`` in ``state``."""
+        return thaw_balances(state).get(account, 0)
+
+    def total_supply(self, state: Optional[AssetTransferState] = None) -> Amount:
+        """Return the sum of all balances (conserved by every legal history)."""
+        chosen = self._initial if state is None else state
+        return sum(balance for _, balance in chosen)
+
+    def replay(
+        self,
+        operations: Iterable[Tuple[ProcessId, Tuple]],
+    ) -> Tuple[AssetTransferState, Tuple]:
+        """Replay a sequence of ``(process, operation)`` pairs from ``q0``.
+
+        Returns the final state and the tuple of responses.  Used by tests to
+        compute the expected outcome of a sequential schedule.
+        """
+        state = self.initial_state()
+        responses = []
+        for process, operation in operations:
+            transition = self.apply(state, process, operation)
+            state = transition.new_state
+            responses.append(transition.response)
+        return state, tuple(responses)
+
+
+def transfer_op(source: AccountId, destination: AccountId, amount: Amount) -> Tuple:
+    """Build the operation tuple for ``transfer(source, destination, amount)``."""
+    return ("transfer", source, destination, amount)
+
+
+def read_op(account: AccountId) -> Tuple:
+    """Build the operation tuple for ``read(account)``."""
+    return ("read", account)

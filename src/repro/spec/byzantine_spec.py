@@ -1,0 +1,325 @@
+"""Checker for the Byzantine asset-transfer specification (Definition 1, §5.1).
+
+In the message-passing model the paper relaxes linearizability: *successful
+transfers* performed by correct processes must form a legal sequential
+history that preserves real-time order, while reads and failed transfers may
+be "outdated" (sequentially consistent with each process's local view).
+
+An exact check of Definition 1 would require searching over all sequential
+witnesses; instead this module performs the set of sound checks that the
+paper's own proof of Theorem 3 relies on, each of which catches a concrete
+class of violations:
+
+``C1 — per-account agreement``
+    No two correct processes validate *different* transfers for the same
+    ``(account, sequence-number)`` slot.  A violation is exactly a successful
+    double-spend (equivocation that got past validation).
+
+``C2 — local balance safety``
+    Replaying each correct process's validated transfers in its local
+    validation order never drives any account balance negative.
+
+``C3 — global legality and real-time order``
+    The union of transfers validated by correct processes, ordered by the
+    dependency relation (per-account sequence order plus declared
+    dependencies) and by the real-time order of successful transfers issued
+    by correct processes, is acyclic and replays to a legal sequential
+    history.  This is the witness ``S`` constructed in the proof of Theorem 3.
+
+``C4 — local views (Definition 1, part 2)``
+    Every read and failed transfer of a correct process is justified by that
+    process's local validated prefix at the time of the operation.
+
+The checker reports all violations it finds rather than stopping at the first
+one, which makes protocol debugging much faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.common.types import AccountId, Amount, ProcessId, Transfer, TransferId
+
+
+@dataclass(frozen=True)
+class ValidatedTransfer:
+    """A transfer as validated by one correct process.
+
+    ``dependencies`` are the transfer identities the issuer declared as the
+    transfer's causal dependencies (the ``deps``/``h`` set of Figure 4).
+    ``position`` is the index of the transfer in the validating process's
+    local validation order.
+    """
+
+    transfer: Transfer
+    dependencies: Tuple[TransferId, ...] = ()
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class ClientOperation:
+    """One client-level operation performed by a correct process.
+
+    ``kind`` is ``"transfer"`` or ``"read"``.  ``invoked_at`` and
+    ``responded_at`` are simulator timestamps; ``response`` is the value
+    returned (``True``/``False`` for transfers, a balance for reads).
+    ``transfer`` is set for transfer operations.
+    """
+
+    process: ProcessId
+    kind: str
+    invoked_at: float
+    responded_at: Optional[float]
+    response: object = None
+    transfer: Optional[Transfer] = None
+    account: Optional[AccountId] = None
+
+
+@dataclass
+class ProcessObservation:
+    """Everything the checker needs to know about one correct process."""
+
+    process: ProcessId
+    validated: List[ValidatedTransfer] = field(default_factory=list)
+    operations: List[ClientOperation] = field(default_factory=list)
+
+
+@dataclass
+class CheckReport:
+    """Result of a Byzantine asset-transfer check."""
+
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+    checked_transfers: int = 0
+    checked_processes: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class ByzantineAssetTransferChecker:
+    """Checks executions of the message-passing protocol against Definition 1."""
+
+    def __init__(self, initial_balances: Mapping[AccountId, Amount]) -> None:
+        self._initial_balances = dict(initial_balances)
+
+    # -- public API ---------------------------------------------------------------
+
+    def check(self, observations: Sequence[ProcessObservation]) -> CheckReport:
+        """Run all checks over the given per-process observations."""
+        violations: List[str] = []
+        violations.extend(self._check_per_account_agreement(observations))
+        violations.extend(self._check_local_balance_safety(observations))
+        violations.extend(self._check_global_order(observations))
+        violations.extend(self._check_local_views(observations))
+        checked = sum(len(obs.validated) for obs in observations)
+        return CheckReport(
+            ok=not violations,
+            violations=violations,
+            checked_transfers=checked,
+            checked_processes=len(observations),
+        )
+
+    # -- C1: per-account agreement ---------------------------------------------------
+
+    def _check_per_account_agreement(
+        self, observations: Sequence[ProcessObservation]
+    ) -> List[str]:
+        violations: List[str] = []
+        slots: Dict[Tuple[AccountId, int], Transfer] = {}
+        for obs in observations:
+            for validated in obs.validated:
+                transfer = validated.transfer
+                key = (transfer.source, transfer.sequence)
+                known = slots.get(key)
+                if known is None:
+                    slots[key] = transfer
+                elif known != transfer:
+                    violations.append(
+                        "C1 agreement violation (double spend): account "
+                        f"{transfer.source!r} sequence {transfer.sequence} was validated as "
+                        f"{known} by one correct process and as {transfer} by process "
+                        f"{obs.process}"
+                    )
+        return violations
+
+    # -- C2: local balance safety -----------------------------------------------------
+
+    def _check_local_balance_safety(
+        self, observations: Sequence[ProcessObservation]
+    ) -> List[str]:
+        violations: List[str] = []
+        for obs in observations:
+            balances = dict(self._initial_balances)
+            for validated in sorted(obs.validated, key=lambda v: v.position):
+                transfer = validated.transfer
+                balances[transfer.source] = balances.get(transfer.source, 0) - transfer.amount
+                balances[transfer.destination] = (
+                    balances.get(transfer.destination, 0) + transfer.amount
+                )
+                if balances[transfer.source] < 0:
+                    violations.append(
+                        f"C2 balance violation at process {obs.process}: applying {transfer} "
+                        f"drives account {transfer.source!r} to {balances[transfer.source]}"
+                    )
+        return violations
+
+    # -- C3: global legality and real-time order ----------------------------------------
+
+    def _check_global_order(self, observations: Sequence[ProcessObservation]) -> List[str]:
+        violations: List[str] = []
+
+        # Union of validated transfers across correct processes.
+        transfers: Dict[TransferId, Transfer] = {}
+        dependencies: Dict[TransferId, Set[TransferId]] = {}
+        for obs in observations:
+            for validated in obs.validated:
+                tid = validated.transfer.transfer_id
+                transfers.setdefault(tid, validated.transfer)
+                dependencies.setdefault(tid, set()).update(validated.dependencies)
+
+        # Dependency edges: per-source sequence order plus declared dependencies.
+        edges: Dict[TransferId, Set[TransferId]] = {tid: set() for tid in transfers}
+        by_source: Dict[AccountId, List[TransferId]] = {}
+        for tid, transfer in transfers.items():
+            by_source.setdefault(transfer.source, []).append(tid)
+        for source, tids in by_source.items():
+            tids.sort(key=lambda t: transfers[t].sequence)
+            for earlier, later in zip(tids, tids[1:]):
+                edges[later].add(earlier)
+        for tid, deps in dependencies.items():
+            for dep in deps:
+                if dep in transfers:
+                    edges[tid].add(dep)
+
+        # Real-time edges between successful transfers of correct processes.
+        completion_times: Dict[TransferId, float] = {}
+        invocation_times: Dict[TransferId, float] = {}
+        for obs in observations:
+            for op in obs.operations:
+                if op.kind != "transfer" or op.transfer is None:
+                    continue
+                if op.response is not True or op.responded_at is None:
+                    continue
+                tid = op.transfer.transfer_id
+                completion_times[tid] = op.responded_at
+                invocation_times[tid] = op.invoked_at
+        for earlier, earlier_done in completion_times.items():
+            for later, later_started in invocation_times.items():
+                if earlier != later and earlier_done < later_started and later in edges:
+                    edges[later].add(earlier)
+
+        order = self._topological_order(edges)
+        if order is None:
+            violations.append(
+                "C3 order violation: the dependency + real-time relation over validated "
+                "transfers contains a cycle; no sequential witness exists"
+            )
+            return violations
+
+        balances = dict(self._initial_balances)
+        for tid in order:
+            transfer = transfers[tid]
+            balances[transfer.source] = balances.get(transfer.source, 0) - transfer.amount
+            balances[transfer.destination] = (
+                balances.get(transfer.destination, 0) + transfer.amount
+            )
+            if balances[transfer.source] < 0:
+                violations.append(
+                    f"C3 legality violation: sequential witness drives account "
+                    f"{transfer.source!r} negative at {transfer}"
+                )
+        return violations
+
+    @staticmethod
+    def _topological_order(
+        edges: Dict[TransferId, Set[TransferId]]
+    ) -> Optional[List[TransferId]]:
+        """Kahn's algorithm; ``edges[t]`` are the transfers that must precede ``t``."""
+        remaining_deps = {tid: set(deps) for tid, deps in edges.items()}
+        dependents: Dict[TransferId, Set[TransferId]] = {tid: set() for tid in edges}
+        for tid, deps in edges.items():
+            for dep in deps:
+                if dep in dependents:
+                    dependents[dep].add(tid)
+        ready = sorted(
+            (tid for tid, deps in remaining_deps.items() if not deps),
+            key=lambda t: (t.issuer, t.sequence),
+        )
+        order: List[TransferId] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for dependent in sorted(dependents[current], key=lambda t: (t.issuer, t.sequence)):
+                remaining_deps[dependent].discard(current)
+                if not remaining_deps[dependent]:
+                    ready.append(dependent)
+        if len(order) != len(edges):
+            return None
+        return order
+
+    # -- C4: local views ------------------------------------------------------------------
+
+    def _check_local_views(self, observations: Sequence[ProcessObservation]) -> List[str]:
+        violations: List[str] = []
+        for obs in observations:
+            validated_sorted = sorted(obs.validated, key=lambda v: v.position)
+            for op in obs.operations:
+                if op.kind == "read" and op.responded_at is not None:
+                    # A read may be outdated but must be justified by *some*
+                    # prefix of the local validated log (sequential
+                    # consistency with the local view).
+                    if not self._read_justified(op, validated_sorted):
+                        violations.append(
+                            f"C4 read violation at process {obs.process}: read of "
+                            f"{op.account!r} returned {op.response!r}, which no prefix of "
+                            "the local validated history justifies"
+                        )
+                if (
+                    op.kind == "transfer"
+                    and op.response is False
+                    and op.transfer is not None
+                ):
+                    if not self._failure_justified(op, validated_sorted):
+                        violations.append(
+                            f"C4 failed-transfer violation at process {obs.process}: "
+                            f"{op.transfer} was rejected although every local prefix had "
+                            "sufficient balance"
+                        )
+        return violations
+
+    def _balance_after_prefix(
+        self,
+        account: AccountId,
+        validated: Sequence[ValidatedTransfer],
+        prefix_length: int,
+    ) -> Amount:
+        balance = self._initial_balances.get(account, 0)
+        for validated_transfer in validated[:prefix_length]:
+            transfer = validated_transfer.transfer
+            if transfer.source == account:
+                balance -= transfer.amount
+            if transfer.destination == account:
+                balance += transfer.amount
+        return balance
+
+    def _read_justified(
+        self, op: ClientOperation, validated: Sequence[ValidatedTransfer]
+    ) -> bool:
+        if op.account is None:
+            return True
+        for prefix_length in range(len(validated) + 1):
+            if self._balance_after_prefix(op.account, validated, prefix_length) == op.response:
+                return True
+        return False
+
+    def _failure_justified(
+        self, op: ClientOperation, validated: Sequence[ValidatedTransfer]
+    ) -> bool:
+        assert op.transfer is not None
+        for prefix_length in range(len(validated) + 1):
+            balance = self._balance_after_prefix(op.transfer.source, validated, prefix_length)
+            if balance < op.transfer.amount:
+                return True
+        return False

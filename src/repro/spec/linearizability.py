@@ -1,0 +1,199 @@
+"""A Wing–Gong style linearizability checker.
+
+Given a concurrent :class:`~repro.spec.history.History` and a sequential
+specification (:class:`~repro.spec.object_type.SequentialSpec`), the checker
+searches for a *legal sequential history* ``S`` such that
+
+1. every process observes its own operations in the same order and with the
+   same responses in ``S`` as in the (completed) concurrent history, and
+2. the real-time precedence order of the concurrent history is contained in
+   the total order of ``S``.
+
+This is exactly the linearizability definition in Section 2.1 of the paper.
+The search is exponential in the worst case (linearizability checking is
+NP-complete), but with memoisation on ``(linearized-set, state)`` pairs it is
+fast for the history sizes produced by the shared-memory test schedules
+(tens of operations, small process counts), which is all the reproduction
+needs.
+
+Incomplete operations are handled as the definition allows: an incomplete
+invocation may either be dropped from the completion or completed with some
+response and linearized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.common.types import ProcessId
+from repro.spec.history import History, Operation
+from repro.spec.object_type import SequentialSpec
+
+
+@dataclass
+class LinearizationResult:
+    """Outcome of a linearizability check.
+
+    ``witness`` is a legal sequential order of operation ids when the history
+    is linearizable, and ``None`` otherwise.  ``explored_states`` counts the
+    distinct search configurations visited, which tests use to keep an eye on
+    checker cost.
+    """
+
+    linearizable: bool
+    witness: Optional[Tuple[int, ...]] = None
+    witness_responses: Dict[int, Any] = field(default_factory=dict)
+    explored_states: int = 0
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.linearizable
+
+
+class LinearizabilityChecker:
+    """Checks histories against a sequential specification.
+
+    Parameters
+    ----------
+    spec:
+        The sequential specification to check against.
+    max_configurations:
+        Safety valve for the exponential search: the checker aborts (raising
+        ``RuntimeError``) if it visits more configurations than this.  The
+        default is generous for the history sizes used in the test suite.
+    """
+
+    def __init__(self, spec: SequentialSpec, max_configurations: int = 2_000_000) -> None:
+        self._spec = spec
+        self._max_configurations = max_configurations
+
+    # -- public API --------------------------------------------------------------
+
+    def check(self, history: History) -> LinearizationResult:
+        """Check whether ``history`` is linearizable w.r.t. the specification."""
+        operations = history.operations
+        if not operations:
+            return LinearizationResult(linearizable=True, witness=())
+
+        complete_ops = [op for op in operations if op.is_complete]
+        pending_ops = [op for op in operations if not op.is_complete]
+
+        # Precompute, for every operation, the set of complete operations that
+        # must be linearized before it (its real-time predecessors).
+        predecessors: Dict[int, FrozenSet[int]] = {}
+        for op in operations:
+            before: Set[int] = set()
+            for other in complete_ops:
+                if other.operation_id != op.operation_id and other.precedes(op):
+                    before.add(other.operation_id)
+            predecessors[op.operation_id] = frozenset(before)
+
+        by_id: Dict[int, Operation] = {op.operation_id: op for op in operations}
+        all_complete_ids = frozenset(op.operation_id for op in complete_ops)
+        pending_ids = frozenset(op.operation_id for op in pending_ops)
+
+        explored = 0
+        seen: Set[Tuple[FrozenSet[int], Hashable]] = set()
+        witness: List[int] = []
+        witness_responses: Dict[int, Any] = {}
+
+        def candidates(done: FrozenSet[int]) -> List[Operation]:
+            """Operations whose real-time predecessors are all linearized."""
+            ready = []
+            for op in operations:
+                if op.operation_id in done:
+                    continue
+                if predecessors[op.operation_id] <= done:
+                    ready.append(op)
+            return ready
+
+        def search(done: FrozenSet[int], state: Hashable) -> bool:
+            nonlocal explored
+            explored += 1
+            if explored > self._max_configurations:
+                raise RuntimeError(
+                    "linearizability search exceeded the configuration budget "
+                    f"({self._max_configurations}); the history is too large for exact checking"
+                )
+            # Success once every *complete* operation has been linearized;
+            # remaining pending operations are dropped by the completion.
+            if all_complete_ids <= done:
+                return True
+            key = (done, state)
+            if key in seen:
+                return False
+            seen.add(key)
+
+            for op in candidates(done):
+                transition = self._spec.apply(state, op.process, op.operation)
+                if op.is_complete:
+                    if not self._spec.responses_match(transition.response, op.response_value):
+                        continue
+                else:
+                    # A pending operation may be linearized with whatever
+                    # response the specification yields, or skipped entirely
+                    # (handled by simply not choosing it on this branch).
+                    pass
+                witness.append(op.operation_id)
+                witness_responses[op.operation_id] = transition.response
+                if search(done | {op.operation_id}, transition.new_state):
+                    return True
+                witness.pop()
+                witness_responses.pop(op.operation_id, None)
+            return False
+
+        found = search(frozenset(), self._spec.initial_state())
+        if found:
+            return LinearizationResult(
+                linearizable=True,
+                witness=tuple(witness),
+                witness_responses=dict(witness_responses),
+                explored_states=explored,
+            )
+        return LinearizationResult(
+            linearizable=False,
+            explored_states=explored,
+            reason="no legal sequential witness respects the real-time order",
+        )
+
+    def check_sequential(self, history: History) -> LinearizationResult:
+        """Check a history that is already sequential (no overlap).
+
+        This is a fast path used by tests that replay sequential schedules:
+        the only admissible witness is the history order itself, so the check
+        is linear in the number of operations.
+        """
+        state = self._spec.initial_state()
+        witness: List[int] = []
+        responses: Dict[int, Any] = {}
+        for op in history.operations:
+            transition = self._spec.apply(state, op.process, op.operation)
+            if op.is_complete and not self._spec.responses_match(
+                transition.response, op.response_value
+            ):
+                return LinearizationResult(
+                    linearizable=False,
+                    explored_states=len(witness),
+                    reason=(
+                        f"operation {op.operation_id} returned {op.response_value!r} "
+                        f"but the specification requires {transition.response!r}"
+                    ),
+                )
+            state = transition.new_state
+            witness.append(op.operation_id)
+            responses[op.operation_id] = transition.response
+        return LinearizationResult(
+            linearizable=True,
+            witness=tuple(witness),
+            witness_responses=responses,
+            explored_states=len(witness),
+        )
+
+
+def assert_linearizable(history: History, spec: SequentialSpec) -> LinearizationResult:
+    """Convenience assertion used throughout the test suite."""
+    result = LinearizabilityChecker(spec).check(history)
+    if not result.linearizable:
+        raise AssertionError(f"history is not linearizable: {result.reason}")
+    return result

@@ -1,0 +1,162 @@
+"""The sequential object type formalism of Section 2.1.
+
+The paper defines a sequential object type as a tuple ``(Q, q0, O, R, Δ)``
+where ``Δ ⊆ Q × Π × O × Q × R`` relates a state, an invoking process and an
+operation to the possible successor states and responses.  This module gives
+that formalism an executable shape:
+
+* :class:`SequentialSpec` is the abstract interface every sequential
+  specification implements — it exposes the initial state and the ``apply``
+  relation.
+* :class:`SequentialObjectType` is a convenience base class for
+  deterministic specifications (``Δ`` total and functional on its first three
+  elements), which covers the asset-transfer type and every other type the
+  paper uses.
+
+The linearizability checker consumes :class:`SequentialSpec` instances, so
+any object type written against this interface can be checked against
+concurrent histories produced by the shared-memory runtime.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Generic, Hashable, Tuple, TypeVar
+
+from repro.common.types import ProcessId
+
+StateT = TypeVar("StateT", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class Transition(Generic[StateT]):
+    """One element of the transition relation ``Δ``.
+
+    ``new_state`` is the successor state and ``response`` the value returned
+    to the invoking process.
+    """
+
+    new_state: StateT
+    response: Any
+
+
+class SequentialSpec(abc.ABC, Generic[StateT]):
+    """Abstract sequential specification.
+
+    Implementations must be *pure*: :meth:`apply` may not mutate the given
+    state, because the linearizability checker re-applies operations along
+    many different candidate orders.
+    """
+
+    @abc.abstractmethod
+    def initial_state(self) -> StateT:
+        """Return the initial state ``q0``."""
+
+    @abc.abstractmethod
+    def apply(self, state: StateT, process: ProcessId, operation: Any) -> Transition[StateT]:
+        """Return the transition taken when ``process`` invokes ``operation``.
+
+        The relation ``Δ`` of the paper is total on ``(q, p, o)``; so is this
+        method — it must return a transition for every state/process/operation
+        combination (for the asset-transfer type, invalid transfers simply
+        produce a ``False`` response and leave the state unchanged).
+        """
+
+    def responses_match(self, expected: Any, observed: Any) -> bool:
+        """Decide whether an observed response matches the specification's.
+
+        Specifications with nondeterministic acceptable responses can
+        override this; the default is plain equality.
+        """
+        return expected == observed
+
+
+class SequentialObjectType(SequentialSpec[StateT]):
+    """Deterministic sequential object type with a named operation set.
+
+    Subclasses describe their operations as ``(name, args...)`` tuples and
+    implement one ``_apply_<name>`` method per operation.  This mirrors how
+    the paper writes ``transfer(a, b, x)`` and ``read(a)`` and keeps the
+    checker-facing :meth:`apply` generic.
+    """
+
+    def apply(self, state: StateT, process: ProcessId, operation: Any) -> Transition[StateT]:
+        if not isinstance(operation, tuple) or not operation:
+            raise TypeError(f"operations must be non-empty tuples, got {operation!r}")
+        name = operation[0]
+        handler = getattr(self, f"_apply_{name}", None)
+        if handler is None:
+            raise ValueError(f"{type(self).__name__} does not define operation {name!r}")
+        return handler(state, process, *operation[1:])
+
+    def operation_names(self) -> Tuple[str, ...]:
+        """Return the names of the operations this type defines."""
+        prefix = "_apply_"
+        return tuple(
+            sorted(
+                name[len(prefix):]
+                for name in dir(self)
+                if name.startswith(prefix) and callable(getattr(self, name))
+            )
+        )
+
+
+class RegisterSpec(SequentialObjectType[Any]):
+    """Sequential specification of an atomic read/write register.
+
+    Used in tests of the shared-memory substrate: a correct atomic register
+    implementation must produce histories linearizable with respect to this
+    specification.  Operations are ``("write", value)`` and ``("read",)``.
+    """
+
+    def __init__(self, initial: Any = None) -> None:
+        self._initial = initial
+
+    def initial_state(self) -> Any:
+        return self._initial
+
+    def _apply_write(self, state: Any, process: ProcessId, value: Any) -> Transition[Any]:
+        return Transition(new_state=value, response=None)
+
+    def _apply_read(self, state: Any, process: ProcessId) -> Transition[Any]:
+        return Transition(new_state=state, response=state)
+
+
+class CounterSpec(SequentialObjectType[int]):
+    """Sequential specification of a shared counter.
+
+    The paper remarks that the single-owner asset-transfer implementation
+    "bears a similarity to the implementation of a counter object"; the
+    counter spec is used in tests that exercise the snapshot substrate on a
+    simpler type before the full asset-transfer type.
+    Operations are ``("increment", amount)`` and ``("read",)``.
+    """
+
+    def initial_state(self) -> int:
+        return 0
+
+    def _apply_increment(self, state: int, process: ProcessId, amount: int = 1) -> Transition[int]:
+        return Transition(new_state=state + amount, response=None)
+
+    def _apply_read(self, state: int, process: ProcessId) -> Transition[int]:
+        return Transition(new_state=state, response=state)
+
+
+class ConsensusSpec(SequentialObjectType[Any]):
+    """Sequential specification of single-shot consensus.
+
+    ``("propose", value)`` returns the first proposed value.  Used to verify
+    the Figure 2 reduction: the values decided by the reduction must form a
+    history linearizable against this spec.
+    """
+
+    _UNDECIDED = object()
+
+    def initial_state(self) -> Any:
+        return self._UNDECIDED
+
+    def _apply_propose(self, state: Any, process: ProcessId, value: Any) -> Transition[Any]:
+        if state is self._UNDECIDED:
+            return Transition(new_state=value, response=value)
+        return Transition(new_state=state, response=state)

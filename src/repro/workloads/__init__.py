@@ -1,0 +1,21 @@
+"""Synthetic payment workloads used by tests, examples and benchmarks."""
+
+from repro.workloads.generators import (
+    WorkloadConfig,
+    closed_loop_workload,
+    hotspot_workload,
+    k_shared_workload,
+    open_loop_workload,
+    uniform_workload,
+    zipf_workload,
+)
+
+__all__ = [
+    "WorkloadConfig",
+    "closed_loop_workload",
+    "hotspot_workload",
+    "k_shared_workload",
+    "open_loop_workload",
+    "uniform_workload",
+    "zipf_workload",
+]

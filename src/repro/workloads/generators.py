@@ -1,0 +1,230 @@
+"""Payment workload generators.
+
+Both evaluated systems (the consensusless protocol and the PBFT baseline)
+are driven by the same :class:`~repro.mp.system.ClientSubmission` lists, so a
+workload generated here can be replayed against either.  The generators cover
+the scenarios the paper's introduction motivates:
+
+* :func:`uniform_workload` / :func:`closed_loop_workload` — every process
+  pays random peers; the closed-loop variant submits each process's transfers
+  back-to-back so the node's sequential client issues the next one as soon as
+  the previous completes (the model used for the throughput experiments).
+* :func:`zipf_workload` — payment destinations follow a Zipf popularity
+  distribution (a few very popular merchants), the classic retail-payment
+  shape.
+* :func:`hotspot_workload` — a configurable fraction of payments go to one
+  hot merchant account.
+* :func:`open_loop_workload` — Poisson arrivals at a target aggregate rate,
+  used for latency-under-load measurements.
+* :func:`k_shared_workload` — submissions against shared (multi-owner)
+  accounts, for the Section 6 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import SeededRng
+from repro.common.types import AccountId, Amount, OwnershipMap, ProcessId
+from repro.mp.consensusless_transfer import account_of
+from repro.mp.system import ClientSubmission
+
+
+@dataclass
+class WorkloadConfig:
+    """Common knobs of the payment workload generators."""
+
+    transfers_per_process: int = 10
+    min_amount: Amount = 1
+    max_amount: Amount = 5
+    seed: int = 0
+    submission_spacing: float = 0.0001
+    zipf_skew: float = 1.0
+    hotspot_fraction: float = 0.5
+
+    def validate(self) -> None:
+        if self.transfers_per_process <= 0:
+            raise ConfigurationError("transfers_per_process must be positive")
+        if self.min_amount < 0 or self.max_amount < self.min_amount:
+            raise ConfigurationError("invalid amount range")
+        if self.submission_spacing < 0:
+            raise ConfigurationError("submission_spacing must be non-negative")
+        if not 0.0 <= self.hotspot_fraction <= 1.0:
+            raise ConfigurationError("hotspot_fraction must lie in [0, 1]")
+
+
+def _amounts(rng: SeededRng, config: WorkloadConfig, count: int) -> List[Amount]:
+    return [rng.randint(config.min_amount, config.max_amount) for _ in range(count)]
+
+
+def uniform_workload(process_count: int, config: Optional[WorkloadConfig] = None) -> List[ClientSubmission]:
+    """Every process pays uniformly random other processes."""
+    config = config or WorkloadConfig()
+    config.validate()
+    rng = SeededRng(config.seed).fork("uniform")
+    submissions: List[ClientSubmission] = []
+    for issuer in range(process_count):
+        amounts = _amounts(rng.fork(issuer), config, config.transfers_per_process)
+        for index, amount in enumerate(amounts):
+            destination = issuer
+            while destination == issuer:
+                destination = rng.randint(0, process_count - 1)
+            submissions.append(
+                ClientSubmission(
+                    time=config.submission_spacing * issuer,
+                    issuer=issuer,
+                    destination=account_of(destination),
+                    amount=amount,
+                )
+            )
+    return submissions
+
+
+def closed_loop_workload(
+    process_count: int, config: Optional[WorkloadConfig] = None
+) -> List[ClientSubmission]:
+    """The throughput-experiment workload (E5/E6).
+
+    All of a process's transfers are submitted at (almost) the same instant;
+    because every process is a *sequential* client, its node queues them and
+    issues the next as soon as the previous one completes — a closed loop
+    with one outstanding transfer per process, which is the paper's model.
+    """
+    return uniform_workload(process_count, config)
+
+
+def zipf_workload(process_count: int, config: Optional[WorkloadConfig] = None) -> List[ClientSubmission]:
+    """Payments whose destinations follow a Zipf popularity distribution."""
+    config = config or WorkloadConfig()
+    config.validate()
+    rng = SeededRng(config.seed).fork("zipf")
+    submissions: List[ClientSubmission] = []
+    for issuer in range(process_count):
+        issuer_rng = rng.fork(issuer)
+        for _ in range(config.transfers_per_process):
+            destination = issuer
+            while destination == issuer:
+                destination = issuer_rng.zipf_index(process_count, config.zipf_skew)
+            submissions.append(
+                ClientSubmission(
+                    time=config.submission_spacing * issuer,
+                    issuer=issuer,
+                    destination=account_of(destination),
+                    amount=issuer_rng.randint(config.min_amount, config.max_amount),
+                )
+            )
+    return submissions
+
+
+def hotspot_workload(
+    process_count: int,
+    hot_account: ProcessId = 0,
+    config: Optional[WorkloadConfig] = None,
+) -> List[ClientSubmission]:
+    """A fraction of all payments go to one hot merchant account."""
+    config = config or WorkloadConfig()
+    config.validate()
+    rng = SeededRng(config.seed).fork("hotspot")
+    submissions: List[ClientSubmission] = []
+    for issuer in range(process_count):
+        issuer_rng = rng.fork(issuer)
+        for _ in range(config.transfers_per_process):
+            if issuer != hot_account and issuer_rng.maybe(config.hotspot_fraction):
+                destination = hot_account
+            else:
+                destination = issuer
+                while destination == issuer:
+                    destination = issuer_rng.randint(0, process_count - 1)
+            submissions.append(
+                ClientSubmission(
+                    time=config.submission_spacing * issuer,
+                    issuer=issuer,
+                    destination=account_of(destination),
+                    amount=issuer_rng.randint(config.min_amount, config.max_amount),
+                )
+            )
+    return submissions
+
+
+def open_loop_workload(
+    process_count: int,
+    aggregate_rate: float,
+    duration: float,
+    config: Optional[WorkloadConfig] = None,
+) -> List[ClientSubmission]:
+    """Poisson arrivals at ``aggregate_rate`` transfers/second for ``duration`` seconds.
+
+    Arrivals are spread uniformly over issuers; inter-arrival times are
+    exponential.  Used by the latency-under-load benchmark.
+    """
+    if aggregate_rate <= 0 or duration <= 0:
+        raise ConfigurationError("aggregate_rate and duration must be positive")
+    config = config or WorkloadConfig()
+    config.validate()
+    rng = SeededRng(config.seed).fork("open-loop")
+    submissions: List[ClientSubmission] = []
+    now = 0.0
+    while now < duration:
+        now += rng.exponential(1.0 / aggregate_rate)
+        if now >= duration:
+            break
+        issuer = rng.randint(0, process_count - 1)
+        destination = issuer
+        while destination == issuer:
+            destination = rng.randint(0, process_count - 1)
+        submissions.append(
+            ClientSubmission(
+                time=now,
+                issuer=issuer,
+                destination=account_of(destination),
+                amount=rng.randint(config.min_amount, config.max_amount),
+            )
+        )
+    return submissions
+
+
+@dataclass(frozen=True)
+class KSharedSubmission:
+    """One submission against a (possibly shared) account."""
+
+    time: float
+    issuer: ProcessId
+    source: AccountId
+    destination: AccountId
+    amount: Amount
+
+
+def k_shared_workload(
+    ownership: OwnershipMap,
+    config: Optional[WorkloadConfig] = None,
+) -> List[KSharedSubmission]:
+    """Transfers issued by the owners of every account of ``ownership``.
+
+    Each owner of each account issues ``transfers_per_process`` transfers from
+    that account to random other accounts, which exercises the per-account
+    sequencing service under owner contention (experiment E7).
+    """
+    config = config or WorkloadConfig()
+    config.validate()
+    rng = SeededRng(config.seed).fork("k-shared")
+    accounts = list(ownership.accounts)
+    submissions: List[KSharedSubmission] = []
+    for account in accounts:
+        for owner in sorted(ownership.owners(account)):
+            owner_rng = rng.fork(account, owner)
+            for index in range(config.transfers_per_process):
+                destination = account
+                while destination == account:
+                    destination = owner_rng.choice(accounts)
+                submissions.append(
+                    KSharedSubmission(
+                        time=config.submission_spacing * (owner + 1) * (index + 1),
+                        issuer=owner,
+                        source=account,
+                        destination=destination,
+                        amount=owner_rng.randint(config.min_amount, config.max_amount),
+                    )
+                )
+    return submissions

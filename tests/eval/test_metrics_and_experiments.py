@@ -1,0 +1,101 @@
+"""Tests for the metrics layer, the experiment harness and the reporting."""
+
+import pytest
+
+from repro.eval.experiments import (
+    ExperimentConfig,
+    batching_ablation,
+    broadcast_ablation,
+    compare_systems,
+    latency_experiment,
+    message_complexity_experiment,
+)
+from repro.eval.metrics import LatencyStats, summarize_result
+from repro.eval.reporting import (
+    format_ablation_table,
+    format_comparison_table,
+    format_latency_table,
+    format_run_summary,
+)
+from repro.mp.consensusless_transfer import TransferRecord
+from repro.mp.system import SystemResult
+from repro.common.types import Transfer
+
+
+def small_config(fast_network, per_process=2):
+    return ExperimentConfig(transfers_per_process=per_process, network=fast_network, seed=5)
+
+
+class TestLatencyStats:
+    def test_empty_values(self):
+        stats = LatencyStats.from_values([])
+        assert stats.average == 0 and stats.p99 == 0
+
+    def test_percentiles_ordered(self):
+        stats = LatencyStats.from_values([i / 100 for i in range(1, 101)])
+        assert stats.minimum <= stats.median <= stats.p95 <= stats.p99 <= stats.maximum
+        assert stats.average == pytest.approx(0.505)
+
+    def test_millisecond_view(self):
+        stats = LatencyStats.from_values([0.002])
+        assert stats.as_milliseconds()["avg_ms"] == pytest.approx(2.0)
+
+
+class TestSummaries:
+    def _result(self):
+        result = SystemResult()
+        transfer = Transfer("0", "1", 1, issuer=0, sequence=1)
+        result.committed = [
+            TransferRecord(transfer=transfer, submitted_at=0.0, completed_at=0.01, success=True),
+            TransferRecord(transfer=transfer, submitted_at=0.0, completed_at=0.02, success=True),
+        ]
+        result.duration = 0.1
+        result.messages_sent = 50
+        return result
+
+    def test_summarize_result(self):
+        summary = summarize_result("consensusless", 4, self._result())
+        assert summary.committed == 2
+        assert summary.throughput == pytest.approx(20.0)
+        assert summary.messages_per_commit == pytest.approx(25.0)
+
+    def test_format_run_summary_contains_key_numbers(self):
+        text = format_run_summary(summarize_result("consensusless", 4, self._result()))
+        assert "throughput" in text and "20.0 tx/s" in text
+
+
+class TestExperimentHarness:
+    def test_compare_systems_produces_both_summaries(self, fast_network):
+        row = compare_systems(5, small_config(fast_network))
+        assert row.consensusless.committed == 10
+        assert row.consensus_based.committed == 10
+        assert row.throughput_ratio > 0
+        assert row.latency_ratio > 0
+        table = format_comparison_table([row])
+        assert "tput ratio" in table and str(row.process_count) in table
+
+    def test_latency_experiment_rows(self, fast_network):
+        rows = latency_experiment(process_counts=(4,), transfers=3, config=small_config(fast_network))
+        assert len(rows) == 1
+        assert rows[0].consensusless_latency > 0
+        assert rows[0].consensus_latency > 0
+        assert "ratio" in format_latency_table(rows)
+
+    def test_message_complexity_rows(self, fast_network):
+        rows = message_complexity_experiment(process_counts=(4,), config=small_config(fast_network))
+        assert rows[0]["consensusless_msgs_per_tx"] > rows[0]["consensus_msgs_per_tx"] * 0
+
+    def test_broadcast_ablation(self, fast_network):
+        rows = broadcast_ablation(process_count=5, config=small_config(fast_network))
+        labels = {row.label for row in rows}
+        assert labels == {"broadcast=bracha", "broadcast=echo"}
+        bracha = next(r for r in rows if r.label == "broadcast=bracha")
+        echo = next(r for r in rows if r.label == "broadcast=echo")
+        # The echo broadcast needs strictly fewer messages per transfer.
+        assert echo.summary.messages_per_commit < bracha.summary.messages_per_commit
+        assert "configuration" in format_ablation_table(rows)
+
+    def test_batching_ablation(self, fast_network):
+        rows = batching_ablation(process_count=4, batch_sizes=(1, 4), config=small_config(fast_network))
+        assert [row.label for row in rows] == ["batch=1", "batch=4"]
+        assert all(row.summary.committed == 8 for row in rows)

@@ -1,0 +1,66 @@
+"""Tests for the Byzantine attack nodes (experiment E4)."""
+
+import pytest
+
+from repro.byzantine.faults import FaultKind, FaultModel
+from repro.eval.experiments import ExperimentConfig, double_spend_experiment
+from repro.mp.consensusless_transfer import account_of
+from repro.mp.system import ClientSubmission, ConsensuslessSystem
+
+
+def fast_config(fast_network):
+    return ExperimentConfig(transfers_per_process=2, network=fast_network, seed=3)
+
+
+class TestDoubleSpendAttack:
+    @pytest.mark.parametrize("broadcast", ["bracha", "echo"])
+    def test_no_correct_process_validates_both_conflicting_transfers(
+        self, broadcast, fast_network
+    ):
+        fault_model = FaultModel(total_processes=6, faults={5: FaultKind.DOUBLE_SPEND})
+        system = ConsensuslessSystem(
+            process_count=6,
+            initial_balance=50,
+            broadcast=broadcast,
+            network_config=fast_network,
+            fault_model=fault_model,
+            seed=2,
+        )
+        system.schedule_submissions(
+            [ClientSubmission(time=0.001 * i, issuer=i, destination=account_of((i + 1) % 5), amount=2)
+             for i in range(5)]
+        )
+        system.trigger_attacks(0.0005)
+        system.run()
+        attacker = system.nodes[5]
+        transfer_a, transfer_b = attacker.conflicting_transfers
+        assert transfer_a is not None and transfer_b is not None
+        for node in system.correct_nodes():
+            history = node.hist.get(account_of(5), set())
+            assert not (transfer_a in history and transfer_b in history)
+
+    @pytest.mark.parametrize("overlap", [0.0, 0.5, 1.0])
+    def test_double_spend_experiment_is_safe_for_any_overlap(self, overlap, fast_network):
+        outcome = double_spend_experiment(
+            process_count=6, config=fast_config(fast_network), overlap=overlap
+        )
+        assert not outcome.conflicting_validated_anywhere
+        assert outcome.definition_1_report.ok
+        assert outcome.supply_conserved
+
+    def test_honest_transfers_commit_despite_the_attack(self, fast_network):
+        outcome = double_spend_experiment(process_count=6, config=fast_config(fast_network))
+        assert outcome.committed_honest_transfers > 0
+
+
+class TestSilentNode:
+    def test_silent_node_sends_nothing(self, fast_network):
+        fault_model = FaultModel(total_processes=5, faults={4: FaultKind.SILENT})
+        system = ConsensuslessSystem(
+            process_count=5, network_config=fast_network, fault_model=fault_model, seed=1
+        )
+        system.schedule_submissions(
+            [ClientSubmission(time=0.001, issuer=0, destination=account_of(1), amount=1)]
+        )
+        system.run()
+        assert system.nodes[4].stats.sent == 0

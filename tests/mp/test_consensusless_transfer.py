@@ -1,0 +1,154 @@
+"""Tests for the Figure 4 protocol over the simulated network (experiment E4)."""
+
+import pytest
+
+from repro.byzantine.faults import FaultKind, FaultModel
+from repro.mp.consensusless_transfer import account_of
+from repro.mp.system import ClientSubmission, ConsensuslessSystem
+from repro.spec.byzantine_spec import ByzantineAssetTransferChecker
+
+
+def build_system(n=5, broadcast="bracha", fast_network=None, **kwargs):
+    return ConsensuslessSystem(
+        process_count=n,
+        initial_balance=100,
+        broadcast=broadcast,
+        network_config=fast_network,
+        seed=9,
+        **kwargs,
+    )
+
+
+def ring_workload(n, per_process=2, amount=3):
+    submissions = []
+    for issuer in range(n):
+        for index in range(per_process):
+            submissions.append(
+                ClientSubmission(
+                    time=0.0001 * (issuer + 1),
+                    issuer=issuer,
+                    destination=account_of((issuer + 1 + index) % n),
+                    amount=amount,
+                )
+            )
+    return submissions
+
+
+class TestHappyPath:
+    @pytest.mark.parametrize("broadcast", ["bracha", "echo"])
+    def test_all_transfers_commit(self, broadcast, fast_network):
+        system = build_system(broadcast=broadcast, fast_network=fast_network)
+        submissions = ring_workload(5)
+        system.schedule_submissions(submissions)
+        result = system.run()
+        assert result.committed_count == len(submissions)
+        assert not result.rejected
+
+    def test_correct_views_agree_on_balances(self, fast_network):
+        system = build_system(fast_network=fast_network)
+        system.schedule_submissions(ring_workload(5, per_process=3))
+        system.run()
+        views = [system.balances_at(pid) for pid in range(5)]
+        assert all(view == views[0] for view in views)
+
+    def test_total_supply_conserved(self, fast_network):
+        system = build_system(fast_network=fast_network)
+        system.schedule_submissions(ring_workload(5, per_process=3))
+        system.run()
+        assert system.total_supply_at(0) == 5 * 100
+
+    def test_definition_1_holds(self, fast_network):
+        system = build_system(fast_network=fast_network)
+        system.schedule_submissions(ring_workload(5, per_process=3))
+        system.run()
+        checker = ByzantineAssetTransferChecker(system.initial_balances())
+        report = checker.check(system.observations())
+        assert report.ok, report.violations
+
+    def test_latencies_recorded(self, fast_network):
+        system = build_system(fast_network=fast_network)
+        system.schedule_submissions(ring_workload(5))
+        result = system.run()
+        assert len(result.latencies) == result.committed_count
+        assert all(latency > 0 for latency in result.latencies)
+        assert result.average_latency > 0
+
+    def test_exactly_one_broadcast_per_transfer(self, fast_network):
+        # The protocol's complexity claim: one secure-broadcast instance per
+        # transfer and no extra protocol messages.
+        system = build_system(fast_network=fast_network)
+        submissions = ring_workload(5, per_process=2)
+        system.schedule_submissions(submissions)
+        system.run()
+        for node in system.correct_nodes():
+            assert node.broadcast_layer.stats.broadcasts_started == 2
+
+
+class TestLocalChecks:
+    def test_insufficient_balance_fails_immediately(self, fast_network):
+        system = build_system(fast_network=fast_network)
+        system.schedule_submissions(
+            [ClientSubmission(time=0.001, issuer=0, destination=account_of(1), amount=1_000)]
+        )
+        result = system.run()
+        assert result.committed_count == 0
+        assert len(result.rejected) == 1
+
+    def test_spending_received_funds_works_across_nodes(self, fast_network):
+        system = build_system(fast_network=fast_network)
+        # 0 sends 80 to 1; later 1 sends 150 to 2 (only possible with 0's 80).
+        system.schedule_submissions(
+            [
+                ClientSubmission(time=0.001, issuer=0, destination=account_of(1), amount=80),
+                ClientSubmission(time=0.2, issuer=1, destination=account_of(2), amount=150),
+            ]
+        )
+        result = system.run()
+        assert result.committed_count == 2
+        assert system.balances_at(3)[account_of(2)] == 250
+
+    def test_reads_reflect_validated_history(self, fast_network):
+        system = build_system(fast_network=fast_network)
+        system.schedule_submissions(
+            [ClientSubmission(time=0.001, issuer=0, destination=account_of(1), amount=10)]
+        )
+        system.run()
+        node = system.correct_node(1)
+        assert node.read() == 110
+        assert node.read(account_of(0)) == 90
+
+    def test_sequential_client_queues_submissions(self, fast_network):
+        system = build_system(fast_network=fast_network)
+        node = system.correct_node(0)
+        system.schedule_submissions(
+            [
+                ClientSubmission(time=0.001, issuer=0, destination=account_of(1), amount=1),
+                ClientSubmission(time=0.001, issuer=0, destination=account_of(2), amount=1),
+            ]
+        )
+        system.run()
+        assert len(node.completed) == 2
+        first, second = node.completed
+        assert first.completed_at <= second.submitted_at or second.submitted_at <= first.completed_at
+        assert not node.has_pending_transfer
+
+
+class TestFaults:
+    def test_silent_owner_only_hurts_itself(self, fast_network):
+        fault_model = FaultModel(total_processes=5, faults={4: FaultKind.CRASH})
+        system = build_system(fast_network=fast_network, fault_model=fault_model)
+        submissions = [
+            ClientSubmission(time=0.001 * i, issuer=i, destination=account_of((i + 1) % 4), amount=2)
+            for i in range(4)
+        ]
+        system.schedule_submissions(submissions)
+        result = system.run()
+        assert result.committed_count == 4
+
+    def test_minimum_system_size_enforced(self):
+        with pytest.raises(Exception):
+            ConsensuslessSystem(process_count=3)
+
+    def test_mismatched_fault_model_rejected(self):
+        with pytest.raises(Exception):
+            ConsensuslessSystem(process_count=5, fault_model=FaultModel.all_correct(4))

@@ -1,0 +1,105 @@
+"""Tests for the k-shared message-passing protocol (Section 6, experiment E7)."""
+
+import pytest
+
+from repro.common.types import OwnershipMap
+from repro.eval.experiments import k_shared_experiment
+from repro.mp.k_shared import KSharedSystem
+
+
+def build(fast_network, silent=()):
+    ownership = OwnershipMap(
+        {"joint": (0, 1, 2), "3": (3,), "4": (4,), "5": (5,)}
+    )
+    balances = {"joint": 100, "3": 50, "4": 50, "5": 50}
+    return KSharedSystem(
+        ownership=ownership,
+        process_count=6,
+        initial_balances=balances,
+        network_config=fast_network,
+        silent_processes=silent,
+        seed=5,
+    )
+
+
+class TestSharedAccountOperation:
+    def test_multiple_owners_can_spend_from_the_shared_account(self, fast_network):
+        system = build(fast_network)
+        system.submit(0.001, 0, "joint", "3", 10)
+        system.submit(0.001, 1, "joint", "4", 20)
+        system.submit(0.002, 2, "joint", "5", 30)
+        result = system.run(until=2.0)
+        assert result.committed_count == 3
+        balances = system.balances_at(4)
+        assert balances["joint"] == 40
+        assert balances["3"] == 60 and balances["4"] == 70 and balances["5"] == 80
+
+    def test_correct_views_agree(self, fast_network):
+        system = build(fast_network)
+        system.submit(0.001, 0, "joint", "3", 5)
+        system.submit(0.001, 3, "3", "joint", 7)
+        system.run(until=2.0)
+        views = [node.all_known_balances() for node in system.correct_nodes()]
+        assert all(view == views[0] for view in views)
+
+    def test_shared_account_never_overdrawn_under_contention(self, fast_network):
+        system = build(fast_network)
+        # Three owners together try to spend 150 from a balance of 100.
+        system.submit(0.001, 0, "joint", "3", 50)
+        system.submit(0.001, 1, "joint", "4", 50)
+        system.submit(0.001, 2, "joint", "5", 50)
+        result = system.run(until=2.0)
+        for node in system.correct_nodes():
+            assert node.balance_of("joint") >= 0
+        assert result.committed_count <= 3
+
+    def test_non_owner_submission_fails(self, fast_network):
+        system = build(fast_network)
+        system.submit(0.001, 3, "joint", "3", 5)
+        result = system.run(until=1.0)
+        assert result.committed_count == 0
+        assert len(result.rejected) == 1
+
+    def test_singleton_accounts_work_through_the_same_path(self, fast_network):
+        system = build(fast_network)
+        system.submit(0.001, 3, "3", "4", 5)
+        result = system.run(until=1.0)
+        assert result.committed_count == 1
+        assert system.balances_at(5)["4"] == 55
+
+
+class TestCompromisedAccount:
+    def test_compromised_shared_account_does_not_affect_others(self, fast_network):
+        # Silence two of the three owners (including the sequencing leader):
+        # the shared account stalls but singleton accounts keep working.
+        system = build(fast_network, silent=(0, 1))
+        system.submit(0.001, 2, "joint", "3", 10)   # needs a quorum of owners -> stalls
+        system.submit(0.002, 3, "3", "4", 5)
+        system.submit(0.003, 4, "4", "5", 5)
+        result = system.run(until=1.0)
+        committed_sources = [record.transfer.source for record in result.committed]
+        assert "3" in committed_sources and "4" in committed_sources
+        assert "joint" not in committed_sources
+
+    def test_k_shared_experiment_outcome(self, fast_network):
+        outcome = k_shared_experiment(
+            owners_per_shared_account=3,
+            singleton_accounts=3,
+            transfers_per_owner=1,
+            compromise=True,
+            network=fast_network,
+        )
+        assert outcome.healthy_account_liveness
+        assert outcome.committed_on_compromised_account == 0
+        assert outcome.views_agree
+
+    def test_uncompromised_shared_account_has_liveness(self, fast_network):
+        outcome = k_shared_experiment(
+            owners_per_shared_account=2,
+            singleton_accounts=3,
+            transfers_per_owner=1,
+            compromise=False,
+            network=fast_network,
+        )
+        assert outcome.committed_on_compromised_account > 0
+        assert outcome.views_agree

@@ -1,0 +1,137 @@
+"""Unit tests for the network layer: delivery, latency, CPU queueing."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.network.node import Network, NetworkConfig, Node
+from repro.network.simulator import Simulator
+
+
+class Recorder(Node):
+    """A node that records everything it receives."""
+
+    def __init__(self, node_id, cost=None):
+        super().__init__(node_id)
+        self.received = []
+        self._cost = cost
+
+    def processing_cost(self, message):
+        return self._cost
+
+    def on_message(self, sender, message):
+        self.received.append((sender, message, self.now))
+
+
+class Greeter(Recorder):
+    """Broadcasts one greeting when the simulation starts."""
+
+    def on_start(self):
+        self.broadcast({"hello": self.node_id}, include_self=False)
+
+
+def build(node_cls=Recorder, count=3, config=None, **kwargs):
+    simulator = Simulator()
+    network = Network(simulator, config or NetworkConfig(seed=5))
+    nodes = [node_cls(i, **kwargs) for i in range(count)]
+    network.add_nodes(nodes)
+    return simulator, network, nodes
+
+
+class TestDelivery:
+    def test_broadcast_reaches_everyone_else(self):
+        _, network, nodes = build(Greeter)
+        network.run()
+        for node in nodes:
+            senders = {sender for sender, _msg, _t in node.received}
+            assert senders == set(range(3)) - {node.node_id}
+
+    def test_latency_is_at_least_the_base(self):
+        config = NetworkConfig(latency_base=0.01, latency_mean=0.0, seed=1)
+        _, network, nodes = build(Greeter, config=config)
+        network.run()
+        for node in nodes:
+            for _sender, _msg, at in node.received:
+                assert at >= 0.01
+
+    def test_message_counters(self):
+        _, network, _ = build(Greeter)
+        network.run()
+        assert network.messages_sent == 6
+        assert network.messages_delivered == 6
+
+    def test_unknown_recipient_rejected(self):
+        simulator = Simulator()
+        network = Network(simulator, NetworkConfig())
+        node = Recorder(0)
+        network.add_node(node)
+        network.start()
+        with pytest.raises(Exception):
+            node.send(99, "hi")
+
+    def test_duplicate_node_id_rejected(self):
+        simulator = Simulator()
+        network = Network(simulator, NetworkConfig())
+        network.add_node(Recorder(0))
+        with pytest.raises(ConfigurationError):
+            network.add_node(Recorder(0))
+
+    def test_drop_probability(self):
+        config = NetworkConfig(seed=3, drop_probability=0.5)
+        simulator = Simulator()
+        network = Network(simulator, config)
+        sender, receiver = Recorder(0), Recorder(1)
+        network.add_nodes([sender, receiver])
+        network.start()
+        for _ in range(200):
+            sender.send(1, "x")
+        network.run()
+        assert 40 < len(receiver.received) < 160
+        assert network.messages_dropped == 200 - len(receiver.received)
+
+
+class TestCpuModel:
+    def test_cpu_queueing_serialises_processing(self):
+        # 10 messages arriving at once at a node with 1 ms per message must
+        # finish processing no earlier than 10 ms after the first arrival.
+        config = NetworkConfig(latency_base=0.001, latency_mean=0.0,
+                               processing_time=0.001, seed=1)
+        simulator = Simulator()
+        network = Network(simulator, config)
+        sender, receiver = Recorder(0), Recorder(1)
+        network.add_nodes([sender, receiver])
+        network.start()
+        for _ in range(10):
+            sender.send(1, "x")
+        network.run()
+        assert len(receiver.received) == 10
+        assert simulator.now >= 0.001 + 10 * 0.001 - 1e-9
+        assert network.cpu_utilisation(1) > 0.5
+
+    def test_per_node_processing_cost_override(self):
+        config = NetworkConfig(latency_base=0.001, latency_mean=0.0,
+                               processing_time=0.001, seed=1)
+        simulator = Simulator()
+        network = Network(simulator, config)
+        sender = Recorder(0)
+        expensive = Recorder(1, cost=0.05)
+        network.add_nodes([sender, expensive])
+        network.start()
+        sender.send(1, "x")
+        network.run()
+        assert simulator.now >= 0.05
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Network(Simulator(), NetworkConfig(processing_time=-1))
+        with pytest.raises(ConfigurationError):
+            Network(Simulator(), NetworkConfig(drop_probability=1.5))
+
+
+class TestTimers:
+    def test_set_timer_fires(self):
+        _, network, nodes = build()
+        fired = []
+        network.start()
+        nodes[0].set_timer(0.05, lambda: fired.append(nodes[0].now))
+        network.run()
+        assert fired == [pytest.approx(0.05)]

@@ -1,0 +1,84 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.network.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(0.5, lambda: order.append("late"))
+        simulator.schedule(0.1, lambda: order.append("early"))
+        simulator.run_until_quiescent()
+        assert order == ["early", "late"]
+        assert simulator.now == pytest.approx(0.5)
+
+    def test_ties_broken_by_scheduling_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(0.1, lambda: order.append(1))
+        simulator.schedule(0.1, lambda: order.append(2))
+        simulator.run_until_quiescent()
+        assert order == [1, 2]
+
+    def test_events_can_schedule_events(self):
+        simulator = Simulator()
+        seen = []
+
+        def first():
+            seen.append(simulator.now)
+            simulator.schedule(0.2, lambda: seen.append(simulator.now))
+
+        simulator.schedule(0.1, first)
+        simulator.run_until_quiescent()
+        assert seen == [pytest.approx(0.1), pytest.approx(0.3)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_schedule_at_in_the_past_rejected(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.run_until_quiescent()
+        with pytest.raises(SimulationError):
+            simulator.schedule_at(0.5, lambda: None)
+
+    def test_cancelled_events_are_skipped(self):
+        simulator = Simulator()
+        fired = []
+        event = simulator.schedule(0.1, lambda: fired.append(True))
+        event.cancel()
+        simulator.run_until_quiescent()
+        assert fired == []
+        assert simulator.pending_events == 0
+
+    def test_run_until_horizon(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(0.1, lambda: fired.append("a"))
+        simulator.schedule(5.0, lambda: fired.append("b"))
+        simulator.run(until=1.0)
+        assert fired == ["a"]
+        assert simulator.pending_events == 1
+
+    def test_event_budget_guard(self):
+        simulator = Simulator()
+
+        def renew():
+            simulator.schedule(0.001, renew)
+
+        simulator.schedule(0.001, renew)
+        with pytest.raises(SimulationError):
+            simulator.run(max_events=50)
+
+    def test_stop_when_predicate(self):
+        simulator = Simulator()
+        counter = []
+        for index in range(10):
+            simulator.schedule(0.01 * (index + 1), lambda: counter.append(1))
+        simulator.run(stop_when=lambda: len(counter) >= 3)
+        assert len(counter) == 3

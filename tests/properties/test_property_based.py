@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.rng import SeededRng
+from repro.common.types import OwnershipMap, Transfer
+from repro.core.accounts import Ledger, balance_from_transfers
+from repro.core.consensus_from_asset_transfer import ConsensusFromAssetTransfer
+from repro.core.k_shared_asset_transfer import KSharedAssetTransfer
+from repro.core.snapshot_asset_transfer import SnapshotAssetTransfer
+from repro.shared_memory.runtime import SharedMemoryProgram, SharedMemoryRuntime
+from repro.shared_memory.scheduler import RandomScheduler
+from repro.spec.asset_transfer_spec import AssetTransferSpec, read_op, transfer_op
+from repro.spec.linearizability import LinearizabilityChecker
+from repro.broadcast.secure_broadcast import SourceOrderBuffer
+
+
+ACCOUNTS = ("a", "b", "c")
+OWNER_OF = {"a": 0, "b": 1, "c": 2}
+OWNERSHIP = OwnershipMap.single_owner(OWNER_OF)
+INITIAL = {"a": 12, "b": 7, "c": 0}
+
+transfer_strategy = st.tuples(
+    st.sampled_from(ACCOUNTS),
+    st.sampled_from(ACCOUNTS),
+    st.integers(min_value=0, max_value=15),
+).filter(lambda t: t[0] != t[1])
+
+
+class TestSequentialEquivalenceProperties:
+    @given(st.lists(transfer_strategy, min_size=1, max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_figure1_matches_the_sequential_specification(self, operations):
+        """Sequentially, Figure 1 behaves exactly like the sequential spec."""
+        implementation = SnapshotAssetTransfer(OWNERSHIP, INITIAL)
+        spec = AssetTransferSpec(OWNERSHIP, INITIAL)
+        state = spec.initial_state()
+        for source, destination, amount in operations:
+            process = OWNER_OF[source]
+            expected = spec.apply(state, process, transfer_op(source, destination, amount))
+            state = expected.new_state
+            observed = implementation.transfer_now(process, source, destination, amount)
+            assert observed == expected.response
+        for account in ACCOUNTS:
+            assert implementation.read_now(OWNER_OF[account], account) == spec.balance_in(
+                state, account
+            )
+
+    @given(st.lists(transfer_strategy, min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_figure3_matches_the_sequential_specification(self, operations):
+        shared_ownership = OwnershipMap({"a": (0, 3), "b": (1,), "c": (2,)})
+        implementation = KSharedAssetTransfer(shared_ownership, INITIAL)
+        spec = AssetTransferSpec(shared_ownership, INITIAL)
+        state = spec.initial_state()
+        for source, destination, amount in operations:
+            process = min(shared_ownership.owners(source))
+            expected = spec.apply(state, process, transfer_op(source, destination, amount))
+            state = expected.new_state
+            observed = implementation.transfer_now(process, source, destination, amount)
+            assert observed == expected.response
+
+    @given(st.lists(transfer_strategy, min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_supply_conservation_and_non_negativity(self, operations):
+        """Total supply is invariant and no balance ever goes negative."""
+        ledger = Ledger.with_initial_balance(OWNERSHIP, 10)
+        supply = ledger.total_supply()
+        for source, destination, amount in operations:
+            ledger.apply(Transfer(source, destination, amount, issuer=OWNER_OF[source]))
+            assert ledger.total_supply() == supply
+            assert all(balance >= 0 for balance in ledger.balances.values())
+
+
+class TestConcurrentProperties:
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=2, max_value=3))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_figure1_linearizable_under_random_schedules(self, seed, processes):
+        """E1 as a property: any random interleaving yields a linearizable history."""
+        ownership = OwnershipMap.single_owner({ACCOUNTS[i]: i for i in range(processes)})
+        balances = {ACCOUNTS[i]: 10 for i in range(processes)}
+        implementation = SnapshotAssetTransfer(ownership, balances)
+        programs = []
+        for process in range(processes):
+            source = ACCOUNTS[process]
+            destination = ACCOUNTS[(process + 1) % processes]
+            program = SharedMemoryProgram(process)
+            program.add(
+                transfer_op(source, destination, 6),
+                lambda p=process, s=source, d=destination: implementation.transfer(p, s, d, 6),
+            )
+            program.add(read_op(source), lambda p=process, s=source: implementation.read(p, s))
+            programs.append(program)
+        runtime = SharedMemoryRuntime(RandomScheduler(SeededRng(seed)))
+        outcome = runtime.run(programs)
+        spec = AssetTransferSpec(ownership, balances)
+        assert LinearizabilityChecker(spec).check(outcome.history).linearizable
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_figure2_agreement_and_validity(self, seed, k):
+        """E2 as a property: consensus from k-shared asset transfer always agrees."""
+        protocol = ConsensusFromAssetTransfer(k=k)
+        programs = []
+        for process in range(k):
+            program = SharedMemoryProgram(process)
+            program.add(("propose", process), lambda p=process: protocol.propose(p, p))
+            programs.append(program)
+        outcome = SharedMemoryRuntime(RandomScheduler(SeededRng(seed))).run(programs)
+        decisions = {outcome.responses_of(p)[0] for p in range(k)}
+        assert len(decisions) == 1
+        assert decisions.pop() in set(range(k))
+
+
+class TestBroadcastBufferProperties:
+    @given(st.permutations(list(range(1, 9))))
+    @settings(max_examples=50, deadline=None)
+    def test_source_order_buffer_always_releases_in_order(self, arrival_order):
+        released = []
+        buffer = SourceOrderBuffer(lambda d: released.append(d.sequence))
+        for sequence in arrival_order:
+            buffer.offer(0, sequence, f"payload-{sequence}")
+        assert released == sorted(arrival_order)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=3), st.integers(min_value=1, max_value=6)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_source_order_buffer_never_duplicates(self, offers):
+        released = []
+        buffer = SourceOrderBuffer(lambda d: released.append((d.origin, d.sequence)))
+        for origin, sequence in offers:
+            buffer.offer(origin, sequence, "x")
+        assert len(released) == len(set(released))
+        for origin in {origin for origin, _ in offers}:
+            sequences = [seq for org, seq in released if org == origin]
+            assert sequences == sorted(sequences)
+            if sequences:
+                assert sequences == list(range(1, len(sequences) + 1))
+
+
+class TestBalanceFunctionProperties:
+    @given(st.lists(transfer_strategy, min_size=0, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_balance_from_transfers_is_order_insensitive(self, operations):
+        transfers = [
+            Transfer(s, d, x, issuer=OWNER_OF[s], sequence=i)
+            for i, (s, d, x) in enumerate(operations)
+        ]
+        forward = balance_from_transfers("a", 100, transfers)
+        backward = balance_from_transfers("a", 100, list(reversed(transfers)))
+        assert forward == backward
+
+    @given(st.lists(transfer_strategy, min_size=0, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_balances_sum_to_initial_supply(self, operations):
+        transfers = [
+            Transfer(s, d, x, issuer=OWNER_OF[s], sequence=i)
+            for i, (s, d, x) in enumerate(operations)
+        ]
+        totals = sum(balance_from_transfers(account, 50, transfers) for account in ACCOUNTS)
+        assert totals == 50 * len(ACCOUNTS)

@@ -1,0 +1,105 @@
+"""Tests for the register-based Afek et al. snapshot construction.
+
+The key property: under arbitrary interleavings, the histories it produces
+are linearizable against the same sequential behaviour as the primitive
+atomic-snapshot object — so the Figure 1 algorithm can run on either.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import SeededRng
+from repro.shared_memory.access import run_sequentially
+from repro.shared_memory.afek_snapshot import AfekSnapshot
+from repro.shared_memory.runtime import SharedMemoryProgram, SharedMemoryRuntime
+from repro.shared_memory.scheduler import RandomScheduler, RoundRobinScheduler
+from repro.spec.linearizability import LinearizabilityChecker
+from repro.spec.object_type import SequentialObjectType, Transition
+
+
+class SnapshotVectorSpec(SequentialObjectType):
+    """Sequential spec of an N-segment snapshot object (for the checker)."""
+
+    def __init__(self, size, initial=None):
+        self._size = size
+        self._initial = initial
+
+    def initial_state(self):
+        return tuple(self._initial for _ in range(self._size))
+
+    def _apply_update(self, state, process, index, value):
+        as_list = list(state)
+        as_list[index] = value
+        return Transition(new_state=tuple(as_list), response=None)
+
+    def _apply_snapshot(self, state, process):
+        return Transition(new_state=state, response=state)
+
+
+class TestSequentialBehaviour:
+    def test_update_then_snapshot(self):
+        memory = AfekSnapshot(size=3, initial=0)
+        run_sequentially(memory.update(1, 7))
+        assert run_sequentially(memory.snapshot(0)) == (0, 7, 0)
+
+    def test_immediate_mode(self):
+        memory = AfekSnapshot(size=2, initial=None)
+        memory.update_now(0, "a")
+        memory.update_now(1, "b")
+        assert memory.snapshot_now() == ("a", "b")
+
+    def test_repeated_updates_overwrite(self):
+        memory = AfekSnapshot(size=2, initial=0)
+        for value in range(5):
+            memory.update_now(0, value)
+        assert memory.snapshot_now()[0] == 4
+
+    def test_out_of_range_process_rejected(self):
+        memory = AfekSnapshot(size=2)
+        with pytest.raises(ConfigurationError):
+            run_sequentially(memory.update(9, "x"))
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            AfekSnapshot(size=0)
+
+    def test_access_count_grows(self):
+        memory = AfekSnapshot(size=2, initial=0)
+        memory.update_now(0, 1)
+        assert memory.access_count > 0
+
+
+class TestConcurrentLinearizability:
+    def _run_schedule(self, scheduler, size=3):
+        memory = AfekSnapshot(size=size, initial=0)
+        programs = []
+        for process in range(size):
+            program = SharedMemoryProgram(process)
+            program.add(("update", process, process + 10), lambda p=process: memory.update(p, p + 10))
+            program.add(("snapshot",), lambda p=process: memory.snapshot(p))
+            program.add(("update", process, process + 20), lambda p=process: memory.update(p, p + 20))
+            program.add(("snapshot",), lambda p=process: memory.snapshot(p))
+            programs.append(program)
+        runtime = SharedMemoryRuntime(scheduler)
+        outcome = runtime.run(programs)
+        spec = SnapshotVectorSpec(size=size, initial=0)
+        return LinearizabilityChecker(spec).check(outcome.history), outcome
+
+    def test_round_robin_interleaving_is_linearizable(self):
+        result, _ = self._run_schedule(RoundRobinScheduler())
+        assert result.linearizable
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+    def test_random_interleavings_are_linearizable(self, seed):
+        result, _ = self._run_schedule(RandomScheduler(SeededRng(seed)))
+        assert result.linearizable
+
+    def test_snapshots_never_show_torn_state(self):
+        # A snapshot must reflect each segment's value at a single point;
+        # in particular it can never show a value that was never written.
+        _, outcome = self._run_schedule(RandomScheduler(SeededRng(99)))
+        written = {None, 0, 10, 11, 12, 20, 21, 22}
+        for responses in outcome.results.values():
+            for response in responses:
+                if isinstance(response, tuple):
+                    assert set(response) <= written

@@ -1,0 +1,43 @@
+"""Unit tests for the primitive atomic-snapshot object."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.shared_memory.access import run_sequentially
+from repro.shared_memory.atomic_snapshot import AtomicSnapshot
+
+
+class TestAtomicSnapshot:
+    def test_initial_segments(self):
+        memory = AtomicSnapshot(size=3, initial=0)
+        assert memory.snapshot_now() == (0, 0, 0)
+
+    def test_update_changes_only_own_segment(self):
+        memory = AtomicSnapshot(size=3)
+        run_sequentially(memory.update(1, "x"))
+        assert memory.snapshot_now() == (None, "x", None)
+
+    def test_generator_snapshot_matches_immediate(self):
+        memory = AtomicSnapshot(size=2, initial=0)
+        memory.update_now(0, 5)
+        assert run_sequentially(memory.snapshot(0)) == memory.snapshot_now()
+
+    def test_out_of_range_process_rejected(self):
+        memory = AtomicSnapshot(size=2)
+        with pytest.raises(ConfigurationError):
+            memory.update_now(5, "x")
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            AtomicSnapshot(size=0)
+
+    def test_access_counters(self):
+        memory = AtomicSnapshot(size=2)
+        memory.update_now(0, 1)
+        memory.snapshot_now()
+        assert memory.update_count == 1
+        assert memory.snapshot_count == 1
+        assert memory.access_count == 2
+
+    def test_len_reports_segment_count(self):
+        assert len(AtomicSnapshot(size=4)) == 4

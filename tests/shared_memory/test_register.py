@@ -1,0 +1,69 @@
+"""Unit tests for atomic registers and register arrays."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.shared_memory.access import run_sequentially
+from repro.shared_memory.register import AtomicRegister, RegisterArray, make_registers
+
+
+class TestAtomicRegister:
+    def test_initial_value_and_read(self):
+        register = AtomicRegister(initial=7)
+        assert run_sequentially(register.read()) == 7
+
+    def test_write_then_read(self):
+        register = AtomicRegister()
+        run_sequentially(register.write("x"))
+        assert run_sequentially(register.read()) == "x"
+
+    def test_immediate_mode(self):
+        register = AtomicRegister()
+        register.write_now(3)
+        assert register.read_now() == 3
+
+    def test_single_writer_enforced(self):
+        register = AtomicRegister(single_writer_id=1)
+        register.write_now("ok", process=1)
+        with pytest.raises(SimulationError):
+            register.write_now("bad", process=2)
+
+    def test_access_counters(self):
+        register = AtomicRegister()
+        register.write_now(1)
+        register.read_now()
+        register.read_now()
+        assert register.write_count == 1
+        assert register.read_count == 2
+
+
+class TestRegisterArray:
+    def test_per_slot_isolation(self):
+        array = RegisterArray(size=3, initial=None)
+        run_sequentially(array.write(1, "hello"))
+        assert array.snapshot_now() == [None, "hello", None]
+
+    def test_collect_reads_every_slot(self):
+        array = RegisterArray(size=3, initial=0)
+        run_sequentially(array.write(2, 9))
+        assert run_sequentially(array.collect()) == [0, 0, 9]
+
+    def test_single_writer_arrays_bind_slot_to_process(self):
+        array = RegisterArray(size=2, single_writer=True)
+        run_sequentially(array.write(0, "mine", process=0))
+        with pytest.raises(SimulationError):
+            run_sequentially(array.write(0, "stolen", process=1))
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            RegisterArray(size=0)
+
+    def test_total_accesses(self):
+        array = RegisterArray(size=2)
+        run_sequentially(array.collect())
+        assert array.total_accesses == 2
+
+    def test_make_registers_helper(self):
+        registers = make_registers(["a", "b"], initial=1)
+        assert len(registers) == 2
+        assert registers[0].read_now() == 1

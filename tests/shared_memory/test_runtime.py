@@ -1,0 +1,59 @@
+"""Unit tests for the instrumented shared-memory runtime."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import SeededRng
+from repro.shared_memory.atomic_snapshot import AtomicSnapshot
+from repro.shared_memory.runtime import SharedMemoryProgram, SharedMemoryRuntime
+from repro.shared_memory.scheduler import CrashPlan, RandomScheduler, RoundRobinScheduler
+
+
+def make_programs(memory):
+    p0 = SharedMemoryProgram(0)
+    p0.add(("update", 0, "a"), lambda: memory.update(0, "a"))
+    p0.add(("snapshot",), lambda: memory.snapshot(0))
+    p1 = SharedMemoryProgram(1)
+    p1.add(("update", 1, "b"), lambda: memory.update(1, "b"))
+    p1.add(("snapshot",), lambda: memory.snapshot(1))
+    return [p0, p1]
+
+
+class TestRuntime:
+    def test_records_invocations_and_responses(self):
+        memory = AtomicSnapshot(size=2)
+        runtime = SharedMemoryRuntime(RoundRobinScheduler())
+        outcome = runtime.run(make_programs(memory))
+        assert len(outcome.history) == 4
+        assert outcome.history.is_complete()
+
+    def test_results_collected_per_process(self):
+        memory = AtomicSnapshot(size=2)
+        outcome = SharedMemoryRuntime(RoundRobinScheduler()).run(make_programs(memory))
+        assert outcome.responses_of(0)[0] is None
+        assert isinstance(outcome.responses_of(0)[1], tuple)
+
+    def test_crashed_process_leaves_incomplete_history(self):
+        memory = AtomicSnapshot(size=2)
+        scheduler = RoundRobinScheduler(crash_plan=CrashPlan(crash_after={1: 1}))
+        outcome = SharedMemoryRuntime(scheduler).run(make_programs(memory))
+        assert not outcome.history.is_complete()
+        assert 1 in outcome.scheduler_outcome.crashed
+
+    def test_program_order_preserved_per_process(self):
+        memory = AtomicSnapshot(size=2)
+        outcome = SharedMemoryRuntime(RandomScheduler(SeededRng(3))).run(make_programs(memory))
+        for process in (0, 1):
+            operations = outcome.history.projection(process)
+            assert [op.operation[0] for op in operations] == ["update", "snapshot"]
+
+    def test_duplicate_process_rejected(self):
+        memory = AtomicSnapshot(size=2)
+        programs = make_programs(memory)
+        programs[1] = SharedMemoryProgram(0)
+        with pytest.raises(ConfigurationError):
+            SharedMemoryRuntime(RoundRobinScheduler()).run(programs)
+
+    def test_empty_program_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharedMemoryRuntime(RoundRobinScheduler()).run([])

@@ -1,0 +1,89 @@
+"""Unit tests for the asset-transfer sequential specification (Section 2.2)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import OwnershipMap
+from repro.spec.asset_transfer_spec import AssetTransferSpec, read_op, transfer_op
+
+
+@pytest.fixture
+def spec(two_accounts):
+    return AssetTransferSpec(two_accounts, {"alice": 10, "bob": 5})
+
+
+class TestTransitions:
+    def test_owner_with_funds_succeeds(self, spec):
+        transition = spec.apply(spec.initial_state(), 0, transfer_op("alice", "bob", 4))
+        assert transition.response is True
+        assert spec.balance_in(transition.new_state, "alice") == 6
+        assert spec.balance_in(transition.new_state, "bob") == 9
+
+    def test_non_owner_fails_and_leaves_state(self, spec):
+        state = spec.initial_state()
+        transition = spec.apply(state, 1, transfer_op("alice", "bob", 4))
+        assert transition.response is False
+        assert transition.new_state == state
+
+    def test_insufficient_balance_fails(self, spec):
+        transition = spec.apply(spec.initial_state(), 0, transfer_op("alice", "bob", 11))
+        assert transition.response is False
+
+    def test_exact_balance_succeeds(self, spec):
+        transition = spec.apply(spec.initial_state(), 0, transfer_op("alice", "bob", 10))
+        assert transition.response is True
+        assert spec.balance_in(transition.new_state, "alice") == 0
+
+    def test_read_returns_balance_without_changing_state(self, spec):
+        state = spec.initial_state()
+        transition = spec.apply(state, 1, read_op("alice"))
+        assert transition.response == 10
+        assert transition.new_state == state
+
+    def test_read_of_unknown_account_is_zero(self, spec):
+        assert spec.apply(spec.initial_state(), 0, read_op("nobody")).response == 0
+
+    def test_self_transfer_preserves_balance(self, spec):
+        transition = spec.apply(spec.initial_state(), 0, transfer_op("alice", "alice", 3))
+        assert transition.response is True
+        assert spec.balance_in(transition.new_state, "alice") == 10
+
+
+class TestSharedAccounts:
+    def test_any_owner_of_shared_account_can_transfer(self, shared_account_map):
+        spec = AssetTransferSpec(shared_account_map, {"joint": 10})
+        for process in (0, 1):
+            transition = spec.apply(spec.initial_state(), process, transfer_op("joint", "solo", 2))
+            assert transition.response is True
+
+    def test_sharing_degree_exposed(self, shared_account_map):
+        spec = AssetTransferSpec(shared_account_map)
+        assert spec.sharing_degree == 2
+
+
+class TestReplayAndSupply:
+    def test_replay_returns_states_and_responses(self, spec):
+        final_state, responses = spec.replay(
+            [
+                (0, transfer_op("alice", "bob", 4)),
+                (1, transfer_op("bob", "alice", 9)),
+                (1, transfer_op("bob", "alice", 9)),
+                (0, read_op("alice")),
+            ]
+        )
+        assert responses == (True, True, False, 15)
+        assert spec.balance_in(final_state, "bob") == 0
+
+    def test_total_supply_is_invariant(self, spec):
+        state, _ = spec.replay(
+            [(0, transfer_op("alice", "bob", 3)), (1, transfer_op("bob", "alice", 7))]
+        )
+        assert spec.total_supply(state) == spec.total_supply()
+
+    def test_unknown_initial_balance_account_rejected(self, two_accounts):
+        with pytest.raises(ConfigurationError):
+            AssetTransferSpec(two_accounts, {"zzz": 3})
+
+    def test_negative_initial_balance_rejected(self, two_accounts):
+        with pytest.raises(ConfigurationError):
+            AssetTransferSpec(two_accounts, {"alice": -3})

@@ -1,0 +1,127 @@
+"""Unit tests for the Definition 1 checker (Section 5.1)."""
+
+import pytest
+
+from repro.common.types import Transfer
+from repro.spec.byzantine_spec import (
+    ByzantineAssetTransferChecker,
+    ClientOperation,
+    ProcessObservation,
+    ValidatedTransfer,
+)
+
+
+def observation(process, transfers, operations=()):
+    return ProcessObservation(
+        process=process,
+        validated=[ValidatedTransfer(transfer=t, position=i) for i, t in enumerate(transfers)],
+        operations=list(operations),
+    )
+
+
+@pytest.fixture
+def checker():
+    return ByzantineAssetTransferChecker({"0": 10, "1": 10, "2": 10})
+
+
+class TestAgreement:
+    def test_consistent_views_pass(self, checker):
+        t = Transfer("0", "1", 5, issuer=0, sequence=1)
+        report = checker.check([observation(0, [t]), observation(1, [t])])
+        assert report.ok
+        assert report.checked_transfers == 2
+
+    def test_conflicting_transfers_for_same_slot_detected(self, checker):
+        t1 = Transfer("0", "1", 5, issuer=0, sequence=1)
+        t2 = Transfer("0", "2", 5, issuer=0, sequence=1)
+        report = checker.check([observation(1, [t1]), observation(2, [t2])])
+        assert not report.ok
+        assert any("C1" in violation for violation in report.violations)
+
+
+class TestBalanceSafety:
+    def test_overdraft_in_local_order_detected(self, checker):
+        t = Transfer("0", "1", 50, issuer=0, sequence=1)
+        report = checker.check([observation(1, [t])])
+        assert not report.ok
+        assert any("C2" in violation for violation in report.violations)
+
+    def test_spending_received_funds_is_fine(self, checker):
+        first = Transfer("0", "1", 10, issuer=0, sequence=1)
+        second = Transfer("1", "2", 15, issuer=1, sequence=1)
+        report = checker.check([observation(1, [first, second])])
+        assert report.ok
+
+
+class TestGlobalOrder:
+    def test_dependency_cycle_detected(self, checker):
+        # Two transfers each declaring the other as a dependency.
+        t1 = Transfer("0", "1", 1, issuer=0, sequence=1)
+        t2 = Transfer("1", "0", 1, issuer=1, sequence=1)
+        obs = ProcessObservation(
+            process=0,
+            validated=[
+                ValidatedTransfer(transfer=t1, dependencies=(t2.transfer_id,), position=0),
+                ValidatedTransfer(transfer=t2, dependencies=(t1.transfer_id,), position=1),
+            ],
+        )
+        report = checker.check([obs])
+        assert not report.ok
+        assert any("C3" in violation for violation in report.violations)
+
+    def test_real_time_order_respected(self, checker):
+        t1 = Transfer("0", "1", 5, issuer=0, sequence=1)
+        t2 = Transfer("1", "2", 5, issuer=1, sequence=1)
+        operations = [
+            ClientOperation(process=0, kind="transfer", invoked_at=0.0, responded_at=1.0,
+                            response=True, transfer=t1),
+            ClientOperation(process=1, kind="transfer", invoked_at=2.0, responded_at=3.0,
+                            response=True, transfer=t2),
+        ]
+        report = checker.check(
+            [observation(0, [t1, t2], [operations[0]]), observation(1, [t1, t2], [operations[1]])]
+        )
+        assert report.ok
+
+
+class TestLocalViews:
+    def test_justified_read_accepted(self, checker):
+        t = Transfer("0", "1", 4, issuer=0, sequence=1)
+        read = ClientOperation(process=1, kind="read", invoked_at=0.0, responded_at=0.1,
+                               response=14, account="1")
+        report = checker.check([observation(1, [t], [read])])
+        assert report.ok
+
+    def test_stale_but_consistent_read_accepted(self, checker):
+        t = Transfer("0", "1", 4, issuer=0, sequence=1)
+        read = ClientOperation(process=1, kind="read", invoked_at=0.0, responded_at=0.1,
+                               response=10, account="1")
+        report = checker.check([observation(1, [t], [read])])
+        assert report.ok
+
+    def test_unjustifiable_read_detected(self, checker):
+        read = ClientOperation(process=1, kind="read", invoked_at=0.0, responded_at=0.1,
+                               response=999, account="1")
+        report = checker.check([observation(1, [], [read])])
+        assert not report.ok
+        assert any("C4" in violation for violation in report.violations)
+
+    def test_unjustified_failed_transfer_detected(self, checker):
+        t = Transfer("1", "2", 3, issuer=1, sequence=1)
+        failed = ClientOperation(process=1, kind="transfer", invoked_at=0.0, responded_at=0.1,
+                                 response=False, transfer=t)
+        report = checker.check([observation(1, [], [failed])])
+        assert not report.ok
+
+    def test_justified_failed_transfer_accepted(self, checker):
+        t = Transfer("1", "2", 30, issuer=1, sequence=1)
+        failed = ClientOperation(process=1, kind="transfer", invoked_at=0.0, responded_at=0.1,
+                                 response=False, transfer=t)
+        report = checker.check([observation(1, [], [failed])])
+        assert report.ok
+
+    def test_report_is_falsy_when_violations_exist(self, checker):
+        t1 = Transfer("0", "1", 5, issuer=0, sequence=1)
+        t2 = Transfer("0", "2", 5, issuer=0, sequence=1)
+        report = checker.check([observation(1, [t1]), observation(2, [t2])])
+        assert not bool(report)

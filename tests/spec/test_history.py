@@ -1,0 +1,120 @@
+"""Unit tests for histories, completions and precedence (Section 2.1)."""
+
+import pytest
+
+from repro.common.errors import SpecificationViolation
+from repro.spec.history import History, HistoryRecorder, OperationKind
+
+
+def record_sequential(recorder, process, operation, response):
+    operation_id = recorder.invoke(process, operation)
+    recorder.respond(process, operation_id, response)
+    return operation_id
+
+
+class TestHistoryRecorder:
+    def test_records_complete_operations(self):
+        recorder = HistoryRecorder()
+        record_sequential(recorder, 0, ("read", "a"), 5)
+        history = recorder.history()
+        assert len(history) == 1
+        assert history.operations[0].response_value == 5
+
+    def test_rejects_second_invocation_while_pending(self):
+        recorder = HistoryRecorder()
+        recorder.invoke(0, ("read", "a"))
+        with pytest.raises(SpecificationViolation):
+            recorder.invoke(0, ("read", "b"))
+
+    def test_rejects_response_for_wrong_operation(self):
+        recorder = HistoryRecorder()
+        op = recorder.invoke(0, ("read", "a"))
+        with pytest.raises(SpecificationViolation):
+            recorder.respond(0, op + 99, 1)
+
+    def test_interleaved_processes_allowed(self):
+        recorder = HistoryRecorder()
+        a = recorder.invoke(0, ("read", "a"))
+        b = recorder.invoke(1, ("read", "b"))
+        recorder.respond(1, b, 1)
+        recorder.respond(0, a, 2)
+        history = recorder.history()
+        assert len(history) == 2
+        assert history.is_complete()
+
+
+class TestHistoryQueries:
+    def test_projection_per_process(self):
+        history = History.from_operations(
+            [(0, ("read", "a"), 1), (1, ("read", "b"), 2), (0, ("read", "a"), 3)]
+        )
+        assert len(history.projection(0)) == 2
+        assert len(history.projection(1)) == 1
+
+    def test_processes_listed_sorted(self):
+        history = History.from_operations([(2, ("read", "a"), 1), (0, ("read", "a"), 1)])
+        assert history.processes == (0, 2)
+
+    def test_sequential_history_has_total_precedence(self):
+        history = History.from_operations([(0, ("read", "a"), 1), (1, ("read", "b"), 2)])
+        assert (0, 1) in history.precedence_pairs()
+        assert (1, 0) not in history.precedence_pairs()
+
+    def test_overlapping_operations_are_unordered(self):
+        recorder = HistoryRecorder()
+        a = recorder.invoke(0, ("read", "a"))
+        b = recorder.invoke(1, ("read", "b"))
+        recorder.respond(0, a, 1)
+        recorder.respond(1, b, 2)
+        pairs = recorder.history().precedence_pairs()
+        assert (a, b) not in pairs and (b, a) not in pairs
+
+    def test_operation_kind_classification(self):
+        history = History.from_operations(
+            [(0, ("transfer", "a", "b", 1), True), (0, ("read", "a"), 4), (0, ("propose", 1), 1)]
+        )
+        kinds = [op.kind for op in history.operations]
+        assert kinds == [OperationKind.TRANSFER, OperationKind.READ, OperationKind.PROPOSE]
+
+    def test_program_order_respected_for_sequential_processes(self):
+        history = History.from_operations([(0, ("read", "a"), 1), (0, ("read", "a"), 2)])
+        assert history.respects_program_order()
+
+
+class TestCompletions:
+    def _incomplete_history(self):
+        recorder = HistoryRecorder()
+        done = recorder.invoke(0, ("transfer", "a", "b", 1))
+        recorder.respond(0, done, True)
+        pending = recorder.invoke(1, ("transfer", "b", "a", 1))
+        return recorder.history(), pending
+
+    def test_incomplete_operations_visible(self):
+        history, pending = self._incomplete_history()
+        assert [op.operation_id for op in history.incomplete_operations] == [pending]
+        assert not history.is_complete()
+
+    def test_completion_with_response(self):
+        history, pending = self._incomplete_history()
+        completed = history.complete_with({pending: True})
+        assert completed.is_complete()
+        assert completed.operations[-1].response_value is True
+
+    def test_completion_by_removal(self):
+        history, _pending = self._incomplete_history()
+        completed = history.complete_with({})
+        assert completed.is_complete()
+        assert len(completed) == 1
+
+    def test_restriction_and_filtering(self):
+        history = History.from_operations(
+            [(0, ("read", "a"), 1), (1, ("transfer", "a", "b", 1), False)]
+        )
+        reads = history.filter_operations(lambda op: op.kind is OperationKind.READ)
+        assert len(reads) == 1
+
+    def test_response_of_incomplete_operation_raises(self):
+        history, pending = self._incomplete_history()
+        target = [op for op in history.operations if op.operation_id == pending][0]
+        with pytest.raises(SpecificationViolation):
+            _ = target.response_value

@@ -1,0 +1,131 @@
+"""Unit tests for the linearizability checker."""
+
+import pytest
+
+from repro.common.types import OwnershipMap
+from repro.spec.asset_transfer_spec import AssetTransferSpec, read_op, transfer_op
+from repro.spec.history import History, HistoryRecorder
+from repro.spec.linearizability import LinearizabilityChecker, assert_linearizable
+from repro.spec.object_type import RegisterSpec
+
+
+@pytest.fixture
+def at_spec(two_accounts):
+    return AssetTransferSpec(two_accounts, {"alice": 10, "bob": 0})
+
+
+class TestSequentialHistories:
+    def test_legal_sequential_history_accepted(self, at_spec):
+        history = History.from_operations(
+            [
+                (0, transfer_op("alice", "bob", 4), True),
+                (1, read_op("bob"), 4),
+                (1, transfer_op("bob", "alice", 4), True),
+            ]
+        )
+        assert LinearizabilityChecker(at_spec).check(history).linearizable
+
+    def test_wrong_read_value_rejected(self, at_spec):
+        history = History.from_operations(
+            [(0, transfer_op("alice", "bob", 4), True), (1, read_op("bob"), 99)]
+        )
+        result = LinearizabilityChecker(at_spec).check(history)
+        assert not result.linearizable
+
+    def test_double_spend_rejected(self, at_spec):
+        # Alice has 10 but two successful transfers of 10 are claimed.
+        history = History.from_operations(
+            [
+                (0, transfer_op("alice", "bob", 10), True),
+                (0, transfer_op("alice", "bob", 10), True),
+            ]
+        )
+        assert not LinearizabilityChecker(at_spec).check(history).linearizable
+
+    def test_fast_path_matches_full_checker(self, at_spec):
+        history = History.from_operations(
+            [(0, transfer_op("alice", "bob", 4), True), (1, read_op("bob"), 4)]
+        )
+        checker = LinearizabilityChecker(at_spec)
+        assert checker.check_sequential(history).linearizable
+        assert checker.check(history).linearizable
+
+    def test_fast_path_reports_reason(self, at_spec):
+        history = History.from_operations([(1, transfer_op("alice", "bob", 1), True)])
+        result = LinearizabilityChecker(at_spec).check_sequential(history)
+        assert not result.linearizable
+        assert "specification requires" in result.reason
+
+
+class TestConcurrentHistories:
+    def test_overlapping_reads_may_reorder(self, at_spec):
+        recorder = HistoryRecorder()
+        # A read overlapping a transfer may return either the old or new value.
+        t = recorder.invoke(0, transfer_op("alice", "bob", 4))
+        r = recorder.invoke(1, read_op("bob"))
+        recorder.respond(1, r, 0)        # read the pre-transfer value
+        recorder.respond(0, t, True)
+        assert LinearizabilityChecker(at_spec).check(recorder.history()).linearizable
+
+    def test_read_after_completed_transfer_must_see_it(self, at_spec):
+        recorder = HistoryRecorder()
+        t = recorder.invoke(0, transfer_op("alice", "bob", 4))
+        recorder.respond(0, t, True)
+        r = recorder.invoke(1, read_op("bob"))
+        recorder.respond(1, r, 0)        # stale read after the transfer returned
+        assert not LinearizabilityChecker(at_spec).check(recorder.history()).linearizable
+
+    def test_incomplete_transfer_may_take_effect(self, at_spec):
+        recorder = HistoryRecorder()
+        recorder.invoke(0, transfer_op("alice", "bob", 4))   # never responds (crash)
+        r = recorder.invoke(1, read_op("bob"))
+        recorder.respond(1, r, 4)                            # but its effect is visible
+        assert LinearizabilityChecker(at_spec).check(recorder.history()).linearizable
+
+    def test_incomplete_transfer_may_be_dropped(self, at_spec):
+        recorder = HistoryRecorder()
+        recorder.invoke(0, transfer_op("alice", "bob", 4))
+        r = recorder.invoke(1, read_op("bob"))
+        recorder.respond(1, r, 0)
+        assert LinearizabilityChecker(at_spec).check(recorder.history()).linearizable
+
+    def test_witness_is_a_legal_order(self, at_spec):
+        recorder = HistoryRecorder()
+        t = recorder.invoke(0, transfer_op("alice", "bob", 10))
+        recorder.respond(0, t, True)
+        u = recorder.invoke(1, transfer_op("bob", "alice", 10))
+        recorder.respond(1, u, True)
+        result = LinearizabilityChecker(at_spec).check(recorder.history())
+        assert result.linearizable
+        assert result.witness is not None and result.witness[0] == t
+
+
+class TestRegisterHistories:
+    def test_register_old_new_inversion_detected(self):
+        spec = RegisterSpec(initial=0)
+        recorder = HistoryRecorder()
+        w = recorder.invoke(0, ("write", 1))
+        recorder.respond(0, w, None)
+        r1 = recorder.invoke(1, ("read",))
+        recorder.respond(1, r1, 1)
+        r2 = recorder.invoke(1, ("read",))
+        recorder.respond(1, r2, 0)  # new-old inversion: illegal
+        assert not LinearizabilityChecker(spec).check(recorder.history()).linearizable
+
+    def test_assert_linearizable_raises_on_violation(self):
+        spec = RegisterSpec(initial=0)
+        history = History.from_operations([(0, ("read",), 42)])
+        with pytest.raises(AssertionError):
+            assert_linearizable(history, spec)
+
+    def test_empty_history_is_linearizable(self):
+        spec = RegisterSpec()
+        assert LinearizabilityChecker(spec).check(History([])).linearizable
+
+    def test_configuration_budget_guard(self, at_spec):
+        history = History.from_operations(
+            [(0, transfer_op("alice", "bob", 1), True) for _ in range(6)]
+        )
+        checker = LinearizabilityChecker(at_spec, max_configurations=2)
+        with pytest.raises(RuntimeError):
+            checker.check(history)

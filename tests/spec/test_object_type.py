@@ -1,0 +1,64 @@
+"""Unit tests for the sequential object type formalism."""
+
+import pytest
+
+from repro.spec.object_type import ConsensusSpec, CounterSpec, RegisterSpec
+
+
+class TestRegisterSpec:
+    def test_read_returns_initial_value(self):
+        spec = RegisterSpec(initial=7)
+        transition = spec.apply(spec.initial_state(), 0, ("read",))
+        assert transition.response == 7
+
+    def test_write_then_read(self):
+        spec = RegisterSpec()
+        state = spec.initial_state()
+        state = spec.apply(state, 0, ("write", "x")).new_state
+        assert spec.apply(state, 1, ("read",)).response == "x"
+
+    def test_unknown_operation_rejected(self):
+        spec = RegisterSpec()
+        with pytest.raises(ValueError):
+            spec.apply(spec.initial_state(), 0, ("pop",))
+
+    def test_malformed_operation_rejected(self):
+        spec = RegisterSpec()
+        with pytest.raises(TypeError):
+            spec.apply(spec.initial_state(), 0, "read")
+
+    def test_operation_names(self):
+        assert set(RegisterSpec().operation_names()) >= {"read", "write"}
+
+
+class TestCounterSpec:
+    def test_increments_accumulate(self):
+        spec = CounterSpec()
+        state = spec.initial_state()
+        for _ in range(3):
+            state = spec.apply(state, 0, ("increment", 2)).new_state
+        assert spec.apply(state, 1, ("read",)).response == 6
+
+    def test_default_increment_is_one(self):
+        spec = CounterSpec()
+        state = spec.apply(spec.initial_state(), 0, ("increment",)).new_state
+        assert spec.apply(state, 0, ("read",)).response == 1
+
+
+class TestConsensusSpec:
+    def test_first_proposal_wins(self):
+        spec = ConsensusSpec()
+        state = spec.initial_state()
+        transition = spec.apply(state, 0, ("propose", "a"))
+        assert transition.response == "a"
+        assert spec.apply(transition.new_state, 1, ("propose", "b")).response == "a"
+
+    def test_agreement_across_many_proposals(self):
+        spec = ConsensusSpec()
+        state = spec.initial_state()
+        decisions = []
+        for process, value in enumerate(["x", "y", "z"]):
+            transition = spec.apply(state, process, ("propose", value))
+            state = transition.new_state
+            decisions.append(transition.response)
+        assert decisions == ["x", "x", "x"]

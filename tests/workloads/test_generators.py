@@ -1,0 +1,89 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import OwnershipMap
+from repro.mp.consensusless_transfer import account_of
+from repro.workloads.generators import (
+    WorkloadConfig,
+    closed_loop_workload,
+    hotspot_workload,
+    k_shared_workload,
+    open_loop_workload,
+    uniform_workload,
+    zipf_workload,
+)
+
+
+class TestUniformWorkload:
+    def test_counts_and_shapes(self):
+        submissions = uniform_workload(6, WorkloadConfig(transfers_per_process=4, seed=1))
+        assert len(submissions) == 24
+        assert all(s.destination != account_of(s.issuer) for s in submissions)
+        assert all(1 <= s.amount <= 5 for s in submissions)
+
+    def test_deterministic_given_seed(self):
+        config = WorkloadConfig(transfers_per_process=3, seed=9)
+        assert uniform_workload(5, config) == uniform_workload(5, config)
+
+    def test_different_seed_differs(self):
+        a = uniform_workload(5, WorkloadConfig(transfers_per_process=3, seed=1))
+        b = uniform_workload(5, WorkloadConfig(transfers_per_process=3, seed=2))
+        assert a != b
+
+    def test_closed_loop_alias(self):
+        config = WorkloadConfig(transfers_per_process=2, seed=4)
+        assert closed_loop_workload(4, config) == uniform_workload(4, config)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            uniform_workload(4, WorkloadConfig(transfers_per_process=0))
+        with pytest.raises(ConfigurationError):
+            uniform_workload(4, WorkloadConfig(min_amount=5, max_amount=1))
+
+
+class TestSkewedWorkloads:
+    def test_zipf_concentrates_on_popular_destinations(self):
+        submissions = zipf_workload(20, WorkloadConfig(transfers_per_process=20, seed=3, zipf_skew=1.5))
+        counts = {}
+        for submission in submissions:
+            counts[submission.destination] = counts.get(submission.destination, 0) + 1
+        most_popular = max(counts.values())
+        assert most_popular > len(submissions) / 20  # clearly above uniform share
+
+    def test_hotspot_fraction_respected(self):
+        submissions = hotspot_workload(
+            10, hot_account=0, config=WorkloadConfig(transfers_per_process=30, seed=2, hotspot_fraction=0.7)
+        )
+        to_hot = sum(1 for s in submissions if s.destination == account_of(0) and s.issuer != 0)
+        eligible = sum(1 for s in submissions if s.issuer != 0)
+        assert 0.55 < to_hot / eligible < 0.85
+
+    def test_no_self_payments(self):
+        for generator in (zipf_workload, hotspot_workload):
+            submissions = generator(8, WorkloadConfig(transfers_per_process=5, seed=6))
+            assert all(s.destination != account_of(s.issuer) for s in submissions)
+
+
+class TestOpenLoopWorkload:
+    def test_rate_and_duration(self):
+        submissions = open_loop_workload(10, aggregate_rate=1000, duration=0.5,
+                                         config=WorkloadConfig(seed=8))
+        assert 350 < len(submissions) < 650
+        assert all(0 < s.time < 0.5 for s in submissions)
+        assert submissions == sorted(submissions, key=lambda s: s.time)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            open_loop_workload(10, aggregate_rate=0, duration=1)
+
+
+class TestKSharedWorkload:
+    def test_owners_issue_from_their_accounts(self):
+        ownership = OwnershipMap({"joint": (0, 1), "2": (2,), "3": (3,)})
+        submissions = k_shared_workload(ownership, WorkloadConfig(transfers_per_process=2, seed=5))
+        assert len(submissions) == (2 + 1 + 1) * 2
+        for submission in submissions:
+            assert submission.issuer in ownership.owners(submission.source)
+            assert submission.destination != submission.source
