@@ -1,0 +1,28 @@
+# Developer entry points.  `pythonpath = ["src"]` in pyproject.toml makes a
+# bare `python -m pytest` work too; PYTHONPATH is still exported here so the
+# targets behave identically under pytest configurations that predate it.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench example clean
+
+## Tier-1: the full unit/integration suite (fails fast, quiet).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## A fast sanity pass over the cluster benchmark (shrunken grid and load).
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_cluster_scaling.py -q
+
+## The full benchmark suite (slow; regenerates BENCH_cluster.json).
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+## The cluster quickstart example.
+example:
+	$(PYTHON) examples/cluster_quickstart.py
+
+clean:
+	rm -rf .pytest_cache .benchmarks
+	find . -type d -name __pycache__ -prune -exec rm -rf {} +

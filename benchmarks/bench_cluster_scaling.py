@@ -1,0 +1,125 @@
+"""Cluster scaling — throughput vs. shard count and batch size.
+
+The consensus-number-1 result makes the system horizontally partitionable by
+account; this benchmark quantifies what that buys.  One Zipf/Poisson
+open-loop workload (identical submissions, arrival times and seed) replays
+against every cluster geometry in the grid shards × {1, 2, 4, 8} and batch
+size × {1, 8, 32}; every configuration is audited with the per-shard
+Definition 1 checker before its numbers count.
+
+Besides the pytest-benchmark report, the sweep emits machine-readable
+``BENCH_cluster.json`` at the repository root so the performance trajectory
+is tracked across PRs.
+
+Setting ``REPRO_BENCH_SMOKE=1`` shrinks the grid and the offered load
+(used by ``make bench-smoke``).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiments import ClusterExperimentConfig, cluster_scaling_experiment
+from repro.eval.reporting import format_cluster_table
+from repro.network.node import NetworkConfig
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+SHARD_COUNTS = (1, 2) if SMOKE else (1, 2, 4, 8)
+BATCH_SIZES = (1, 8) if SMOKE else (1, 8, 32)
+# Smoke runs write alongside rather than clobbering the tracked trajectory.
+_OUTPUT_NAME = "BENCH_cluster_smoke.json" if SMOKE else "BENCH_cluster.json"
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / _OUTPUT_NAME
+
+
+def _config() -> ClusterExperimentConfig:
+    return ClusterExperimentConfig(
+        user_count=5_000 if SMOKE else 50_000,
+        aggregate_rate=8_000.0 if SMOKE else 24_000.0,
+        duration=0.03 if SMOKE else 0.05,
+        zipf_skew=1.0,
+        network=NetworkConfig(seed=7),
+        seed=7,
+    )
+
+
+def test_cluster_scaling_grid(benchmark):
+    """The full sweep: monotone shard scaling, batching advantage, Def-1."""
+    config = _config()
+
+    def run():
+        return cluster_scaling_experiment(
+            shard_counts=SHARD_COUNTS, batch_sizes=BATCH_SIZES, config=config
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    by_config = {(row.shard_count, row.batch_size): row for row in rows}
+    for row in rows:
+        benchmark.extra_info[f"s{row.shard_count}_b{row.batch_size}_tps"] = round(
+            row.summary.throughput, 1
+        )
+        # Safety first: a configuration whose Definition 1 check fails has
+        # committed nothing meaningful, whatever its throughput.
+        assert row.check.ok, (
+            f"Definition 1 violated at shards={row.shard_count} "
+            f"batch={row.batch_size}: {row.check.violations[:3]}"
+        )
+
+    # Horizontal scaling: committed throughput rises monotonically from
+    # 1 -> 4 shards while the protocol is the bottleneck (batch 1 and 8;
+    # batch 32 drains the offered load so its curve is flat by design).
+    for batch in BATCH_SIZES[:2]:
+        series = [by_config[(s, batch)].summary.throughput for s in SHARD_COUNTS if s <= 4]
+        assert series == sorted(series), (
+            f"throughput not monotone in shard count at batch={batch}: {series}"
+        )
+
+    # Batching: at equal offered load, batch=8 beats batch=1 at every
+    # shard count (the signature/quorum cost amortises across the batch).
+    if 8 in BATCH_SIZES:
+        for shards in SHARD_COUNTS:
+            batched = by_config[(shards, 8)].summary.throughput
+            unbatched = by_config[(shards, 1)].summary.throughput
+            assert batched > unbatched, (
+                f"batch=8 did not beat batch=1 at shards={shards}: "
+                f"{batched:.0f} <= {unbatched:.0f}"
+            )
+
+    _emit_json(rows, config)
+    print()
+    print(format_cluster_table(rows))
+
+
+def _emit_json(rows, config: ClusterExperimentConfig) -> None:
+    payload = {
+        "benchmark": "cluster_scaling",
+        "smoke": SMOKE,
+        "workload": {
+            "user_count": config.user_count,
+            "aggregate_rate": config.aggregate_rate,
+            "duration": config.duration,
+            "zipf_skew": config.zipf_skew,
+            "seed": config.seed,
+        },
+        "rows": [
+            {
+                "shard_count": row.shard_count,
+                "batch_size": row.batch_size,
+                "committed": row.summary.committed,
+                "rejected": row.summary.rejected,
+                "throughput_tps": round(row.summary.throughput, 1),
+                "avg_latency_ms": round(row.summary.latency.average * 1000, 3),
+                "p95_latency_ms": round(row.summary.latency.p95 * 1000, 3),
+                "messages_sent": row.summary.messages_sent,
+                "messages_per_commit": round(row.summary.messages_per_commit, 2),
+                "tx_per_broadcast": round(row.amortisation, 2),
+                "load_imbalance": round(row.load_imbalance, 3),
+                "definition_1_ok": row.check.ok,
+            }
+            for row in rows
+        ],
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Cluster quickstart: consensusless payments at cluster scale.
+
+The paper's Theorem 1 says single-owner asset transfer has consensus
+number 1: transfers on different accounts commute, so the system shards by
+account with no cross-shard coordination.  This example:
+
+1. generates a heavy, Zipf-skewed, Poisson-arrival workload from 100 000
+   simulated users,
+2. replays it against 1, 2 and 4 shards (identical offered load),
+3. replays it batched (8 transfers per secure-broadcast instance), and
+4. audits every run with the per-shard Definition 1 checker.
+
+Run with:  python examples/cluster_quickstart.py
+"""
+
+from repro.eval.experiments import ClusterExperimentConfig, run_cluster
+from repro.eval.reporting import format_cluster_table
+from repro.network.node import NetworkConfig
+from repro.workloads.cluster_driver import destination_histogram
+
+
+def main() -> None:
+    config = ClusterExperimentConfig(
+        user_count=100_000,
+        aggregate_rate=10_000.0,
+        duration=0.05,
+        zipf_skew=1.0,
+        network=NetworkConfig(seed=7),
+        seed=7,
+    )
+    workload = config.workload()
+    print(f"workload: {len(workload)} payments from {config.user_count:,} users "
+          f"(Poisson arrivals at {config.aggregate_rate:,.0f} tx/s, Zipf skew {config.zipf_skew})")
+    top = destination_histogram(workload, top=3)
+    print(f"hottest merchants (user id: payments received): {top}")
+    print()
+
+    rows = []
+    for shards, batch in [(1, 1), (2, 1), (4, 1), (1, 8), (2, 8), (4, 8)]:
+        row, system = run_cluster(shards, batch, config, workload=workload)
+        rows.append(row)
+        verdict = "OK" if row.check.ok else "VIOLATED: " + "; ".join(row.check.violations[:2])
+        print(f"shards={shards} batch={batch}: "
+              f"{row.summary.committed} committed at {row.summary.throughput:,.0f} tx/s, "
+              f"{system.cross_shard_submissions} cross-shard, Definition 1 {verdict}")
+    print()
+    print(format_cluster_table(rows))
+    print()
+    print("Reading the table: throughput scales with shard count because shards")
+    print("share no accounts and never exchange messages; batching multiplies it")
+    print("again by amortising the signature/quorum cost of each secure-broadcast")
+    print("instance over up to 8 transfers ('tx/broadcast').")
+
+
+if __name__ == "__main__":
+    main()

@@ -60,6 +60,26 @@ class BroadcastStats:
     broadcasts_started: int = 0
     messages_sent: int = 0
     delivered: int = 0
+    payload_items: int = 0
+
+    @property
+    def items_per_broadcast(self) -> float:
+        """Application items per broadcast instance (> 1 under batching)."""
+        if self.delivered == 0:
+            return 0.0
+        return self.payload_items / self.delivered
+
+
+def payload_item_count(payload: Any) -> int:
+    """Number of application-level items carried by a broadcast payload.
+
+    Plain payloads count as one item; composite payloads (e.g. the cluster
+    layer's transfer batches) advertise their size through an ``item_count``
+    attribute.  The layers use this to report how much application traffic a
+    broadcast instance amortises, without knowing any payload type.
+    """
+    count = getattr(payload, "item_count", 1)
+    return count if isinstance(count, int) and count > 0 else 1
 
 
 class SourceOrderBuffer:
@@ -163,6 +183,7 @@ class BroadcastLayer(abc.ABC):
 
     def _deliver_in_order(self, delivery: BroadcastDelivery) -> None:
         self.stats.delivered += 1
+        self.stats.payload_items += payload_item_count(delivery.payload)
         self._deliver_upward(delivery)
 
     # -- the interface used by nodes -------------------------------------------------------

@@ -1,0 +1,39 @@
+"""Horizontal scaling of the consensusless protocol (the cluster layer).
+
+Because single-owner asset transfer has consensus number 1 (the paper's
+Theorem 1), transfers on different accounts commute: the object is
+partitionable by account with **no cross-shard coordination protocol**.
+This package deploys that observation:
+
+* :mod:`repro.cluster.routing` — :class:`ShardRouter`, the stable
+  hash-partition of users onto shard groups and shard-local accounts.
+* :mod:`repro.cluster.batching` — :class:`BatchAnnouncement` and
+  :class:`BatchingTransferNode`, which coalesce per-source transfers into
+  one secure-broadcast instance, amortising signature and quorum cost.
+* :mod:`repro.cluster.shard` — :class:`Shard`, one independent Figure 4
+  replica group on the shared simulator clock.
+* :mod:`repro.cluster.system` — :class:`ClusterSystem`, the façade that
+  routes, drives and audits the whole cluster.
+* :mod:`repro.cluster.result` — :class:`ClusterResult` /
+  :class:`ClusterCheckReport`, the merged run artefacts.
+
+The matching workload driver lives in :mod:`repro.workloads.cluster_driver`.
+"""
+
+from repro.cluster.batching import BatchAnnouncement, BatchingTransferNode
+from repro.cluster.result import ClusterCheckReport, ClusterResult
+from repro.cluster.routing import Route, ShardRouter, stable_hash
+from repro.cluster.shard import Shard
+from repro.cluster.system import ClusterSystem
+
+__all__ = [
+    "BatchAnnouncement",
+    "BatchingTransferNode",
+    "ClusterCheckReport",
+    "ClusterResult",
+    "ClusterSystem",
+    "Route",
+    "Shard",
+    "ShardRouter",
+    "stable_hash",
+]

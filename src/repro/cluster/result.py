@@ -1,0 +1,122 @@
+"""Merged outcome of a cluster run.
+
+:class:`ClusterResult` aggregates the per-shard
+:class:`~repro.mp.system.SystemResult` objects into cluster-wide figures and
+deliberately mirrors the single-system result API (``committed_count``,
+``throughput``, ``latencies``, ``messages_per_commit``, ...) so the existing
+metrics layer (:func:`repro.eval.metrics.summarize_result`) consumes either
+without special cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.mp.consensusless_transfer import TransferRecord
+from repro.mp.system import SystemResult
+from repro.spec.byzantine_spec import CheckReport
+
+
+@dataclass
+class ClusterResult:
+    """Cluster-wide aggregate over independent shard results."""
+
+    shard_results: List[SystemResult] = field(default_factory=list)
+    duration: float = 0.0
+    events_processed: int = 0
+
+    # -- SystemResult-compatible surface ------------------------------------------------------
+
+    @property
+    def committed(self) -> List[TransferRecord]:
+        merged = [record for result in self.shard_results for record in result.committed]
+        merged.sort(key=lambda record: (record.completed_at, record.transfer.issuer))
+        return merged
+
+    @property
+    def rejected(self) -> List[TransferRecord]:
+        return [record for result in self.shard_results for record in result.rejected]
+
+    @property
+    def committed_count(self) -> int:
+        return sum(result.committed_count for result in self.shard_results)
+
+    @property
+    def messages_sent(self) -> int:
+        return sum(result.messages_sent for result in self.shard_results)
+
+    @property
+    def throughput(self) -> float:
+        """Committed transfers per simulated second, cluster-wide."""
+        if self.duration <= 0:
+            return 0.0
+        return self.committed_count / self.duration
+
+    @property
+    def latencies(self) -> List[float]:
+        return [
+            record.latency
+            for result in self.shard_results
+            for record in result.committed
+            if record.success
+        ]
+
+    @property
+    def average_latency(self) -> float:
+        values = self.latencies
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def messages_per_commit(self) -> float:
+        if self.committed_count == 0:
+            return 0.0
+        return self.messages_sent / self.committed_count
+
+    # -- cluster-specific views ---------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shard_results)
+
+    def per_shard_committed(self) -> List[int]:
+        return [result.committed_count for result in self.shard_results]
+
+    def per_shard_throughput(self) -> List[float]:
+        if self.duration <= 0:
+            return [0.0] * self.shard_count
+        return [result.committed_count / self.duration for result in self.shard_results]
+
+    def load_imbalance(self) -> float:
+        """max/mean committed-per-shard ratio (1.0 = perfectly balanced)."""
+        counts = self.per_shard_committed()
+        if not counts or sum(counts) == 0:
+            return 0.0
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean
+
+
+@dataclass
+class ClusterCheckReport:
+    """Per-shard Definition 1 reports plus the cluster-wide verdict."""
+
+    shard_reports: Dict[int, CheckReport] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.shard_reports.values())
+
+    @property
+    def violations(self) -> List[str]:
+        return [
+            f"shard {shard}: {violation}"
+            for shard, report in sorted(self.shard_reports.items())
+            for violation in report.violations
+        ]
+
+    @property
+    def checked_transfers(self) -> int:
+        return sum(report.checked_transfers for report in self.shard_reports.values())
+
+    def __bool__(self) -> bool:
+        return self.ok

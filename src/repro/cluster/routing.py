@@ -1,0 +1,137 @@
+"""Account-to-shard routing.
+
+The paper's central result — single-owner asset transfer has consensus
+number 1 — means transfers on different accounts commute and need no total
+order.  The cluster layer exploits exactly that: accounts are hash-partitioned
+across independent shard groups, each running its own secure-broadcast layer
+and Figure 4 replicas, with **no cross-shard coordination protocol**.
+
+The router is pure and stateless: the mapping from a user to its shard and
+to its shard-local issuing process depends only on the user identifier, the
+cluster geometry and an explicit salt, never on Python's per-process hash
+randomisation.  The same user therefore always lands on the same shard, in
+every run, on every machine — the property the determinism regression test
+guards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccountId, ProcessId
+
+# A cluster-level user identifier.  The workload driver simulates up to 10^6
+# users; the router folds them onto the shards' process-owned accounts.
+UserId = int
+
+
+def stable_hash(value: object, salt: int = 0) -> int:
+    """A process-stable 64-bit hash of ``value`` (unlike builtin ``hash``)."""
+    digest = hashlib.blake2b(
+        f"{salt}\x00{value!r}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class Route:
+    """Where one transfer executes.
+
+    ``shard`` and ``issuer`` locate the replica group and the shard-local
+    process that debits its account; ``destination_account`` is the account
+    identifier the transfer credits *inside the source shard's ledger* (a
+    local account for same-shard payments, an external settlement account —
+    see :meth:`ShardRouter.external_account` — otherwise).
+    """
+
+    shard: int
+    issuer: ProcessId
+    destination_account: AccountId
+    cross_shard: bool
+
+
+class ShardRouter:
+    """Hash-partitions users across ``shard_count`` independent shard groups.
+
+    Each shard runs ``replicas_per_shard`` Figure 4 replicas, each owning one
+    shard-local account (named ``str(pid)`` as in the single-shard system).
+    A user maps to the shard ``stable_hash(user) % shard_count`` and, within
+    it, to the issuing process ``stable_hash(user) % replicas_per_shard`` —
+    so many simulated users multiplex onto each process-owned account, the
+    way many customers share one bank branch.
+    """
+
+    def __init__(self, shard_count: int, replicas_per_shard: int = 4, salt: int = 0) -> None:
+        if shard_count <= 0:
+            raise ConfigurationError("shard_count must be positive")
+        if replicas_per_shard < 4:
+            raise ConfigurationError(
+                "each shard runs a Byzantine broadcast group and needs >= 4 replicas"
+            )
+        self.shard_count = shard_count
+        self.replicas_per_shard = replicas_per_shard
+        self.salt = salt
+
+    # -- the partition function ---------------------------------------------------------------
+
+    def shard_of(self, user: UserId) -> int:
+        """The shard group that owns ``user``'s account."""
+        return stable_hash(user, self.salt) % self.shard_count
+
+    def local_process_of(self, user: UserId) -> ProcessId:
+        """The shard-local process whose account ``user`` multiplexes onto."""
+        return stable_hash(user, self.salt + 1) % self.replicas_per_shard
+
+    def local_account_of(self, user: UserId) -> AccountId:
+        """The shard-local account that holds ``user``'s funds."""
+        return str(self.local_process_of(user))
+
+    def external_account(self, shard: int, account: AccountId) -> AccountId:
+        """The settlement account a remote shard's account appears under.
+
+        Cross-shard payments debit the source shard normally and credit this
+        account in the source shard's ledger.  v1 records the credit (so
+        conservation is auditable) but does not yet recycle it into spendable
+        balance at the destination shard — that is the cross-shard settlement
+        open item in ROADMAP.md.
+        """
+        return f"x{shard}:{account}"
+
+    # -- routing ------------------------------------------------------------------------------
+
+    def route(self, source_user: UserId, destination_user: UserId) -> Route:
+        """Resolve one user-to-user payment to its executing shard.
+
+        Transfers are routed by their *source* account (only the owner can
+        debit it).  If source and destination collapse onto the same local
+        account, the destination is deterministically bumped to the next
+        local account so the transfer still moves money.
+        """
+        shard = self.shard_of(source_user)
+        issuer = self.local_process_of(source_user)
+        destination_shard = self.shard_of(destination_user)
+        if destination_shard == shard:
+            local = self.local_process_of(destination_user)
+            if local == issuer:
+                local = (local + 1) % self.replicas_per_shard
+            return Route(
+                shard=shard,
+                issuer=issuer,
+                destination_account=str(local),
+                cross_shard=False,
+            )
+        remote_account = self.local_account_of(destination_user)
+        return Route(
+            shard=shard,
+            issuer=issuer,
+            destination_account=self.external_account(destination_shard, remote_account),
+            cross_shard=True,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardRouter(shards={self.shard_count}, "
+            f"replicas={self.replicas_per_shard}, salt={self.salt})"
+        )

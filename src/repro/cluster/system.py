@@ -1,0 +1,190 @@
+"""The cluster façade: N independent shards, one deterministic clock.
+
+:class:`ClusterSystem` mirrors :class:`repro.mp.system.ConsensuslessSystem`
+one level up: it owns the shared :class:`Simulator`, the
+:class:`~repro.cluster.routing.ShardRouter` and the per-shard deployments,
+routes cluster-level submissions to their owning shard, drives the whole
+cluster to quiescence and merges per-shard results.  The Definition 1
+checker runs *per shard* — shards share no accounts, so each shard's
+observations are checked against its own initial balances exactly as in the
+single-shard system, and the conjunction of the per-shard verdicts is the
+cluster verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import Amount
+from repro.cluster.result import ClusterCheckReport, ClusterResult
+from repro.cluster.routing import ShardRouter
+from repro.cluster.shard import Shard
+from repro.network.node import NetworkConfig
+from repro.network.simulator import Simulator
+from repro.spec.byzantine_spec import ByzantineAssetTransferChecker
+from repro.workloads.cluster_driver import ClusterSubmission
+
+
+class ClusterSystem:
+    """A sharded deployment of the consensusless protocol.
+
+    Parameters
+    ----------
+    shard_count:
+        Number of independent shard groups.
+    replicas_per_shard:
+        Figure 4 replicas per shard (>= 4; each owns one local account).
+    batch_size:
+        Transfers coalesced per secure-broadcast instance (1 = unbatched).
+    broadcast:
+        ``"bracha"`` or ``"echo"`` — the per-shard secure broadcast.
+    initial_balance:
+        Starting balance of every shard-local account.
+    network_config:
+        Cost model template; every shard gets its own seeded copy.
+    seed:
+        Root seed; all shard seeds derive from it.
+    """
+
+    def __init__(
+        self,
+        shard_count: int,
+        replicas_per_shard: int = 4,
+        batch_size: int = 1,
+        broadcast: str = "bracha",
+        initial_balance: Amount = 1_000_000,
+        network_config: Optional[NetworkConfig] = None,
+        relay_final: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if shard_count <= 0:
+            raise ConfigurationError("shard_count must be positive")
+        self.shard_count = shard_count
+        self.replicas_per_shard = replicas_per_shard
+        self.batch_size = batch_size
+        self.seed = seed
+        self.simulator = Simulator()
+        self.router = ShardRouter(shard_count, replicas_per_shard, salt=seed)
+        self.shards: List[Shard] = [
+            Shard(
+                index=index,
+                simulator=self.simulator,
+                replicas=replicas_per_shard,
+                initial_balance=initial_balance,
+                broadcast=broadcast,
+                batch_size=batch_size,
+                network_config=network_config,
+                relay_final=relay_final,
+                seed=seed,
+            )
+            for index in range(shard_count)
+        ]
+        self._result = ClusterResult()
+        self._started = False
+        self.cross_shard_submissions = 0
+
+    # -- driving ------------------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every shard's replicas (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for shard in self.shards:
+            shard.start()
+
+    def schedule_submissions(self, submissions: Iterable[ClusterSubmission]) -> int:
+        """Route and schedule cluster-level submissions; returns the count."""
+        self.start()
+        scheduled = 0
+        for submission in submissions:
+            route = self.router.route(submission.source_user, submission.destination_user)
+            if route.cross_shard:
+                self.cross_shard_submissions += 1
+            self.shards[route.shard].submit(
+                time=submission.time,
+                issuer=route.issuer,
+                destination=route.destination_account,
+                amount=submission.amount,
+            )
+            scheduled += 1
+        return scheduled
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> ClusterResult:
+        """Drive all shards on the shared clock until quiescence."""
+        self.start()
+        self.simulator.run(until=until, max_events=max_events)
+        duration = self.simulator.now
+        self._result.shard_results = [shard.finalize(duration) for shard in self.shards]
+        self._result.duration = duration
+        self._result.events_processed = self.simulator.processed_events
+        return self._result
+
+    # -- inspection ---------------------------------------------------------------------------
+
+    @property
+    def result(self) -> ClusterResult:
+        return self._result
+
+    def check_definition1(self) -> ClusterCheckReport:
+        """Run the Definition 1 checker independently over every shard."""
+        report = ClusterCheckReport()
+        for shard in self.shards:
+            checker = ByzantineAssetTransferChecker(shard.initial_balances())
+            report.shard_reports[shard.index] = checker.check(shard.observations())
+        return report
+
+    def total_supply(self) -> Amount:
+        """Cluster-wide money supply as seen by shard replicas 0.
+
+        Per shard this sums every account the replica knows about — local
+        accounts plus external settlement accounts.  Because v1 records
+        cross-shard credits in the *source* shard's ledger, the cluster total
+        equals the initial supply: money is conserved, auditable per shard.
+        """
+        total: Amount = 0
+        for shard in self.shards:
+            balances = shard.nodes[0].all_known_balances()
+            total += sum(balances.values())
+        return total
+
+    def broadcast_instances(self) -> int:
+        """Total secure-broadcast instances delivered (shard replicas 0)."""
+        return sum(shard.broadcast_instances() for shard in self.shards)
+
+    def payload_items(self) -> int:
+        """Total transfers carried by those instances (>= instances)."""
+        return sum(shard.payload_items() for shard in self.shards)
+
+    def committed_signature(self) -> List[tuple]:
+        """A deterministic fingerprint of the committed-transfer sequence.
+
+        Used by the determinism regression test: two runs with the same seed
+        must produce identical fingerprints (same transfers, same order, same
+        completion times) and identical message counts.
+        """
+        signature = []
+        for shard in self.shards:
+            for record in shard.result.committed:
+                transfer = record.transfer
+                signature.append(
+                    (
+                        shard.index,
+                        transfer.issuer,
+                        transfer.sequence,
+                        transfer.source,
+                        transfer.destination,
+                        transfer.amount,
+                        round(record.completed_at, 12),
+                    )
+                )
+        return signature
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClusterSystem(shards={self.shard_count}, "
+            f"replicas={self.replicas_per_shard}, batch={self.batch_size})"
+        )

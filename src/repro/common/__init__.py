@@ -14,7 +14,7 @@ from repro.common.errors import (
     SimulationError,
     SpecificationViolation,
 )
-from repro.common.rng import SeededRng, derive_seed
+from repro.common.rng import SeededRng, ZipfSampler, derive_seed
 from repro.common.types import (
     AccountId,
     Amount,
@@ -40,5 +40,6 @@ __all__ = [
     "Transfer",
     "TransferId",
     "TransferStatus",
+    "ZipfSampler",
     "derive_seed",
 ]

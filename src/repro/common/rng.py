@@ -9,7 +9,9 @@ failing schedule needs to be replayed while debugging a protocol.
 
 from __future__ import annotations
 
+import bisect
 import hashlib
+import itertools
 import random
 from typing import Iterable, List, Optional, Sequence, TypeVar
 
@@ -147,6 +149,44 @@ class SeededRng:
     def restore(self, state: object) -> None:
         """Restore a state captured by :meth:`state`."""
         self._random.setstate(state)  # type: ignore[arg-type]
+
+
+class ZipfSampler:
+    """Amortised-fast Zipf sampling over large populations.
+
+    :meth:`SeededRng.zipf_index` walks the weight vector on every draw, which
+    is O(size) and unusable for the cluster workload driver's populations of
+    up to 10⁶ simulated users.  This sampler pays the O(size) weight
+    computation once, keeps the cumulative distribution, and answers each
+    draw with a binary search — O(log size) per sample.
+
+    Index ``0`` is the most popular element; ``skew == 0`` degenerates to the
+    uniform distribution, matching :meth:`SeededRng.zipf_index`.
+    """
+
+    def __init__(self, size: int, skew: float, rng: SeededRng) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if skew < 0:
+            raise ValueError("skew must be non-negative")
+        self.size = size
+        self.skew = skew
+        self._rng = rng
+        self._cdf: Optional[List[float]] = None
+        if skew > 0:
+            weights = [1.0 / ((rank + 1) ** skew) for rank in range(size)]
+            self._cdf = list(itertools.accumulate(weights))
+
+    def sample(self) -> int:
+        """Draw one index in ``[0, size)`` with Zipfian popularity."""
+        if self._cdf is None:
+            return self._rng.randint(0, self.size - 1)
+        target = self._rng.random() * self._cdf[-1]
+        return min(self.size - 1, bisect.bisect_right(self._cdf, target))
+
+    def sample_many(self, count: int) -> List[int]:
+        """Draw ``count`` independent indices."""
+        return [self.sample() for _ in range(count)]
 
 
 def default_rng(seed: Optional[int] = None) -> SeededRng:

@@ -8,12 +8,15 @@ from an interactive session alike.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bft.consensus_transfer import ConsensusTransferSystem
 from repro.bft.pbft import PbftConfig
 from repro.byzantine.faults import FaultKind, FaultModel
+from repro.cluster.result import ClusterCheckReport
+from repro.cluster.system import ClusterSystem
 from repro.common.errors import ConfigurationError
 from repro.common.types import OwnershipMap
 from repro.eval.metrics import RunSummary, summarize_result
@@ -22,6 +25,7 @@ from repro.mp.k_shared import KSharedSystem
 from repro.mp.system import ClientSubmission, ConsensuslessSystem
 from repro.network.node import NetworkConfig
 from repro.spec.byzantine_spec import ByzantineAssetTransferChecker, CheckReport
+from repro.workloads.cluster_driver import ClusterWorkloadConfig, cluster_open_loop_workload
 from repro.workloads.generators import WorkloadConfig, closed_loop_workload, k_shared_workload
 
 
@@ -452,4 +456,120 @@ def batching_ablation(
         )
         summary, _ = run_consensus_based(process_count, variant)
         rows.append(AblationRow(label=f"batch={batch_size}", summary=summary))
+    return rows
+
+
+@dataclass
+class ClusterExperimentConfig:
+    """Knobs of the cluster scaling experiments.
+
+    The workload is shared across every swept configuration (same seed, same
+    users, same arrival times), so throughput differences are attributable to
+    the cluster geometry alone — "equal offered load" in the benchmark's
+    acceptance sense.
+    """
+
+    replicas_per_shard: int = 4
+    broadcast: str = "bracha"
+    initial_balance: int = 1_000_000
+    user_count: int = 10_000
+    aggregate_rate: float = 20_000.0
+    duration: float = 0.1
+    zipf_skew: float = 1.0
+    seed: int = 7
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    max_events: Optional[int] = 50_000_000
+
+    def workload(self):
+        return cluster_open_loop_workload(
+            ClusterWorkloadConfig(
+                user_count=self.user_count,
+                aggregate_rate=self.aggregate_rate,
+                duration=self.duration,
+                zipf_skew=self.zipf_skew,
+                seed=self.seed,
+            )
+        )
+
+    def network_copy(self) -> NetworkConfig:
+        return dataclasses.replace(self.network)
+
+
+@dataclass(frozen=True)
+class ClusterScalingRow:
+    """One swept cluster configuration and its audited outcome."""
+
+    shard_count: int
+    batch_size: int
+    summary: RunSummary
+    check: ClusterCheckReport
+    broadcast_instances: int
+    payload_items: int
+    load_imbalance: float
+
+    @property
+    def amortisation(self) -> float:
+        """Transfers per secure-broadcast instance (> 1 under batching)."""
+        if self.broadcast_instances == 0:
+            return 0.0
+        return self.payload_items / self.broadcast_instances
+
+
+def run_cluster(
+    shard_count: int,
+    batch_size: int = 1,
+    config: Optional[ClusterExperimentConfig] = None,
+    workload=None,
+) -> Tuple[ClusterScalingRow, ClusterSystem]:
+    """Run one cluster configuration under the high-volume open-loop workload.
+
+    ``workload`` lets sweeps reuse one generated submission list across
+    configurations instead of regenerating it per run.
+    """
+    config = config or ClusterExperimentConfig()
+    system = ClusterSystem(
+        shard_count=shard_count,
+        replicas_per_shard=config.replicas_per_shard,
+        batch_size=batch_size,
+        broadcast=config.broadcast,
+        initial_balance=config.initial_balance,
+        network_config=config.network_copy(),
+        seed=config.seed,
+    )
+    system.schedule_submissions(config.workload() if workload is None else workload)
+    result = system.run(max_events=config.max_events)
+    total_processes = shard_count * config.replicas_per_shard
+    summary = summarize_result(
+        f"cluster[s={shard_count},b={batch_size}]", total_processes, result
+    )
+    row = ClusterScalingRow(
+        shard_count=shard_count,
+        batch_size=batch_size,
+        summary=summary,
+        check=system.check_definition1(),
+        broadcast_instances=system.broadcast_instances(),
+        payload_items=system.payload_items(),
+        load_imbalance=result.load_imbalance(),
+    )
+    return row, system
+
+
+def cluster_scaling_experiment(
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    batch_sizes: Sequence[int] = (1, 8, 32),
+    config: Optional[ClusterExperimentConfig] = None,
+) -> List[ClusterScalingRow]:
+    """The cluster benchmark's sweep: shards × batch sizes, one shared load.
+
+    Every configuration replays the *same* submission list; rows report
+    cluster-wide throughput, the per-shard Definition 1 verdict and how many
+    transfers each secure-broadcast instance amortised.
+    """
+    config = config or ClusterExperimentConfig()
+    workload = config.workload()
+    rows: List[ClusterScalingRow] = []
+    for batch_size in batch_sizes:
+        for shard_count in shard_counts:
+            row, _ = run_cluster(shard_count, batch_size, config, workload=workload)
+            rows.append(row)
     return rows

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
-from repro.eval.experiments import AblationRow, ComparisonRow, LatencyRow
+from repro.eval.experiments import AblationRow, ClusterScalingRow, ComparisonRow, LatencyRow
 from repro.eval.metrics import RunSummary
 
 
@@ -96,6 +96,34 @@ def format_ablation_table(rows: Sequence[AblationRow]) -> str:
             f"{row.summary.throughput:.0f}",
             f"{row.summary.latency.average * 1000:.2f}",
             f"{row.summary.messages_per_commit:.1f}",
+        ]
+        for row in rows
+    ]
+    return _format_table(headers, body)
+
+
+def format_cluster_table(rows: Sequence[ClusterScalingRow]) -> str:
+    """The cluster scaling sweep: shards × batch size under one offered load."""
+    headers = [
+        "shards",
+        "batch",
+        "tx/s",
+        "avg latency ms",
+        "messages/commit",
+        "tx/broadcast",
+        "imbalance",
+        "def-1",
+    ]
+    body = [
+        [
+            str(row.shard_count),
+            str(row.batch_size),
+            f"{row.summary.throughput:.0f}",
+            f"{row.summary.latency.average * 1000:.2f}",
+            f"{row.summary.messages_per_commit:.1f}",
+            f"{row.amortisation:.2f}",
+            f"{row.load_imbalance:.2f}",
+            "OK" if row.check.ok else "VIOLATED",
         ]
         for row in rows
     ]

@@ -248,17 +248,25 @@ class ConsensuslessTransferNode(Node):
         payload = delivery.payload
         if not isinstance(payload, TransferAnnouncement):
             return
-        issuer = delivery.origin
+        if self._receive_announcement(delivery.origin, payload):
+            self._validation_pass()
+
+    def _receive_announcement(self, issuer: ProcessId, payload: TransferAnnouncement) -> bool:
+        """Well-formedness gate (lines 9-12) for one delivered announcement.
+
+        The broadcast sequence number must be the next one we have *received*
+        from this issuer; source order of the secure broadcast makes gaps
+        impossible among benign issuers.  Returns ``True`` if the announcement
+        was queued for validation (callers then run a validation pass; batch
+        deliveries queue several announcements before a single pass).
+        """
         transfer = payload.transfer
-        # Well-formedness (lines 9-12): the broadcast sequence number must be
-        # the next one we have *received* from this issuer.  Source order of
-        # the secure broadcast makes gaps impossible among benign issuers.
         expected = self.rec.get(issuer, 0) + 1
         if transfer.sequence != expected:
-            return
+            return False
         self.rec[issuer] = expected
         self.to_validate.append((issuer, payload))
-        self._validation_pass()
+        return True
 
     def _validation_pass(self) -> None:
         """Apply every pending announcement whose ``Valid`` predicate holds.

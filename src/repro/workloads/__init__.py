@@ -1,5 +1,12 @@
 """Synthetic payment workloads used by tests, examples and benchmarks."""
 
+from repro.workloads.cluster_driver import (
+    ClusterSubmission,
+    ClusterWorkloadConfig,
+    cluster_open_loop_workload,
+    destination_histogram,
+    iter_cluster_workload,
+)
 from repro.workloads.generators import (
     WorkloadConfig,
     closed_loop_workload,
@@ -11,8 +18,13 @@ from repro.workloads.generators import (
 )
 
 __all__ = [
+    "ClusterSubmission",
+    "ClusterWorkloadConfig",
     "WorkloadConfig",
     "closed_loop_workload",
+    "cluster_open_loop_workload",
+    "destination_histogram",
+    "iter_cluster_workload",
     "hotspot_workload",
     "k_shared_workload",
     "open_loop_workload",

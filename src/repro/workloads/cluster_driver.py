@@ -1,0 +1,123 @@
+"""High-volume, open-loop workload driver for the cluster layer.
+
+The single-system generators in :mod:`repro.workloads.generators` speak in
+terms of protocol processes.  The cluster driver speaks in terms of *users*:
+up to 10⁶ simulated clients issuing payments whose destination popularity is
+Zipf-skewed (a few very popular merchants) and whose arrivals form a Poisson
+process at a configurable aggregate rate — the heavy-traffic shape the
+ROADMAP's north star demands.  The :class:`~repro.cluster.routing.ShardRouter`
+folds users onto shard-local accounts, so the same workload replays against
+any cluster geometry.
+
+Everything is driven by :class:`repro.common.rng.SeededRng`: the same config
+produces bit-identical submission lists, which the reproducibility tests
+assert directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import SeededRng, ZipfSampler
+from repro.common.types import Amount
+
+
+@dataclass(frozen=True)
+class ClusterSubmission:
+    """One user-level payment request: at ``time``, ``source_user`` pays
+    ``destination_user``."""
+
+    time: float
+    source_user: int
+    destination_user: int
+    amount: Amount
+
+
+@dataclass
+class ClusterWorkloadConfig:
+    """Knobs of the open-loop cluster workload.
+
+    ``user_count`` scales to 10⁶ simulated users: sampling is O(log users)
+    per submission (see :class:`~repro.common.rng.ZipfSampler`), so a million
+    users cost a one-off CDF build plus a binary search per payment.
+    """
+
+    user_count: int = 10_000
+    aggregate_rate: float = 5_000.0
+    duration: float = 0.5
+    zipf_skew: float = 1.0
+    min_amount: Amount = 1
+    max_amount: Amount = 5
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.user_count < 2:
+            raise ConfigurationError("need at least two users to move money between")
+        if self.aggregate_rate <= 0:
+            raise ConfigurationError("aggregate_rate must be positive")
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.zipf_skew < 0:
+            raise ConfigurationError("zipf_skew must be non-negative")
+        if self.min_amount < 0 or self.max_amount < self.min_amount:
+            raise ConfigurationError("invalid amount range")
+
+    @property
+    def expected_submissions(self) -> float:
+        return self.aggregate_rate * self.duration
+
+
+def iter_cluster_workload(config: ClusterWorkloadConfig) -> Iterator[ClusterSubmission]:
+    """Lazily generate the Poisson/Zipf submission stream.
+
+    Sources are uniform over the user population (everybody shops);
+    destinations are Zipf-skewed (popularity concentrates on low user ids).
+    A destination that collides with its source is deterministically bumped
+    to the next user so every submission moves money.
+    """
+    config.validate()
+    rng = SeededRng(config.seed).fork("cluster-open-loop")
+    arrivals = rng.fork("arrivals")
+    sources = rng.fork("sources")
+    amounts = rng.fork("amounts")
+    destination_sampler = ZipfSampler(
+        config.user_count, config.zipf_skew, rng.fork("destinations")
+    )
+    now = 0.0
+    mean_gap = 1.0 / config.aggregate_rate
+    while True:
+        now += arrivals.exponential(mean_gap)
+        if now >= config.duration:
+            return
+        source = sources.randint(0, config.user_count - 1)
+        destination = destination_sampler.sample()
+        if destination == source:
+            destination = (destination + 1) % config.user_count
+        yield ClusterSubmission(
+            time=now,
+            source_user=source,
+            destination_user=destination,
+            amount=amounts.randint(config.min_amount, config.max_amount),
+        )
+
+
+def cluster_open_loop_workload(config: ClusterWorkloadConfig) -> List[ClusterSubmission]:
+    """The materialised form of :func:`iter_cluster_workload`."""
+    return list(iter_cluster_workload(config))
+
+
+def destination_histogram(
+    submissions: List[ClusterSubmission], top: int = 10
+) -> Dict[int, int]:
+    """Payment counts of the ``top`` most popular destination users.
+
+    Used by tests and reports to confirm the Zipf skew actually materialises
+    (the head of the popularity distribution dominates the tail).
+    """
+    counts: Dict[int, int] = {}
+    for submission in submissions:
+        counts[submission.destination_user] = counts.get(submission.destination_user, 0) + 1
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return dict(ranked[:top])

@@ -1,0 +1,114 @@
+"""Tests for the high-volume cluster workload driver."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import SeededRng, ZipfSampler
+from repro.workloads.cluster_driver import (
+    ClusterWorkloadConfig,
+    cluster_open_loop_workload,
+    destination_histogram,
+    iter_cluster_workload,
+)
+
+
+class TestZipfSampler:
+    def test_matches_configured_range(self):
+        sampler = ZipfSampler(100, 1.0, SeededRng(1))
+        samples = sampler.sample_many(2000)
+        assert all(0 <= s < 100 for s in samples)
+
+    def test_low_indices_dominate_under_skew(self):
+        sampler = ZipfSampler(1000, 1.2, SeededRng(2))
+        samples = sampler.sample_many(5000)
+        head = sum(1 for s in samples if s < 10)
+        assert head > len(samples) * 0.2  # far above the 1% uniform share
+
+    def test_zero_skew_degenerates_to_uniform(self):
+        sampler = ZipfSampler(50, 0.0, SeededRng(3))
+        samples = sampler.sample_many(5000)
+        top = max(samples.count(v) for v in set(samples))
+        assert top < 5000 * 0.1
+
+    def test_deterministic_given_seed(self):
+        a = ZipfSampler(500, 1.0, SeededRng(7)).sample_many(100)
+        b = ZipfSampler(500, 1.0, SeededRng(7)).sample_many(100)
+        assert a == b
+
+    def test_large_population_is_fast_enough_to_use(self):
+        # 10^6 users: one-off CDF build, then O(log n) sampling.  This exists
+        # to catch an accidental return to O(n)-per-draw sampling.
+        sampler = ZipfSampler(1_000_000, 1.0, SeededRng(4))
+        samples = sampler.sample_many(1000)
+        assert len(samples) == 1000
+        assert max(samples) < 1_000_000
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, SeededRng(1))
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -0.5, SeededRng(1))
+
+
+class TestClusterWorkload:
+    def test_poisson_arrivals_are_ordered_and_bounded(self):
+        config = ClusterWorkloadConfig(
+            user_count=1000, aggregate_rate=5000, duration=0.1, seed=1
+        )
+        submissions = cluster_open_loop_workload(config)
+        times = [s.time for s in submissions]
+        assert times == sorted(times)
+        assert all(0 < t < config.duration for t in times)
+        # Poisson count concentrates around rate * duration = 500.
+        assert 350 < len(submissions) < 650
+
+    def test_reproducible_under_common_rng(self):
+        config = ClusterWorkloadConfig(user_count=5000, aggregate_rate=2000, duration=0.1, seed=9)
+        assert cluster_open_loop_workload(config) == cluster_open_loop_workload(config)
+
+    def test_different_seed_differs(self):
+        base = dict(user_count=5000, aggregate_rate=2000, duration=0.1)
+        a = cluster_open_loop_workload(ClusterWorkloadConfig(seed=1, **base))
+        b = cluster_open_loop_workload(ClusterWorkloadConfig(seed=2, **base))
+        assert a != b
+
+    def test_zipf_skew_statistics(self):
+        config = ClusterWorkloadConfig(
+            user_count=10_000, aggregate_rate=20_000, duration=0.2, zipf_skew=1.0, seed=3
+        )
+        submissions = cluster_open_loop_workload(config)
+        top = destination_histogram(submissions, top=10)
+        total = len(submissions)
+        # The ten most popular of 10^4 users (a 0.1% slice) should attract a
+        # grossly super-uniform share of payments under skew 1.0.
+        assert sum(top.values()) > total * 0.1
+        # And popularity should concentrate on low user ids (rank order).
+        assert min(top) < 100
+
+    def test_no_self_payments(self):
+        config = ClusterWorkloadConfig(user_count=50, aggregate_rate=5000, duration=0.1, seed=5)
+        assert all(
+            s.source_user != s.destination_user for s in cluster_open_loop_workload(config)
+        )
+
+    def test_amounts_respect_bounds(self):
+        config = ClusterWorkloadConfig(
+            user_count=100, aggregate_rate=2000, duration=0.05, min_amount=2, max_amount=3, seed=6
+        )
+        assert all(2 <= s.amount <= 3 for s in cluster_open_loop_workload(config))
+
+    def test_lazy_iterator_matches_materialised_list(self):
+        config = ClusterWorkloadConfig(user_count=200, aggregate_rate=1000, duration=0.05, seed=8)
+        assert list(iter_cluster_workload(config)) == cluster_open_loop_workload(config)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cluster_open_loop_workload(ClusterWorkloadConfig(user_count=1))
+        with pytest.raises(ConfigurationError):
+            cluster_open_loop_workload(ClusterWorkloadConfig(aggregate_rate=0))
+        with pytest.raises(ConfigurationError):
+            cluster_open_loop_workload(ClusterWorkloadConfig(duration=0))
+        with pytest.raises(ConfigurationError):
+            cluster_open_loop_workload(ClusterWorkloadConfig(zipf_skew=-1))
+        with pytest.raises(ConfigurationError):
+            cluster_open_loop_workload(ClusterWorkloadConfig(min_amount=5, max_amount=1))
