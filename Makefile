@@ -5,11 +5,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench example clean
+.PHONY: test test-props bench-smoke bench example clean
 
 ## Tier-1: the full unit/integration suite (fails fast, quiet).
 test:
 	$(PYTHON) -m pytest -x -q
+
+## The property-based suites alone (hypothesis; cluster conservation etc.).
+test-props:
+	$(PYTHON) -m pytest tests/properties -q
 
 ## A fast sanity pass over the cluster benchmark (shrunken grid and load).
 bench-smoke:

@@ -1,17 +1,25 @@
-"""Cluster scaling — throughput vs. shard count and batch size.
+"""Cluster scaling — throughput vs. shard count, batch size and settlement load.
 
 The consensus-number-1 result makes the system horizontally partitionable by
 account; this benchmark quantifies what that buys.  One Zipf/Poisson
 open-loop workload (identical submissions, arrival times and seed) replays
 against every cluster geometry in the grid shards × {1, 2, 4, 8} and batch
 size × {1, 8, 32}; every configuration is audited with the per-shard
-Definition 1 checker before its numbers count.
+Definition 1 checker *and* the cluster-level supply audit (cross-shard
+credits are quorum-certified and minted at their destination shard by the
+settlement relay, so conservation now spans both ledger views) before its
+numbers count.
 
-Besides the pytest-benchmark report, the sweep emits machine-readable
+A second sweep drives explicit ``cross_shard_fraction`` mixes through the
+settlement fabric: rows assert that under every mix the run settles
+completely — nothing left in flight — and appends the audited results
+alongside the scaling grid.
+
+Besides the pytest-benchmark report, the sweeps emit machine-readable
 ``BENCH_cluster.json`` at the repository root so the performance trajectory
 is tracked across PRs.
 
-Setting ``REPRO_BENCH_SMOKE=1`` shrinks the grid and the offered load
+Setting ``REPRO_BENCH_SMOKE=1`` shrinks the grids and the offered load
 (used by ``make bench-smoke``).
 """
 
@@ -21,7 +29,11 @@ from pathlib import Path
 
 import pytest
 
-from repro.eval.experiments import ClusterExperimentConfig, cluster_scaling_experiment
+from repro.eval.experiments import (
+    ClusterExperimentConfig,
+    cluster_scaling_experiment,
+    cross_shard_settlement_experiment,
+)
 from repro.eval.reporting import format_cluster_table
 from repro.network.node import NetworkConfig
 
@@ -29,6 +41,10 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
 SHARD_COUNTS = (1, 2) if SMOKE else (1, 2, 4, 8)
 BATCH_SIZES = (1, 8) if SMOKE else (1, 8, 32)
+# (shards, batch, cross_shard_fraction) mixes for the settlement sweep.
+CROSS_SHARD_CONFIGS = (
+    ((2, 8, 0.5),) if SMOKE else ((2, 1, 0.25), (2, 8, 0.5), (4, 8, 0.5), (8, 8, 1.0))
+)
 # Smoke runs write alongside rather than clobbering the tracked trajectory.
 _OUTPUT_NAME = "BENCH_cluster_smoke.json" if SMOKE else "BENCH_cluster.json"
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / _OUTPUT_NAME
@@ -45,8 +61,60 @@ def _config() -> ClusterExperimentConfig:
     )
 
 
+def _row_payload(row, fraction=None) -> dict:
+    audit = row.check.conservation
+    return {
+        "shard_count": row.shard_count,
+        "batch_size": row.batch_size,
+        "cross_shard_fraction": fraction,
+        "committed": row.summary.committed,
+        "rejected": row.summary.rejected,
+        "throughput_tps": round(row.summary.throughput, 1),
+        "avg_latency_ms": round(row.summary.latency.average * 1000, 3),
+        "p95_latency_ms": round(row.summary.latency.p95 * 1000, 3),
+        "messages_sent": row.summary.messages_sent,
+        "messages_per_commit": round(row.summary.messages_per_commit, 2),
+        "tx_per_broadcast": round(row.amortisation, 2),
+        "load_imbalance": round(row.load_imbalance, 3),
+        "cross_shard_submissions": row.cross_shard_submissions,
+        "settled_amount": row.settled_amount,
+        "in_flight_amount": row.in_flight_amount,
+        "settlement_messages": row.settlement_messages,
+        # Per-shard Definition 1 alone; the conservation identity is its own
+        # field so trajectory tracking can tell the two audits apart.
+        "definition_1_ok": all(r.ok for r in row.check.shard_reports.values()),
+        "conservation_ok": row.conservation_ok,
+    }
+
+
+def _update_json(key: str, rows: list, config: ClusterExperimentConfig) -> None:
+    """Read-modify-write one section of the benchmark JSON.
+
+    The scaling grid and the settlement sweep run as separate pytest items;
+    each owns one key of the payload — carrying its *own* workload header —
+    so either can be rerun alone without clobbering or mislabeling the
+    other's rows.
+    """
+    payload = {}
+    if OUTPUT_PATH.exists():
+        payload = json.loads(OUTPUT_PATH.read_text(encoding="utf-8"))
+    payload["benchmark"] = "cluster_scaling"
+    payload["smoke"] = SMOKE
+    payload[key] = {
+        "workload": {
+            "user_count": config.user_count,
+            "aggregate_rate": config.aggregate_rate,
+            "duration": config.duration,
+            "zipf_skew": config.zipf_skew,
+            "seed": config.seed,
+        },
+        "rows": rows,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
 def test_cluster_scaling_grid(benchmark):
-    """The full sweep: monotone shard scaling, batching advantage, Def-1."""
+    """The full sweep: monotone shard scaling, batching advantage, audits."""
     config = _config()
 
     def run():
@@ -61,12 +129,21 @@ def test_cluster_scaling_grid(benchmark):
         benchmark.extra_info[f"s{row.shard_count}_b{row.batch_size}_tps"] = round(
             row.summary.throughput, 1
         )
-        # Safety first: a configuration whose Definition 1 check fails has
-        # committed nothing meaningful, whatever its throughput.
+        # Safety first: a configuration whose audits fail has committed
+        # nothing meaningful, whatever its throughput.
         assert row.check.ok, (
             f"Definition 1 violated at shards={row.shard_count} "
             f"batch={row.batch_size}: {row.check.violations[:3]}"
         )
+        assert row.conservation_ok, (
+            f"cluster conservation violated at shards={row.shard_count} "
+            f"batch={row.batch_size}: {row.check.conservation}"
+        )
+        # Cross-shard money must actually move: whenever the workload crossed
+        # a shard boundary, the settlement relay minted it at the destination.
+        if row.cross_shard_submissions > 0:
+            assert row.settled_amount > 0
+        assert row.in_flight_amount == 0
 
     # Horizontal scaling: committed throughput rises monotonically from
     # 1 -> 4 shards while the protocol is the bottleneck (batch 1 and 8;
@@ -88,38 +165,43 @@ def test_cluster_scaling_grid(benchmark):
                 f"{batched:.0f} <= {unbatched:.0f}"
             )
 
-    _emit_json(rows, config)
+    _update_json("rows", [_row_payload(row) for row in rows], config)
     print()
     print(format_cluster_table(rows))
 
 
-def _emit_json(rows, config: ClusterExperimentConfig) -> None:
-    payload = {
-        "benchmark": "cluster_scaling",
-        "smoke": SMOKE,
-        "workload": {
-            "user_count": config.user_count,
-            "aggregate_rate": config.aggregate_rate,
-            "duration": config.duration,
-            "zipf_skew": config.zipf_skew,
-            "seed": config.seed,
-        },
-        "rows": [
-            {
-                "shard_count": row.shard_count,
-                "batch_size": row.batch_size,
-                "committed": row.summary.committed,
-                "rejected": row.summary.rejected,
-                "throughput_tps": round(row.summary.throughput, 1),
-                "avg_latency_ms": round(row.summary.latency.average * 1000, 3),
-                "p95_latency_ms": round(row.summary.latency.p95 * 1000, 3),
-                "messages_sent": row.summary.messages_sent,
-                "messages_per_commit": round(row.summary.messages_per_commit, 2),
-                "tx_per_broadcast": round(row.amortisation, 2),
-                "load_imbalance": round(row.load_imbalance, 3),
-                "definition_1_ok": row.check.ok,
-            }
-            for row in rows
-        ],
-    }
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+def test_cross_shard_settlement_configs(benchmark):
+    """Explicit settlement mixes: every config settles fully and audits clean."""
+    config = _config()
+
+    def run():
+        return cross_shard_settlement_experiment(
+            configurations=CROSS_SHARD_CONFIGS, config=config
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for fraction, row in rows:
+        label = f"s{row.shard_count}_b{row.batch_size}_x{fraction}"
+        benchmark.extra_info[f"{label}_tps"] = round(row.summary.throughput, 1)
+        assert row.check.ok, (
+            f"Definition 1 violated at {label}: {row.check.violations[:3]}"
+        )
+        assert row.conservation_ok, (
+            f"cluster conservation violated at {label}: {row.check.conservation}"
+        )
+        # The knob must bite: a steered mix produces cross-shard submissions
+        # (all of them at fraction 1.0) and every settled coin is accounted.
+        assert row.cross_shard_submissions > 0
+        assert row.settled_amount > 0
+        assert row.in_flight_amount == 0
+        if fraction == 1.0:
+            assert row.cross_shard_submissions == row.summary.committed
+
+    _update_json(
+        "cross_shard_rows",
+        [_row_payload(row, fraction) for fraction, row in rows],
+        config,
+    )
+    print()
+    print(format_cluster_table([row for _, row in rows]))

@@ -12,17 +12,34 @@ This package deploys that observation:
   one secure-broadcast instance, amortising signature and quorum cost.
 * :mod:`repro.cluster.shard` — :class:`Shard`, one independent Figure 4
   replica group on the shared simulator clock.
+* :mod:`repro.cluster.settlement` — the cross-shard settlement fabric:
+  :class:`SettlementRelay` per shard pair assembles ``2f+1`` source-replica
+  voucher signatures into a certificate; :class:`SettlementInbox` per
+  destination replica verifies and mints the credit exactly once, making
+  cross-shard money *spendable* at its destination.
 * :mod:`repro.cluster.system` — :class:`ClusterSystem`, the façade that
-  routes, drives and audits the whole cluster.
+  routes, drives, settles and audits the whole cluster.
 * :mod:`repro.cluster.result` — :class:`ClusterResult` /
-  :class:`ClusterCheckReport`, the merged run artefacts.
+  :class:`ClusterCheckReport` / :class:`SupplyAudit`, the merged run and
+  audit artefacts.
 
 The matching workload driver lives in :mod:`repro.workloads.cluster_driver`.
 """
 
 from repro.cluster.batching import BatchAnnouncement, BatchingTransferNode
-from repro.cluster.result import ClusterCheckReport, ClusterResult
-from repro.cluster.routing import Route, ShardRouter, stable_hash
+from repro.cluster.result import ClusterCheckReport, ClusterResult, SupplyAudit
+from repro.cluster.routing import Route, ShardRouter, parse_external_account, stable_hash
+from repro.cluster.settlement import (
+    SettlementCertificate,
+    SettlementClaim,
+    SettlementConfig,
+    SettlementFabric,
+    SettlementInbox,
+    SettlementRelay,
+    SettlementVoucher,
+    is_settlement_account,
+    settlement_account,
+)
 from repro.cluster.shard import Shard
 from repro.cluster.system import ClusterSystem
 
@@ -33,7 +50,18 @@ __all__ = [
     "ClusterResult",
     "ClusterSystem",
     "Route",
+    "SettlementCertificate",
+    "SettlementClaim",
+    "SettlementConfig",
+    "SettlementFabric",
+    "SettlementInbox",
+    "SettlementRelay",
+    "SettlementVoucher",
     "Shard",
     "ShardRouter",
+    "SupplyAudit",
+    "is_settlement_account",
+    "parse_external_account",
+    "settlement_account",
     "stable_hash",
 ]

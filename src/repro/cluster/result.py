@@ -11,8 +11,9 @@ without special cases.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.common.types import Amount
 from repro.mp.consensusless_transfer import TransferRecord
 from repro.mp.system import SystemResult
 from repro.spec.byzantine_spec import CheckReport
@@ -96,23 +97,105 @@ class ClusterResult:
         return max(counts) / mean
 
 
-@dataclass
-class ClusterCheckReport:
-    """Per-shard Definition 1 reports plus the cluster-wide verdict."""
+@dataclass(frozen=True)
+class SupplyAudit:
+    """The cluster-level conservation audit across both ledger views.
 
-    shard_reports: Dict[int, CheckReport] = field(default_factory=dict)
+    Cross-shard money is recorded twice: the source shard's ledger keeps the
+    cumulative *outbound* credit in ``x{d}:a`` accounts, and the destination
+    shard's ledger keeps the cumulative *inbound* mint as a negative balance
+    on ``settle:{s}:{p}`` provision accounts.  Netting the two yields the
+    accounting identity the audit asserts:
+
+    ``local + outbound - minted == initial_supply``  (at every instant)
+
+    because every shard-local application — a transfer, a cross-shard debit
+    into ``x{d}:a``, or a mint from ``settle:{s}:{p}`` — conserves the sum of
+    *all* accounts in its own ledger.  ``in_flight = outbound - minted`` is
+    money certified at the source but not yet (or never, under faults) minted
+    at the destination; at quiescence with correct replicas it is zero and
+    the local balances alone carry the whole supply.
+    """
+
+    initial_supply: Amount
+    local: Amount
+    outbound: Amount
+    minted: Amount
+    relay_delivered: Amount
+
+    @property
+    def in_flight(self) -> Amount:
+        """Outbound credits not yet minted at their destination shard."""
+        return self.outbound - self.minted
+
+    @property
+    def total(self) -> Amount:
+        """The netted cluster supply: ``local + in_flight``."""
+        return self.local + self.in_flight
+
+    @property
+    def conserved(self) -> bool:
+        return self.total == self.initial_supply
+
+    @property
+    def ledger_matches_relay(self) -> bool:
+        """Minted balances must equal what the relays actually certified."""
+        return self.minted == self.relay_delivered
+
+    @property
+    def fully_settled(self) -> bool:
+        """True once every outbound credit has been minted (quiescence)."""
+        return self.in_flight == 0
 
     @property
     def ok(self) -> bool:
-        return all(report.ok for report in self.shard_reports.values())
+        return self.conserved and self.ledger_matches_relay
 
     @property
     def violations(self) -> List[str]:
-        return [
+        problems: List[str] = []
+        if not self.conserved:
+            problems.append(
+                f"conservation violated: local {self.local} + in-flight {self.in_flight} "
+                f"= {self.total} != initial supply {self.initial_supply}"
+            )
+        if not self.ledger_matches_relay:
+            problems.append(
+                f"mint mismatch: ledgers minted {self.minted} but relays "
+                f"delivered certificates for {self.relay_delivered}"
+            )
+        return problems
+
+
+@dataclass
+class ClusterCheckReport:
+    """Per-shard Definition 1 reports plus the cluster-wide verdict.
+
+    The cluster verdict is the conjunction of the per-shard Definition 1
+    checks (shards share no accounts) *and* the cross-ledger
+    :class:`SupplyAudit`, which is what makes settled cross-shard money
+    auditable: the per-shard checker sees each mint against its certificate's
+    provision, the audit nets outbound credits against minted ones.
+    """
+
+    shard_reports: Dict[int, CheckReport] = field(default_factory=dict)
+    conservation: Optional[SupplyAudit] = None
+
+    @property
+    def ok(self) -> bool:
+        shards_ok = all(report.ok for report in self.shard_reports.values())
+        return shards_ok and (self.conservation is None or self.conservation.ok)
+
+    @property
+    def violations(self) -> List[str]:
+        problems = [
             f"shard {shard}: {violation}"
             for shard, report in sorted(self.shard_reports.items())
             for violation in report.violations
         ]
+        if self.conservation is not None:
+            problems.extend(f"cluster: {v}" for v in self.conservation.violations)
+        return problems
 
     @property
     def checked_transfers(self) -> int:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import AccountId, ProcessId
@@ -37,19 +38,46 @@ def stable_hash(value: object, salt: int = 0) -> int:
 
 @dataclass(frozen=True)
 class Route:
-    """Where one transfer executes.
+    """Where one transfer executes — and where its money ultimately lands.
 
     ``shard`` and ``issuer`` locate the replica group and the shard-local
     process that debits its account; ``destination_account`` is the account
     identifier the transfer credits *inside the source shard's ledger* (a
     local account for same-shard payments, an external settlement account —
-    see :meth:`ShardRouter.external_account` — otherwise).
+    see :meth:`ShardRouter.external_account` — otherwise).  For cross-shard
+    routes, ``destination_shard`` names the settlement leg: the shard whose
+    replicas will mint the credit once the settlement relay delivers a quorum
+    certificate for it.  Same-shard routes have ``destination_shard ==
+    shard`` and no settlement leg.
     """
 
     shard: int
     issuer: ProcessId
     destination_account: AccountId
     cross_shard: bool
+    destination_shard: int
+
+
+def parse_external_account(account: AccountId) -> Optional[Tuple[int, AccountId]]:
+    """Decode an external settlement account name back into its parts.
+
+    Returns ``(destination_shard, remote_account)`` for names produced by
+    :meth:`ShardRouter.external_account`, ``None`` for every other account.
+    The settlement layer uses this to turn a validated cross-shard credit
+    into a voucher for the right relay.
+    """
+    if not account.startswith("x"):
+        return None
+    head, separator, remote = account.partition(":")
+    if not separator or not remote:
+        return None
+    try:
+        shard = int(head[1:])
+    except ValueError:
+        return None
+    if shard < 0:
+        return None
+    return shard, remote
 
 
 class ShardRouter:
@@ -92,10 +120,13 @@ class ShardRouter:
         """The settlement account a remote shard's account appears under.
 
         Cross-shard payments debit the source shard normally and credit this
-        account in the source shard's ledger.  v1 records the credit (so
-        conservation is auditable) but does not yet recycle it into spendable
-        balance at the destination shard — that is the cross-shard settlement
-        open item in ROADMAP.md.
+        account in the source shard's ledger, where it stays as the cumulative
+        outbound record.  The settlement layer
+        (:mod:`repro.cluster.settlement`) watches validations of these
+        accounts, assembles a quorum certificate per credit and mints the
+        matching spendable balance into the real account ``account`` at shard
+        ``shard``; :func:`parse_external_account` is the inverse of this
+        naming.
         """
         return f"x{shard}:{account}"
 
@@ -121,6 +152,7 @@ class ShardRouter:
                 issuer=issuer,
                 destination_account=str(local),
                 cross_shard=False,
+                destination_shard=shard,
             )
         remote_account = self.local_account_of(destination_user)
         return Route(
@@ -128,6 +160,7 @@ class ShardRouter:
             issuer=issuer,
             destination_account=self.external_account(destination_shard, remote_account),
             cross_shard=True,
+            destination_shard=destination_shard,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

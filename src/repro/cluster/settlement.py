@@ -1,0 +1,538 @@
+"""Cross-shard settlement: quorum-certified credit transfer between shards.
+
+PR 1 left cross-shard payments parked: a transfer from shard *s* to shard *d*
+debits the source account and credits an external settlement account
+``x{d}:a`` inside the *source* shard's ledger — conserved and auditable, but
+not spendable at the destination.  This module closes the loop.  Because
+single-owner asset transfer has consensus number 1, settlement needs no
+cross-shard consensus, only *reliable transfer of a quorum-certified credit*
+(the set-constrained delivery substrate of arXiv:1706.05267):
+
+1. When a source-shard replica validates a cross-shard transfer, it signs a
+   :class:`SettlementClaim` — ``(source shard, destination shard, issuer,
+   settlement sequence, account, amount)`` — and submits the resulting
+   :class:`SettlementVoucher` to the pair's :class:`SettlementRelay`.  The
+   settlement sequence is *per (issuer, destination shard) stream* and every
+   correct replica assigns the same one, because Figure 4 validates each
+   issuer's transfers in source order.
+2. The relay assembles ``2f+1`` matching voucher signatures into a
+   :class:`SettlementCertificate` and delivers it to every destination-shard
+   replica on the shared simulator clock.  ``f`` Byzantine source replicas
+   can neither forge a certificate (they lack ``f+1`` honest keys) nor stall
+   one (``2f+1`` honest replicas voucher every validated transfer).
+3. Each destination replica's :class:`SettlementInbox` verifies the
+   certificate against the source shard's key directory and mints the credit
+   into the real account **exactly once**: certificates must arrive in
+   per-stream sequence order, so replays and gaps are rejected cold.
+
+The mint is applied through
+:meth:`~repro.mp.consensusless_transfer.ConsensuslessTransferNode.mint_certified_credit`
+as a transfer from the provision account ``settle:{s}:{p}``, which makes the
+credit spendable (it enters the owner's dependency set) and keeps the
+two-ledger accounting identity exact: outbound ``x{d}:a`` credits in source
+ledgers and negative ``settle:{s}:{p}`` provisions in destination ledgers
+cancel, so the cluster-wide sum over *all* accounts equals the initial supply
+at every instant (see :meth:`repro.cluster.system.ClusterSystem.supply_audit`).
+
+Fault injection for tests rides the generic transport behaviours of
+:mod:`repro.byzantine.behaviors`: a voucher behaviour installed per source
+replica can silence, delay or substitute its vouchers, which is how the
+adversarial settlement suite models withheld and equivocated vouchers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.byzantine.behaviors import Behavior, OutgoingMessage
+from repro.cluster.routing import parse_external_account
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccountId, Amount, ProcessId, Transfer
+from repro.crypto.signatures import KeyPair, QuorumCertificate, Signature
+from repro.network.simulator import Simulator
+
+
+# -- wire format ------------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SettlementClaim:
+    """The payload source replicas sign: one cross-shard credit, uniquely keyed.
+
+    ``sequence`` numbers the issuer's cross-shard transfers *towards this
+    destination shard* densely (1, 2, ...).  All correct source replicas
+    derive the same sequence because they validate the issuer's transfers in
+    source order, so their vouchers agree byte-for-byte and a quorum
+    certificate over the claim can form.
+    """
+
+    source_shard: int
+    destination_shard: int
+    issuer: ProcessId
+    sequence: int
+    account: AccountId
+    amount: Amount
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"claim[s{self.source_shard}->s{self.destination_shard} "
+            f"p{self.issuer}#{self.sequence} {self.account}+{self.amount}]"
+        )
+
+
+@dataclass(frozen=True)
+class SettlementVoucher:
+    """One source replica's signature over a settlement claim."""
+
+    claim: SettlementClaim
+    signature: Signature
+
+
+@dataclass(frozen=True)
+class SettlementCertificate:
+    """A claim plus a quorum certificate of source-replica signatures."""
+
+    claim: SettlementClaim
+    certificate: QuorumCertificate
+
+
+@dataclass
+class SettlementConfig:
+    """Timing of the settlement fabric (fixed delays keep runs deterministic).
+
+    ``voucher_delay`` models the replica-to-relay link, ``delivery_delay``
+    the relay-to-destination-shard link; both are slower than the intra-shard
+    defaults because settlement crosses shard boundaries.
+    """
+
+    voucher_delay: float = 0.001
+    delivery_delay: float = 0.002
+
+    def validate(self) -> None:
+        if self.voucher_delay < 0 or self.delivery_delay < 0:
+            raise ConfigurationError("settlement delays must be non-negative")
+
+
+# -- account naming ---------------------------------------------------------------------------
+
+_SETTLEMENT_PREFIX = "settle:"
+# Virtual issuer ids for mint transfers: negative so they can never collide
+# with real replica ids, strided so every (source shard, issuer) stream gets
+# its own identity.
+_SETTLEMENT_ISSUER_STRIDE = 4096
+
+
+def settlement_account(source_shard: int, issuer: ProcessId) -> AccountId:
+    """The provision account a mint from ``(source_shard, issuer)`` debits.
+
+    It lives in the destination shard's ledger and runs *negative* there: the
+    matching positive balance is the ``x{d}:a`` account in the source shard's
+    ledger, and the cluster-level supply audit nets the two.
+    """
+    return f"{_SETTLEMENT_PREFIX}{source_shard}:{issuer}"
+
+
+def is_settlement_account(account: AccountId) -> bool:
+    """True for inbound provision accounts (``settle:{s}:{p}``)."""
+    return account.startswith(_SETTLEMENT_PREFIX)
+
+
+def settlement_issuer(source_shard: int, issuer: ProcessId) -> ProcessId:
+    """The virtual process id under which a stream's mints are recorded."""
+    return -(1 + source_shard * _SETTLEMENT_ISSUER_STRIDE + issuer)
+
+
+def mint_transfer(claim: SettlementClaim) -> Transfer:
+    """The ledger transfer a verified certificate mints at the destination."""
+    return Transfer(
+        source=settlement_account(claim.source_shard, claim.issuer),
+        destination=claim.account,
+        amount=claim.amount,
+        issuer=settlement_issuer(claim.source_shard, claim.issuer),
+        sequence=claim.sequence,
+    )
+
+
+# -- the relay --------------------------------------------------------------------------------
+
+
+class SettlementRelay:
+    """Certificate assembly and delivery for one ``source -> destination`` pair.
+
+    The relay is untrusted in the same sense a network is: destination
+    replicas re-verify every certificate, so a faulty relay can at worst
+    withhold settlement (liveness), never mint money (safety).  Voucher
+    signatures are verified on arrival, which keeps *impersonation* out of
+    the pending-claim table; a Byzantine source replica signing fabricated
+    claims under its own key still gets entries in there, but each such
+    claim is capped at the ``f`` Byzantine signers and can never reach the
+    ``2f+1`` quorum, so fabrication costs table memory, not money (and
+    :attr:`pending_claims` counts genuine withheld settlement and attacker
+    junk alike).
+    """
+
+    def __init__(
+        self,
+        source_shard: int,
+        destination_shard: int,
+        simulator: Simulator,
+        scheme,
+        quorum_size: int,
+        allowed_signers: frozenset,
+        config: Optional[SettlementConfig] = None,
+    ) -> None:
+        if quorum_size <= 0:
+            raise ConfigurationError("quorum_size must be positive")
+        self.source_shard = source_shard
+        self.destination_shard = destination_shard
+        self.simulator = simulator
+        self.scheme = scheme
+        self.quorum_size = quorum_size
+        self.allowed_signers = allowed_signers
+        self.config = config or SettlementConfig()
+        self.config.validate()
+        self._pending: Dict[SettlementClaim, Dict[ProcessId, Signature]] = {}
+        self._assembled: Set[SettlementClaim] = set()
+        self._subscribers: List[Callable[[SettlementCertificate], None]] = []
+        self.certificates: List[SettlementCertificate] = []
+        self.delivered: List[SettlementCertificate] = []
+        self.vouchers_accepted = 0
+        self.vouchers_rejected = 0
+
+    def subscribe(self, deliver: Callable[[SettlementCertificate], None]) -> None:
+        """Register one destination replica's inbox for certificate delivery."""
+        self._subscribers.append(deliver)
+
+    def submit_voucher(self, voucher: SettlementVoucher) -> bool:
+        """Accept one voucher; assemble and ship a certificate at quorum."""
+        claim = voucher.claim
+        if (
+            claim.source_shard != self.source_shard
+            or claim.destination_shard != self.destination_shard
+            or voucher.signature.signer not in self.allowed_signers
+            or not self.scheme.verify(claim, voucher.signature)
+        ):
+            self.vouchers_rejected += 1
+            return False
+        self.vouchers_accepted += 1
+        if claim in self._assembled:
+            return True  # late voucher for an already-certified claim
+        signatures = self._pending.setdefault(claim, {})
+        signatures[voucher.signature.signer] = voucher.signature
+        if len(signatures) >= self.quorum_size:
+            self._assemble(claim)
+        return True
+
+    def _assemble(self, claim: SettlementClaim) -> None:
+        signatures = self._pending.pop(claim)
+        ordered = tuple(signature for _, signature in sorted(signatures.items()))
+        certificate = SettlementCertificate(
+            claim=claim, certificate=self.scheme.make_certificate(claim, ordered)
+        )
+        self._assembled.add(claim)
+        self.certificates.append(certificate)
+        self.simulator.schedule(
+            self.config.delivery_delay,
+            lambda: self._deliver(certificate),
+            label=f"settle s{self.source_shard}->s{self.destination_shard}",
+        )
+
+    def _deliver(self, certificate: SettlementCertificate) -> None:
+        self.delivered.append(certificate)
+        for deliver in self._subscribers:
+            deliver(certificate)
+
+    @property
+    def pending_claims(self) -> int:
+        """Claims with some vouchers but no quorum yet (withheld settlement)."""
+        return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SettlementRelay(s{self.source_shard}->s{self.destination_shard}, "
+            f"delivered={len(self.delivered)}, pending={self.pending_claims})"
+        )
+
+
+# -- the destination inbox --------------------------------------------------------------------
+
+
+class SettlementInbox:
+    """Per-destination-replica verification and exactly-once minting.
+
+    The inbox is the trust boundary: everything upstream (vouchers, relay,
+    certificate) is treated as adversarial input.  A certificate mints if and
+    only if it carries ``quorum_size`` valid signatures from the source
+    shard's replica set and is *next in its stream*: per-source-shard-and-
+    issuer sequence numbers make replays detectable and keep minting in
+    order.
+
+    Ahead-of-sequence certificates are *buffered*, not dropped.  A Byzantine
+    source replica that withholds its voucher for claim ``k`` while
+    vouchering ``k+1`` can make the pair's relay certify ``k+1`` first
+    (``k`` needs all the honest vouchers, ``k+1`` completes its quorum with
+    the Byzantine one); delivery order across one stream is then not
+    sequence order, and rejecting the early certificate would lose it
+    forever — settlement liveness under ``f`` faults requires holding it
+    until the gap fills, exactly like the broadcast layer's source-order
+    buffer.  Only *verified* certificates are buffered, and quorum
+    intersection guarantees at most one certificate per stream slot, so the
+    buffer cannot be poisoned or grown by forgeries.
+    """
+
+    def __init__(
+        self,
+        shard_index: int,
+        node,
+        verify: Callable[[SettlementClaim, QuorumCertificate], bool],
+    ) -> None:
+        self.shard_index = shard_index
+        self.node = node
+        self._verify = verify
+        self._next_sequence: Dict[Tuple[int, ProcessId], int] = {}
+        self._buffered: Dict[Tuple[int, ProcessId], Dict[int, SettlementCertificate]] = {}
+        self.accepted: List[SettlementCertificate] = []
+        self.rejected: List[Tuple[SettlementCertificate, str]] = []
+
+    def receive(self, certificate: SettlementCertificate) -> bool:
+        claim = certificate.claim
+        if claim.destination_shard != self.shard_index:
+            return self._reject(certificate, "misrouted certificate")
+        if claim.amount < 0:
+            return self._reject(certificate, "negative amount")
+        stream = (claim.source_shard, claim.issuer)
+        expected = self._next_sequence.get(stream, 0) + 1
+        if claim.sequence < expected:
+            return self._reject(certificate, "replayed certificate")
+        if not self._verify(claim, certificate.certificate):
+            return self._reject(certificate, "invalid quorum certificate")
+        buffered = self._buffered.setdefault(stream, {})
+        if claim.sequence > expected:
+            if claim.sequence in buffered:
+                return self._reject(certificate, "replayed certificate")
+            buffered[claim.sequence] = certificate
+            return True
+        self._mint(stream, certificate)
+        # The gap just filled: drain any buffered successors in order.
+        while self._next_sequence[stream] + 1 in buffered:
+            self._mint(stream, buffered.pop(self._next_sequence[stream] + 1))
+        return True
+
+    def _mint(self, stream: Tuple[int, ProcessId], certificate: SettlementCertificate) -> None:
+        self._next_sequence[stream] = certificate.claim.sequence
+        self.accepted.append(certificate)
+        self.node.mint_certified_credit(mint_transfer(certificate.claim))
+
+    def _reject(self, certificate: SettlementCertificate, reason: str) -> bool:
+        self.rejected.append((certificate, reason))
+        return False
+
+    @property
+    def buffered_count(self) -> int:
+        """Verified certificates waiting for an earlier stream slot."""
+        return sum(len(pending) for pending in self._buffered.values())
+
+    def minted_amount(self) -> Amount:
+        return sum(certificate.claim.amount for certificate in self.accepted)
+
+
+# -- the fabric -------------------------------------------------------------------------------
+
+
+class SettlementFabric:
+    """Wires every shard pair's relay, voucher emission and inboxes together.
+
+    One fabric per cluster.  It hooks each replica's ``on_validated`` stream
+    to emit vouchers for cross-shard credits, lazily creates the
+    :class:`SettlementRelay` per ``(source, destination)`` pair, and owns the
+    per-replica :class:`SettlementInbox` objects.  Voucher traffic can be
+    filtered through a :class:`~repro.byzantine.behaviors.Behavior` per source
+    replica, which is how the adversarial tests model Byzantine settlement
+    participants without touching the protocol code.
+    """
+
+    def __init__(self, shards, simulator: Simulator, config: Optional[SettlementConfig] = None) -> None:
+        self.config = config or SettlementConfig()
+        self.config.validate()
+        self.simulator = simulator
+        self._shards = {shard.index: shard for shard in shards}
+        self._relays: Dict[Tuple[int, int], SettlementRelay] = {}
+        self._out_sequences: Dict[Tuple[int, ProcessId], Dict[Tuple[int, ProcessId], int]] = {}
+        self._keypairs: Dict[Tuple[int, ProcessId], KeyPair] = {}
+        self._behaviors: Dict[Tuple[int, ProcessId], Behavior] = {}
+        self.inboxes: Dict[Tuple[int, ProcessId], SettlementInbox] = {}
+        self.vouchers_dispatched = 0
+        for shard in shards:
+            for pid in sorted(shard.nodes):
+                node = shard.nodes[pid]
+                self.inboxes[(shard.index, pid)] = SettlementInbox(
+                    shard.index, node, self._verify_certificate
+                )
+                node.on_validated = self._observer(shard.index, pid)
+
+    # -- fault injection ----------------------------------------------------------------------
+
+    def set_voucher_behavior(self, shard: int, replica: ProcessId, behavior: Behavior) -> None:
+        """Route ``(shard, replica)``'s outgoing vouchers through ``behavior``."""
+        self._behaviors[(shard, replica)] = behavior
+
+    # -- voucher emission ---------------------------------------------------------------------
+
+    def _observer(self, shard_index: int, replica: ProcessId) -> Callable[[Transfer], None]:
+        def observe(transfer: Transfer) -> None:
+            self.observe_validation(shard_index, replica, transfer)
+
+        return observe
+
+    def observe_validation(self, shard_index: int, replica: ProcessId, transfer: Transfer) -> None:
+        """Emit a signed voucher if ``transfer`` credits another shard."""
+        parsed = parse_external_account(transfer.destination)
+        if parsed is None:
+            return
+        destination_shard, account = parsed
+        if destination_shard == shard_index or destination_shard not in self._shards:
+            return
+        counters = self._out_sequences.setdefault((shard_index, replica), {})
+        stream = (destination_shard, transfer.issuer)
+        sequence = counters.get(stream, 0) + 1
+        counters[stream] = sequence
+        claim = SettlementClaim(
+            source_shard=shard_index,
+            destination_shard=destination_shard,
+            issuer=transfer.issuer,
+            sequence=sequence,
+            account=account,
+            amount=transfer.amount,
+        )
+        voucher = SettlementVoucher(claim=claim, signature=self._keypair(shard_index, replica).sign(claim))
+        self._dispatch(shard_index, replica, destination_shard, voucher)
+
+    def _dispatch(
+        self, shard_index: int, replica: ProcessId, destination_shard: int, voucher: SettlementVoucher
+    ) -> None:
+        behavior = self._behaviors.get((shard_index, replica))
+        if behavior is None:
+            outgoing = [OutgoingMessage(recipient=destination_shard, message=voucher)]
+        else:
+            outgoing = behavior.transform(replica, destination_shard, voucher)
+        for out in outgoing:
+            if out.recipient == shard_index or out.recipient not in self._shards:
+                continue
+            relay = self.relay(shard_index, out.recipient)
+            self.vouchers_dispatched += 1
+            self.simulator.schedule(
+                self.config.voucher_delay + out.extra_delay,
+                lambda message=out.message, target=relay: target.submit_voucher(message),
+                label=f"voucher s{shard_index}/p{replica}",
+            )
+
+    def _keypair(self, shard_index: int, replica: ProcessId) -> KeyPair:
+        keypair = self._keypairs.get((shard_index, replica))
+        if keypair is None:
+            keypair = self._shards[shard_index].scheme.keypair_for(replica)
+            self._keypairs[(shard_index, replica)] = keypair
+        return keypair
+
+    # -- relays and verification --------------------------------------------------------------
+
+    def relay(self, source_shard: int, destination_shard: int) -> SettlementRelay:
+        """The pair's relay, created (and subscribed) on first use."""
+        key = (source_shard, destination_shard)
+        relay = self._relays.get(key)
+        if relay is None:
+            source = self._shards[source_shard]
+            relay = SettlementRelay(
+                source_shard=source_shard,
+                destination_shard=destination_shard,
+                simulator=self.simulator,
+                scheme=source.scheme,
+                quorum_size=source.quorum_size,
+                allowed_signers=frozenset(range(source.replicas)),
+                config=self.config,
+            )
+            for pid in sorted(self._shards[destination_shard].nodes):
+                relay.subscribe(self.inboxes[(destination_shard, pid)].receive)
+            self._relays[key] = relay
+        return relay
+
+    def _verify_certificate(self, claim: SettlementClaim, certificate: QuorumCertificate) -> bool:
+        source = self._shards.get(claim.source_shard)
+        if source is None:
+            return False
+        return source.scheme.verify_certificate(
+            claim,
+            certificate,
+            quorum_size=source.quorum_size,
+            allowed_signers=frozenset(range(source.replicas)),
+        )
+
+    # -- audit views --------------------------------------------------------------------------
+
+    @property
+    def relays(self) -> List[SettlementRelay]:
+        return [self._relays[key] for key in sorted(self._relays)]
+
+    def provisions_for(self, destination_shard: int) -> Dict[AccountId, Amount]:
+        """Initial balances of the destination shard's provision accounts.
+
+        Each delivered certificate provisions its stream's ``settle:{s}:{p}``
+        account with the certified amount — the money whose debit the *source*
+        shard's Definition 1 check already audits.  The per-shard checker uses
+        these as augmented initial balances, so a replica that minted without
+        a relay-delivered certificate shows up as a C2 balance violation.
+        """
+        provisions: Dict[AccountId, Amount] = {}
+        for relay in self.relays:
+            if relay.destination_shard != destination_shard:
+                continue
+            for certificate in relay.delivered:
+                claim = certificate.claim
+                account = settlement_account(claim.source_shard, claim.issuer)
+                provisions[account] = provisions.get(account, 0) + claim.amount
+        return provisions
+
+    def certified_amount(self) -> Amount:
+        return sum(c.claim.amount for relay in self.relays for c in relay.certificates)
+
+    def delivered_amount(self) -> Amount:
+        return sum(c.claim.amount for relay in self.relays for c in relay.delivered)
+
+    def certificates_delivered(self) -> int:
+        return sum(len(relay.delivered) for relay in self.relays)
+
+    def pending_claims(self) -> int:
+        """Claims stuck below quorum across all relays (withheld vouchers)."""
+        return sum(relay.pending_claims for relay in self.relays)
+
+    def settlement_messages(self) -> int:
+        """Vouchers dispatched plus per-replica certificate deliveries."""
+        deliveries = sum(
+            len(relay.delivered) * len(self._shards[relay.destination_shard].nodes)
+            for relay in self.relays
+        )
+        return self.vouchers_dispatched + deliveries
+
+    def settlement_signature(self) -> List[tuple]:
+        """Deterministic fingerprint of the delivered-certificate sequence."""
+        signature = []
+        for relay in self.relays:
+            for certificate in relay.delivered:
+                claim = certificate.claim
+                signature.append(
+                    (
+                        claim.source_shard,
+                        claim.destination_shard,
+                        claim.issuer,
+                        claim.sequence,
+                        claim.account,
+                        claim.amount,
+                    )
+                )
+        return signature
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SettlementFabric(shards={len(self._shards)}, "
+            f"relays={len(self._relays)}, delivered={self.certificates_delivered()})"
+        )

@@ -140,6 +140,21 @@ class Shard:
 
     # -- inspection ---------------------------------------------------------------------------
 
+    @property
+    def fault_threshold(self) -> int:
+        """``f``: Byzantine replicas this shard tolerates (``n >= 3f + 1``)."""
+        return (self.replicas - 1) // 3
+
+    @property
+    def quorum_size(self) -> int:
+        """``2f + 1``: signatures a settlement certificate must carry.
+
+        Any two such quorums intersect in a correct replica, so no two
+        conflicting claims for the same settlement stream slot can both be
+        certified, and ``f`` silent replicas cannot block certification.
+        """
+        return 2 * self.fault_threshold + 1
+
     def observations(self) -> List[ProcessObservation]:
         """Per-replica observations for this shard's Definition 1 check."""
         return [node.observation() for node in self.nodes.values()]

@@ -2,13 +2,19 @@
 
 :class:`ClusterSystem` mirrors :class:`repro.mp.system.ConsensuslessSystem`
 one level up: it owns the shared :class:`Simulator`, the
-:class:`~repro.cluster.routing.ShardRouter` and the per-shard deployments,
-routes cluster-level submissions to their owning shard, drives the whole
-cluster to quiescence and merges per-shard results.  The Definition 1
-checker runs *per shard* — shards share no accounts, so each shard's
-observations are checked against its own initial balances exactly as in the
-single-shard system, and the conjunction of the per-shard verdicts is the
-cluster verdict.
+:class:`~repro.cluster.routing.ShardRouter`, the per-shard deployments and
+the :class:`~repro.cluster.settlement.SettlementFabric` that turns validated
+cross-shard credits into quorum certificates minted at the destination
+shard.  It routes cluster-level submissions to their owning shard, drives
+the whole cluster to quiescence and merges per-shard results.
+
+The audit runs at two levels.  The Definition 1 checker runs *per shard* —
+shards share no accounts, so each shard's observations are checked against
+its own initial balances (augmented with the settlement provisions its
+delivered certificates justify).  On top, the cluster-level
+:class:`~repro.cluster.result.SupplyAudit` nets outbound ``x{d}:a`` credits
+against minted ``settle:{s}:{p}`` provisions across all shard ledgers, so
+settled cross-shard money is conserved end to end, not just per shard.
 """
 
 from __future__ import annotations
@@ -17,8 +23,13 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import Amount
-from repro.cluster.result import ClusterCheckReport, ClusterResult
-from repro.cluster.routing import ShardRouter
+from repro.cluster.result import ClusterCheckReport, ClusterResult, SupplyAudit
+from repro.cluster.routing import ShardRouter, parse_external_account
+from repro.cluster.settlement import (
+    SettlementConfig,
+    SettlementFabric,
+    is_settlement_account,
+)
 from repro.cluster.shard import Shard
 from repro.network.node import NetworkConfig
 from repro.network.simulator import Simulator
@@ -43,6 +54,13 @@ class ClusterSystem:
         Starting balance of every shard-local account.
     network_config:
         Cost model template; every shard gets its own seeded copy.
+    settlement:
+        When true (the default), cross-shard credits are quorum-certified by
+        the settlement fabric and minted — spendable — at the destination
+        shard.  When false, they stay parked in the source shard's ``x{d}:a``
+        accounts (the PR 1 behaviour), which the negative-control tests use.
+    settlement_config:
+        Timing of the settlement fabric's voucher and delivery legs.
     seed:
         Root seed; all shard seeds derive from it.
     """
@@ -56,6 +74,8 @@ class ClusterSystem:
         initial_balance: Amount = 1_000_000,
         network_config: Optional[NetworkConfig] = None,
         relay_final: bool = True,
+        settlement: bool = True,
+        settlement_config: Optional[SettlementConfig] = None,
         seed: int = 0,
     ) -> None:
         if shard_count <= 0:
@@ -80,6 +100,11 @@ class ClusterSystem:
             )
             for index in range(shard_count)
         ]
+        self.settlement: Optional[SettlementFabric] = (
+            SettlementFabric(self.shards, self.simulator, settlement_config)
+            if settlement
+            else None
+        )
         self._result = ClusterResult()
         self._started = False
         self.cross_shard_submissions = 0
@@ -130,26 +155,68 @@ class ClusterSystem:
         return self._result
 
     def check_definition1(self) -> ClusterCheckReport:
-        """Run the Definition 1 checker independently over every shard."""
+        """Audit the run: per-shard Definition 1 plus cluster conservation.
+
+        Each shard's checker sees its own initial balances *augmented with
+        the settlement provisions its delivered certificates justify* — the
+        money whose debit the source shard's checker already audits.  A
+        replica that minted without a certificate therefore surfaces as a C2
+        balance violation.  The cluster-level :class:`SupplyAudit` then nets
+        outbound and minted credits across all shard ledgers.
+        """
         report = ClusterCheckReport()
         for shard in self.shards:
-            checker = ByzantineAssetTransferChecker(shard.initial_balances())
+            initial = shard.initial_balances()
+            if self.settlement is not None:
+                initial.update(self.settlement.provisions_for(shard.index))
+            checker = ByzantineAssetTransferChecker(initial)
             report.shard_reports[shard.index] = checker.check(shard.observations())
+        report.conservation = self.supply_audit()
         return report
+
+    def supply_audit(self) -> SupplyAudit:
+        """Classify every balance in every shard ledger (replica-0 views).
+
+        Local accounts carry spendable money; ``x{d}:a`` accounts carry the
+        cumulative outbound record in source ledgers; ``settle:{s}:{p}``
+        provision accounts run negative in destination ledgers by exactly the
+        minted amount.  See :class:`SupplyAudit` for the identity this nets.
+        """
+        local: Amount = 0
+        outbound: Amount = 0
+        minted: Amount = 0
+        for shard in self.shards:
+            for account, balance in shard.nodes[0].all_known_balances().items():
+                if parse_external_account(account) is not None:
+                    outbound += balance
+                elif is_settlement_account(account):
+                    minted += -balance
+                else:
+                    local += balance
+        initial = sum(sum(shard.initial_balances().values()) for shard in self.shards)
+        delivered = self.settlement.delivered_amount() if self.settlement else 0
+        return SupplyAudit(
+            initial_supply=initial,
+            local=local,
+            outbound=outbound,
+            minted=minted,
+            relay_delivered=delivered,
+        )
 
     def total_supply(self) -> Amount:
         """Cluster-wide money supply as seen by shard replicas 0.
 
-        Per shard this sums every account the replica knows about — local
-        accounts plus external settlement accounts.  Because v1 records
-        cross-shard credits in the *source* shard's ledger, the cluster total
-        equals the initial supply: money is conserved, auditable per shard.
+        Sums every account in every shard ledger: local accounts, outbound
+        ``x{d}:a`` settlement credits (positive in the source ledger) and
+        inbound ``settle:{s}:{p}`` provisions (negative in the destination
+        ledger by the minted amount).  Because every ledger application —
+        local transfer, cross-shard debit, certified mint — conserves its own
+        ledger's sum, this total equals the initial supply at *every*
+        instant, settled or not; :meth:`supply_audit` breaks the identity
+        into its parts and additionally checks the minted balances against
+        the relays' delivered certificates.
         """
-        total: Amount = 0
-        for shard in self.shards:
-            balances = shard.nodes[0].all_known_balances()
-            total += sum(balances.values())
-        return total
+        return self.supply_audit().total
 
     def broadcast_instances(self) -> int:
         """Total secure-broadcast instances delivered (shard replicas 0)."""
@@ -182,6 +249,17 @@ class ClusterSystem:
                     )
                 )
         return signature
+
+    def settlement_signature(self) -> List[tuple]:
+        """Deterministic fingerprint of the delivered settlement certificates.
+
+        The determinism regression asserts this alongside
+        :meth:`committed_signature`: same seed, same certificates, same
+        delivery order.  Empty when settlement is disabled.
+        """
+        if self.settlement is None:
+            return []
+        return self.settlement.settlement_signature()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -466,7 +466,10 @@ class ClusterExperimentConfig:
     The workload is shared across every swept configuration (same seed, same
     users, same arrival times), so throughput differences are attributable to
     the cluster geometry alone — "equal offered load" in the benchmark's
-    acceptance sense.
+    acceptance sense.  ``cross_shard_fraction`` steers the settlement load;
+    because which destinations are cross-shard depends on the cluster
+    geometry, fraction-steered workloads are generated *per configuration*
+    (from the target system's own router) rather than shared.
     """
 
     replicas_per_shard: int = 4
@@ -476,17 +479,20 @@ class ClusterExperimentConfig:
     aggregate_rate: float = 20_000.0
     duration: float = 0.1
     zipf_skew: float = 1.0
+    cross_shard_fraction: Optional[float] = None
     seed: int = 7
     network: NetworkConfig = field(default_factory=NetworkConfig)
     max_events: Optional[int] = 50_000_000
 
-    def workload(self):
+    def workload(self, router=None):
         return cluster_open_loop_workload(
             ClusterWorkloadConfig(
                 user_count=self.user_count,
                 aggregate_rate=self.aggregate_rate,
                 duration=self.duration,
                 zipf_skew=self.zipf_skew,
+                cross_shard_fraction=self.cross_shard_fraction,
+                router=router,
                 seed=self.seed,
             )
         )
@@ -506,6 +512,10 @@ class ClusterScalingRow:
     broadcast_instances: int
     payload_items: int
     load_imbalance: float
+    cross_shard_submissions: int = 0
+    settled_amount: int = 0
+    in_flight_amount: int = 0
+    settlement_messages: int = 0
 
     @property
     def amortisation(self) -> float:
@@ -513,6 +523,23 @@ class ClusterScalingRow:
         if self.broadcast_instances == 0:
             return 0.0
         return self.payload_items / self.broadcast_instances
+
+    @property
+    def conservation_ok(self) -> bool:
+        """The conservation *identity* holds (money is never created or lost).
+
+        Deliberately does not require settlement completeness: a run stopped
+        mid-flight is conserved but not settled.  Completeness is visible
+        separately as ``in_flight_amount == 0`` / :attr:`fully_settled`.
+        """
+        audit = self.check.conservation
+        return audit is not None and audit.ok
+
+    @property
+    def fully_settled(self) -> bool:
+        """Every outbound cross-shard credit was minted at its destination."""
+        audit = self.check.conservation
+        return audit is not None and audit.fully_settled
 
 
 def run_cluster(
@@ -524,7 +551,9 @@ def run_cluster(
     """Run one cluster configuration under the high-volume open-loop workload.
 
     ``workload`` lets sweeps reuse one generated submission list across
-    configurations instead of regenerating it per run.
+    configurations instead of regenerating it per run; fraction-steered
+    workloads (``config.cross_shard_fraction``) are built from the freshly
+    constructed system's router when no workload is passed in.
     """
     config = config or ClusterExperimentConfig()
     system = ClusterSystem(
@@ -536,20 +565,31 @@ def run_cluster(
         network_config=config.network_copy(),
         seed=config.seed,
     )
-    system.schedule_submissions(config.workload() if workload is None else workload)
+    if workload is None:
+        router = system.router if config.cross_shard_fraction is not None else None
+        workload = config.workload(router)
+    system.schedule_submissions(workload)
     result = system.run(max_events=config.max_events)
     total_processes = shard_count * config.replicas_per_shard
     summary = summarize_result(
         f"cluster[s={shard_count},b={batch_size}]", total_processes, result
     )
+    check = system.check_definition1()
+    audit = check.conservation
     row = ClusterScalingRow(
         shard_count=shard_count,
         batch_size=batch_size,
         summary=summary,
-        check=system.check_definition1(),
+        check=check,
         broadcast_instances=system.broadcast_instances(),
         payload_items=system.payload_items(),
         load_imbalance=result.load_imbalance(),
+        cross_shard_submissions=system.cross_shard_submissions,
+        settled_amount=audit.minted if audit is not None else 0,
+        in_flight_amount=audit.in_flight if audit is not None else 0,
+        settlement_messages=(
+            system.settlement.settlement_messages() if system.settlement else 0
+        ),
     )
     return row, system
 
@@ -572,4 +612,26 @@ def cluster_scaling_experiment(
         for shard_count in shard_counts:
             row, _ = run_cluster(shard_count, batch_size, config, workload=workload)
             rows.append(row)
+    return rows
+
+
+def cross_shard_settlement_experiment(
+    configurations: Sequence[Tuple[int, int, float]] = ((2, 8, 0.25), (4, 8, 0.5), (4, 8, 1.0)),
+    config: Optional[ClusterExperimentConfig] = None,
+) -> List[Tuple[float, ClusterScalingRow]]:
+    """Sweep (shards, batch, cross_shard_fraction) triples through settlement.
+
+    Each configuration gets its own fraction-steered workload (the realised
+    cross-shard mix depends on the geometry), so rows are *not* comparable as
+    "equal offered load" the way the scaling sweep is; what they assert is
+    that under every mix the cluster settles completely — Definition 1 holds
+    per shard and the cross-ledger supply audit nets to the initial supply
+    with nothing left in flight.
+    """
+    config = config or ClusterExperimentConfig()
+    rows: List[Tuple[float, ClusterScalingRow]] = []
+    for shard_count, batch_size, fraction in configurations:
+        variant = dataclasses.replace(config, cross_shard_fraction=fraction)
+        row, _ = run_cluster(shard_count, batch_size, variant)
+        rows.append((fraction, row))
     return rows

@@ -103,7 +103,15 @@ def format_ablation_table(rows: Sequence[AblationRow]) -> str:
 
 
 def format_cluster_table(rows: Sequence[ClusterScalingRow]) -> str:
-    """The cluster scaling sweep: shards × batch size under one offered load."""
+    """The cluster scaling sweep: shards × batch size under one offered load.
+
+    ``x-shard`` counts the submissions that crossed a shard boundary,
+    ``settled`` is the amount the settlement relays certified and the
+    destination shards minted, and ``conserved`` is the cross-ledger supply
+    audit's identity verdict (money neither created nor lost; settlement
+    *completeness* is a separate property — ``ClusterScalingRow.fully_settled``
+    / ``in_flight_amount == 0``).
+    """
     headers = [
         "shards",
         "batch",
@@ -112,7 +120,10 @@ def format_cluster_table(rows: Sequence[ClusterScalingRow]) -> str:
         "messages/commit",
         "tx/broadcast",
         "imbalance",
+        "x-shard",
+        "settled",
         "def-1",
+        "conserved",
     ]
     body = [
         [
@@ -123,7 +134,10 @@ def format_cluster_table(rows: Sequence[ClusterScalingRow]) -> str:
             f"{row.summary.messages_per_commit:.1f}",
             f"{row.amortisation:.2f}",
             f"{row.load_imbalance:.2f}",
+            str(row.cross_shard_submissions),
+            str(row.settled_amount),
             "OK" if row.check.ok else "VIOLATED",
+            "OK" if row.conservation_ok else "VIOLATED",
         ]
         for row in rows
     ]

@@ -119,6 +119,11 @@ class ConsensuslessTransferNode(Node):
 
         self.broadcast_layer: Optional[BroadcastLayer] = None
 
+        # Optional hook invoked with every transfer this node validates.  The
+        # cluster settlement layer subscribes here to voucher cross-shard
+        # credits; the hook sees transfers in this node's validation order.
+        self.on_validated: Optional[Callable[[Transfer], None]] = None
+
     # -- lifecycle --------------------------------------------------------------------------
 
     def on_start(self) -> None:
@@ -329,8 +334,44 @@ class ConsensuslessTransferNode(Node):
         )
         if transfer.destination == self.account:                             # lines 17-18
             self.deps.add(transfer)
+        if self.on_validated is not None:
+            self.on_validated(transfer)
         if issuer == self.node_id:                                           # lines 19-20
             self._complete_pending(success=True)
+
+    # -- externally-certified credits -------------------------------------------------------------
+
+    def mint_certified_credit(self, transfer: Transfer) -> None:
+        """Apply a credit whose justification lives *outside* this replica group.
+
+        This is the settlement path beside :meth:`_receive_announcement`: the
+        caller (a :class:`repro.cluster.settlement.SettlementInbox`) has
+        verified a quorum certificate from another shard's replicas, so the
+        transfer is applied directly — no secure broadcast, no ``Valid``
+        predicate, no ``rec``/``seq`` bookkeeping (its issuer is a virtual
+        settlement identity that never broadcasts).  The credit enters
+        ``hist`` under both accounts and, when it credits this node's own
+        account, the dependency set — which is exactly what makes it
+        *spendable*: the next outgoing transfer declares it and every replica
+        that minted the same certificate accepts the dependency.
+
+        The mint is recorded in the validated log so the Definition 1 checker
+        sees it; the cluster-level audit provisions the settlement source
+        account with the certified amount, making an uncertified mint show up
+        as a balance violation.
+        """
+        self.hist.setdefault(transfer.source, set()).add(transfer)
+        self.hist.setdefault(transfer.destination, set()).add(transfer)
+        self._validated_log.append(
+            ValidatedTransfer(
+                transfer=transfer, dependencies=(), position=len(self._validated_log)
+            )
+        )
+        if transfer.destination == self.account:
+            self.deps.add(transfer)
+        # Freshly minted funds can unblock announcements that were waiting on
+        # the credited balance.
+        self._validation_pass()
 
     def _complete_pending(self, success: bool) -> None:
         if self._pending is None:

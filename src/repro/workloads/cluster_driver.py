@@ -17,11 +17,14 @@ assert directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import SeededRng, ZipfSampler
 from repro.common.types import Amount
+
+if TYPE_CHECKING:  # imported lazily to keep workloads free of cluster imports
+    from repro.cluster.routing import ShardRouter
 
 
 @dataclass(frozen=True)
@@ -42,6 +45,17 @@ class ClusterWorkloadConfig:
     ``user_count`` scales to 10⁶ simulated users: sampling is O(log users)
     per submission (see :class:`~repro.common.rng.ZipfSampler`), so a million
     users cost a one-off CDF build plus a binary search per payment.
+
+    ``cross_shard_fraction`` steers what fraction of payments crosses shard
+    boundaries (and therefore exercises the settlement relay).  Under pure
+    hash routing the natural fraction is ``(shards - 1) / shards``; when the
+    knob is set, each payment first draws whether it should cross shards and
+    the Zipf destination is then resampled (bounded attempts, deterministic
+    fallback scan) until its shard matches the draw.  Setting it requires a
+    ``router``, because only the router knows the cluster geometry — pass the
+    same :class:`~repro.cluster.routing.ShardRouter` the target
+    :class:`~repro.cluster.system.ClusterSystem` uses (same salt!), or the
+    realised fraction will not match.
     """
 
     user_count: int = 10_000
@@ -50,6 +64,8 @@ class ClusterWorkloadConfig:
     zipf_skew: float = 1.0
     min_amount: Amount = 1
     max_amount: Amount = 5
+    cross_shard_fraction: Optional[float] = None
+    router: Optional["ShardRouter"] = None
     seed: int = 0
 
     def validate(self) -> None:
@@ -63,10 +79,66 @@ class ClusterWorkloadConfig:
             raise ConfigurationError("zipf_skew must be non-negative")
         if self.min_amount < 0 or self.max_amount < self.min_amount:
             raise ConfigurationError("invalid amount range")
+        if self.cross_shard_fraction is not None:
+            if not 0.0 <= self.cross_shard_fraction <= 1.0:
+                raise ConfigurationError("cross_shard_fraction must lie in [0, 1]")
+            if self.router is None:
+                raise ConfigurationError(
+                    "cross_shard_fraction needs a router (the shard geometry decides "
+                    "which destinations are cross-shard)"
+                )
 
     @property
     def expected_submissions(self) -> float:
         return self.aggregate_rate * self.duration
+
+
+# Zipf resamples tried before the deterministic fallback scan when the
+# cross-shard draw and the sampled destination's shard disagree.
+_CROSS_SHARD_RESAMPLES = 32
+
+
+def _steer_destination(
+    config: ClusterWorkloadConfig,
+    source: int,
+    destination: int,
+    want_cross: bool,
+    sampler: ZipfSampler,
+    unsatisfiable: set,
+) -> int:
+    """Find a destination on the wanted side of the shard boundary.
+
+    Resamples the Zipf distribution a bounded number of times (preserving the
+    popularity skew within the wanted shard class), then falls back to a
+    deterministic linear scan.  If no user satisfies the draw (for instance
+    ``shard_count == 1`` with a cross-shard draw), the original destination
+    is kept — the knob is best-effort by construction — and the
+    ``(source shard, want_cross)`` pair is memoised in ``unsatisfiable`` so
+    later submissions skip the full scan: a failed scan means the wanted
+    shard class holds no user other than ``source`` itself, which is a
+    property of the shard, not of the individual source.
+    """
+    router = config.router
+    assert router is not None  # guaranteed by validate()
+    source_shard = router.shard_of(source)
+    if (source_shard, want_cross) in unsatisfiable:
+        return destination
+
+    def matches(candidate: int) -> bool:
+        return candidate != source and (router.shard_of(candidate) != source_shard) == want_cross
+
+    if matches(destination):
+        return destination
+    for _ in range(_CROSS_SHARD_RESAMPLES):
+        candidate = sampler.sample()
+        if matches(candidate):
+            return candidate
+    for offset in range(1, config.user_count):
+        candidate = (destination + offset) % config.user_count
+        if matches(candidate):
+            return candidate
+    unsatisfiable.add((source_shard, want_cross))
+    return destination
 
 
 def iter_cluster_workload(config: ClusterWorkloadConfig) -> Iterator[ClusterSubmission]:
@@ -75,18 +147,22 @@ def iter_cluster_workload(config: ClusterWorkloadConfig) -> Iterator[ClusterSubm
     Sources are uniform over the user population (everybody shops);
     destinations are Zipf-skewed (popularity concentrates on low user ids).
     A destination that collides with its source is deterministically bumped
-    to the next user so every submission moves money.
+    to the next user so every submission moves money.  When
+    ``cross_shard_fraction`` is set, destinations are steered across (or away
+    from) the shard boundary to realise the requested settlement load.
     """
     config.validate()
     rng = SeededRng(config.seed).fork("cluster-open-loop")
     arrivals = rng.fork("arrivals")
     sources = rng.fork("sources")
     amounts = rng.fork("amounts")
+    crossings = rng.fork("crossings")
     destination_sampler = ZipfSampler(
         config.user_count, config.zipf_skew, rng.fork("destinations")
     )
     now = 0.0
     mean_gap = 1.0 / config.aggregate_rate
+    unsatisfiable: set = set()
     while True:
         now += arrivals.exponential(mean_gap)
         if now >= config.duration:
@@ -95,6 +171,11 @@ def iter_cluster_workload(config: ClusterWorkloadConfig) -> Iterator[ClusterSubm
         destination = destination_sampler.sample()
         if destination == source:
             destination = (destination + 1) % config.user_count
+        if config.cross_shard_fraction is not None:
+            want_cross = crossings.maybe(config.cross_shard_fraction)
+            destination = _steer_destination(
+                config, source, destination, want_cross, destination_sampler, unsatisfiable
+            )
         yield ClusterSubmission(
             time=now,
             source_user=source,

@@ -4,7 +4,11 @@ import pytest
 
 from repro.cluster import ClusterSystem
 from repro.common.errors import ConfigurationError
-from repro.workloads.cluster_driver import ClusterWorkloadConfig, cluster_open_loop_workload
+from repro.workloads.cluster_driver import (
+    ClusterSubmission,
+    ClusterWorkloadConfig,
+    cluster_open_loop_workload,
+)
 
 
 def _workload(seed=5, rate=3_000.0, duration=0.03, users=400):
@@ -95,6 +99,81 @@ class TestClusterSystem:
             ClusterSystem(shard_count=2, batch_size=0)
 
 
+class TestCrossShardRoundTrip:
+    """A pays B across shards, B spends the received funds onwards and back.
+
+    The amounts are chosen so B's onward spend *exceeds* its initial balance:
+    it can only commit because the settlement relay minted A's payment into
+    B's account.  This is the end-to-end proof that cross-shard money is
+    spendable at the destination, not merely recorded.
+    """
+
+    def _users(self, router):
+        a = next(u for u in range(100_000) if router.shard_of(u) == 0)
+        b = next(u for u in range(100_000) if router.shard_of(u) == 1)
+        c = next(
+            u
+            for u in range(100_000)
+            if router.shard_of(u) == 1
+            and router.local_account_of(u) != router.local_account_of(b)
+        )
+        return a, b, c
+
+    def _run_round_trip(self, fast_network, seed=31):
+        system = ClusterSystem(
+            shard_count=2,
+            replicas_per_shard=4,
+            broadcast="bracha",
+            initial_balance=10,
+            network_config=fast_network,
+            seed=seed,
+        )
+        a, b, c = self._users(system.router)
+        system.schedule_submissions(
+            [
+                # A (shard 0) pays B (shard 1) ...
+                ClusterSubmission(time=0.001, source_user=a, destination_user=b, amount=9),
+                # ... B spends more than its initial 10 to C (shard 1) ...
+                ClusterSubmission(time=0.05, source_user=b, destination_user=c, amount=15),
+                # ... and sends the rest back to A (shard 0).
+                ClusterSubmission(time=0.09, source_user=b, destination_user=a, amount=3),
+            ]
+        )
+        result = system.run()
+        return system, result, (a, b, c)
+
+    def test_received_funds_round_trip_and_audit_clean(self, fast_network):
+        system, result, (a, b, c) = self._run_round_trip(fast_network)
+        assert result.committed_count == 3
+        assert not result.rejected
+        router = system.router
+        balances = {
+            user: system.shards[router.shard_of(user)]
+            .nodes[0]
+            .balance_of(router.local_account_of(user))
+            for user in (a, b, c)
+        }
+        assert balances[b] == 10 + 9 - 15 - 3  # = 1: B spent what it received
+        report = system.check_definition1()
+        assert report.ok, report.violations
+        assert report.conservation.fully_settled
+        # Two settlement legs: A->B (shard 0 -> 1) and B->A (shard 1 -> 0).
+        assert len(system.settlement_signature()) == 2
+
+    def test_round_trip_is_deterministic_per_seed(self, fast_network):
+        first, first_result, users = self._run_round_trip(fast_network)
+        second, second_result, _ = self._run_round_trip(fast_network)
+        assert first.committed_signature() == second.committed_signature()
+        assert first.settlement_signature() == second.settlement_signature()
+        assert first_result.events_processed == second_result.events_processed
+        router = first.router
+        for user in users:
+            shard, account = router.shard_of(user), router.local_account_of(user)
+            assert first.shards[shard].nodes[0].balance_of(account) == second.shards[
+                shard
+            ].nodes[0].balance_of(account)
+
+
 class TestClusterDeterminism:
     """Same seed => identical execution (the (time, sequence) ordering contract)."""
 
@@ -116,6 +195,8 @@ class TestClusterDeterminism:
         first_system, first = self._run_once(fast_network)
         second_system, second = self._run_once(fast_network)
         assert first_system.committed_signature() == second_system.committed_signature()
+        assert first_system.settlement_signature() == second_system.settlement_signature()
+        assert first_system.settlement_signature()  # settlement did run
         assert first.messages_sent == second.messages_sent
         assert first.events_processed == second.events_processed
         assert first.duration == second.duration

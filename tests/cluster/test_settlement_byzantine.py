@@ -1,0 +1,332 @@
+"""Adversarial settlement tests: forged, under-quorum, replayed, withheld.
+
+The settlement inbox is the destination shard's trust boundary, so every
+test injects adversarial input there (or upstream of it, via the voucher
+behaviours of :mod:`repro.byzantine.behaviors`) and asserts the same three
+things the paper's fault-containment framing demands: the bogus input is
+rejected, destination balances are untouched, and the cluster audits —
+per-shard Definition 1 plus the cross-ledger supply identity — stay clean.
+"""
+
+from repro.byzantine.behaviors import CrashBehavior, EquivocationPlan, ScriptedBehavior
+from repro.cluster import ClusterSystem
+from repro.cluster.settlement import (
+    SettlementCertificate,
+    SettlementClaim,
+    SettlementVoucher,
+    mint_transfer,
+)
+from repro.crypto.signatures import SignatureScheme
+from repro.workloads.cluster_driver import ClusterSubmission
+
+
+def _system(fast_network, seed=3, **kwargs):
+    return ClusterSystem(
+        shard_count=2,
+        replicas_per_shard=4,
+        broadcast="bracha",
+        network_config=fast_network,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def _user_on_shard(router, shard):
+    return next(u for u in range(100_000) if router.shard_of(u) == shard)
+
+
+def _destination_balances(system, shard=1):
+    return {
+        pid: node.all_known_balances()
+        for pid, node in system.shards[shard].nodes.items()
+    }
+
+
+def _claim(system, amount=1_000_000, sequence=1, account="0"):
+    return SettlementClaim(
+        source_shard=0,
+        destination_shard=1,
+        issuer=0,
+        sequence=sequence,
+        account=account,
+        amount=amount,
+    )
+
+
+class TestForgedCertificates:
+    def test_forged_signatures_mint_nothing(self, fast_network):
+        """A certificate signed by keys outside the source shard is rejected."""
+        system = _system(fast_network)
+        system.start()
+        claim = _claim(system)
+        rogue = SignatureScheme(seed=999)  # the attacker's own key universe
+        signatures = tuple(rogue.keypair_for(pid).sign(claim) for pid in range(3))
+        forged = SettlementCertificate(
+            claim=claim, certificate=rogue.make_certificate(claim, signatures)
+        )
+        before = _destination_balances(system)
+        for pid in range(4):
+            inbox = system.settlement.inboxes[(1, pid)]
+            assert not inbox.receive(forged)
+            assert inbox.rejected[-1][1] == "invalid quorum certificate"
+            assert not inbox.accepted
+        assert _destination_balances(system) == before
+        report = system.check_definition1()
+        assert report.ok, report.violations
+        assert report.conservation.minted == 0
+
+    def test_misrouted_certificate_is_rejected(self, fast_network):
+        system = _system(fast_network)
+        system.start()
+        claim = SettlementClaim(
+            source_shard=0, destination_shard=5, issuer=0, sequence=1, account="0", amount=9
+        )
+        scheme = system.shards[0].scheme
+        signatures = tuple(scheme.keypair_for(pid).sign(claim) for pid in range(3))
+        certificate = SettlementCertificate(
+            claim=claim, certificate=scheme.make_certificate(claim, signatures)
+        )
+        inbox = system.settlement.inboxes[(1, 0)]
+        assert not inbox.receive(certificate)
+        assert inbox.rejected[-1][1] == "misrouted certificate"
+
+
+class TestUnderQuorumCertificates:
+    def test_fewer_than_2f_plus_1_signatures_mint_nothing(self, fast_network):
+        """f+1 = 2 genuine signatures are not a quorum (2f+1 = 3 needed)."""
+        system = _system(fast_network)
+        system.start()
+        claim = _claim(system, amount=50)
+        scheme = system.shards[0].scheme  # genuine keys, too few of them
+        signatures = tuple(scheme.keypair_for(pid).sign(claim) for pid in range(2))
+        under = SettlementCertificate(
+            claim=claim, certificate=scheme.make_certificate(claim, signatures)
+        )
+        before = _destination_balances(system)
+        for pid in range(4):
+            inbox = system.settlement.inboxes[(1, pid)]
+            assert not inbox.receive(under)
+            assert inbox.rejected[-1][1] == "invalid quorum certificate"
+        assert _destination_balances(system) == before
+        assert system.check_definition1().ok
+
+    def test_duplicated_signer_does_not_fake_a_quorum(self, fast_network):
+        """Three signatures from one replica are one signer, not a quorum."""
+        system = _system(fast_network)
+        system.start()
+        claim = _claim(system, amount=50)
+        scheme = system.shards[0].scheme
+        one_signer = tuple(scheme.keypair_for(0).sign(claim) for _ in range(3))
+        padded = SettlementCertificate(
+            claim=claim, certificate=scheme.make_certificate(claim, one_signer)
+        )
+        inbox = system.settlement.inboxes[(1, 0)]
+        assert not inbox.receive(padded)
+        assert inbox.rejected[-1][1] == "invalid quorum certificate"
+
+
+class TestReplayedCertificates:
+    def test_replayed_certificate_mints_exactly_once(self, fast_network):
+        system = _system(fast_network)
+        a = _user_on_shard(system.router, 0)
+        b = _user_on_shard(system.router, 1)
+        system.schedule_submissions(
+            [ClusterSubmission(time=0.001, source_user=a, destination_user=b, amount=9)]
+        )
+        system.run()
+        relay = system.settlement.relay(0, 1)
+        assert len(relay.delivered) == 1
+        genuine = relay.delivered[0]
+        after_first = _destination_balances(system)
+        for pid in range(4):
+            inbox = system.settlement.inboxes[(1, pid)]
+            assert not inbox.receive(genuine)  # byte-identical replay
+            assert inbox.rejected[-1][1] == "replayed certificate"
+        assert _destination_balances(system) == after_first
+        report = system.check_definition1()
+        assert report.ok, report.violations
+        assert report.conservation.minted == 9  # once, not twice
+
+    def test_ahead_of_sequence_certificates_wait_for_the_gap_to_fill(self, fast_network):
+        """A verified certificate that skips ahead is buffered, not minted —
+        and mints in order once the missing slot arrives."""
+        system = _system(fast_network)
+        system.start()
+        scheme = system.shards[0].scheme
+
+        def certify(claim):
+            signatures = tuple(scheme.keypair_for(pid).sign(claim) for pid in range(3))
+            return SettlementCertificate(
+                claim=claim, certificate=scheme.make_certificate(claim, signatures)
+            )
+
+        first = certify(_claim(system, amount=5, sequence=1))
+        second = certify(_claim(system, amount=7, sequence=2))
+        inbox = system.settlement.inboxes[(1, 0)]
+        assert inbox.receive(second)  # accepted but held: stream starts at 1
+        assert inbox.buffered_count == 1
+        assert inbox.accepted == []
+        assert not inbox.receive(second)  # same slot again is a replay
+        assert inbox.rejected[-1][1] == "replayed certificate"
+        assert inbox.receive(first)  # the gap fills: both mint, in order
+        assert [c.claim.sequence for c in inbox.accepted] == [1, 2]
+        assert inbox.buffered_count == 0
+        assert inbox.minted_amount() == 12
+
+    def test_unverified_certificates_are_never_buffered(self, fast_network):
+        """The ahead-of-sequence buffer only holds quorum-verified input, so
+        an attacker cannot park forgeries in it."""
+        system = _system(fast_network)
+        system.start()
+        rogue = SignatureScheme(seed=999)
+        ahead = _claim(system, amount=5, sequence=2)
+        signatures = tuple(rogue.keypair_for(pid).sign(ahead) for pid in range(3))
+        forged = SettlementCertificate(
+            claim=ahead, certificate=rogue.make_certificate(ahead, signatures)
+        )
+        inbox = system.settlement.inboxes[(1, 0)]
+        assert not inbox.receive(forged)
+        assert inbox.rejected[-1][1] == "invalid quorum certificate"
+        assert inbox.buffered_count == 0
+
+
+class TestWithheldAndEquivocatedVouchers:
+    def test_f_silent_replicas_cannot_block_settlement(self, fast_network):
+        """With f = 1 silent source replica, the other 3 still form a quorum."""
+        system = _system(fast_network)
+        system.settlement.set_voucher_behavior(0, 3, CrashBehavior(send_limit=0))
+        a = _user_on_shard(system.router, 0)
+        b = _user_on_shard(system.router, 1)
+        system.schedule_submissions(
+            [ClusterSubmission(time=0.001, source_user=a, destination_user=b, amount=9)]
+        )
+        system.run()
+        audit = system.supply_audit()
+        assert audit.minted == 9
+        assert audit.fully_settled
+        assert system.check_definition1().ok
+
+    def test_more_than_f_withheld_vouchers_park_the_credit_safely(self, fast_network):
+        """Beyond f faults settlement loses liveness but never conservation."""
+        system = _system(fast_network)
+        # EquivocationPlan machinery picks which half of the replica set the
+        # adversary controls; we silence that half's vouchers.
+        plan = EquivocationPlan.split_evenly(range(4))
+        for replica in plan.partition_a:  # 2 of 4 silenced: quorum of 3 is dead
+            system.settlement.set_voucher_behavior(0, replica, CrashBehavior(send_limit=0))
+        a = _user_on_shard(system.router, 0)
+        b = _user_on_shard(system.router, 1)
+        system.schedule_submissions(
+            [ClusterSubmission(time=0.001, source_user=a, destination_user=b, amount=9)]
+        )
+        system.run()
+        audit = system.supply_audit()
+        assert audit.minted == 0
+        assert audit.in_flight == 9  # parked in the source ledger, not lost
+        assert audit.conserved
+        assert not audit.fully_settled
+        assert system.settlement.pending_claims() == 1
+        b_account = system.router.local_account_of(b)
+        initial = system.shards[1].initial_balances()[b_account]
+        assert system.shards[1].nodes[0].balance_of(b_account) == initial
+        report = system.check_definition1()
+        assert report.ok, report.violations  # Definition 1 is untouched
+
+    def test_equivocating_voucher_cannot_inflate_the_amount(self, fast_network):
+        """One replica vouching an inflated claim changes nothing: its bogus
+        claim never reaches quorum, the honest claim still does."""
+        system = _system(fast_network)
+        bogus_claim = _claim(system, amount=1_000_000, account="0")
+        keypair = system.shards[0].scheme.keypair_for(3)
+        bogus_voucher = SettlementVoucher(
+            claim=bogus_claim, signature=keypair.sign(bogus_claim)
+        )
+        system.settlement.set_voucher_behavior(
+            0, 3, ScriptedBehavior(substitutions={1: bogus_voucher})
+        )
+        a = _user_on_shard(system.router, 0)
+        b = _user_on_shard(system.router, 1)
+        system.schedule_submissions(
+            [ClusterSubmission(time=0.001, source_user=a, destination_user=b, amount=9)]
+        )
+        system.run()
+        audit = system.supply_audit()
+        assert audit.minted == 9  # the honest amount, not the inflated one
+        assert system.settlement.pending_claims() == 1  # the bogus claim, starved
+        assert system.check_definition1().ok
+
+
+class TestOutOfOrderCertification:
+    def test_certificates_assembled_out_of_order_still_mint_in_order(self, fast_network):
+        """A Byzantine replica withholding its voucher for claim 1 while
+        vouchering claim 2 makes the relay certify 2 before 1; the inboxes
+        must hold certificate 2 and mint both once 1 arrives."""
+        system = _system(fast_network)
+        system.start()
+        scheme = system.shards[0].scheme
+        relay = system.settlement.relay(0, 1)
+        first = _claim(system, amount=5, sequence=1)
+        second = _claim(system, amount=7, sequence=2)
+
+        def voucher(signer, claim):
+            return SettlementVoucher(
+                claim=claim, signature=scheme.keypair_for(signer).sign(claim)
+            )
+
+        # Claim 2 completes its quorum first (Byzantine replica 3 vouchers it
+        # but withholds claim 1, which needs the slower honest replicas).
+        for signer in (3, 0, 1):
+            relay.submit_voucher(voucher(signer, second))
+        for signer in (0, 1, 2):
+            relay.submit_voucher(voucher(signer, first))
+        assert [c.claim.sequence for c in relay.certificates] == [2, 1]
+        system.simulator.run_until_quiescent()
+        account_initial = system.shards[1].initial_balances()["0"]
+        for pid, node in system.shards[1].nodes.items():
+            inbox = system.settlement.inboxes[(1, pid)]
+            assert [c.claim.sequence for c in inbox.accepted] == [1, 2]
+            assert inbox.buffered_count == 0
+            assert node.balance_of("0") == account_initial + 5 + 7
+
+    def test_selective_voucher_withholding_cannot_wedge_a_stream(self, fast_network):
+        """End to end: one source replica drops only its *first* voucher;
+        every credit of the stream still settles."""
+
+        class DropFirstVoucher(CrashBehavior):
+            """Inverse of a crash: silent for the first send, honest after."""
+
+            def transform(self, sender, recipient, message):
+                outgoing = super().transform(sender, recipient, message)
+                self.send_limit += 1  # re-arm: only the first send is lost
+                return outgoing
+
+        system = _system(fast_network)
+        system.settlement.set_voucher_behavior(0, 3, DropFirstVoucher(send_limit=0))
+        a = _user_on_shard(system.router, 0)
+        b = _user_on_shard(system.router, 1)
+        system.schedule_submissions(
+            [
+                ClusterSubmission(time=0.001, source_user=a, destination_user=b, amount=4),
+                ClusterSubmission(time=0.002, source_user=a, destination_user=b, amount=6),
+            ]
+        )
+        system.run()
+        audit = system.supply_audit()
+        assert audit.minted == 10
+        assert audit.fully_settled
+        report = system.check_definition1()
+        assert report.ok, report.violations
+
+
+class TestUncertifiedMints:
+    def test_a_mint_without_a_certificate_fails_the_audit(self, fast_network):
+        """A Byzantine destination replica minting out of thin air is caught:
+        its provision account has no certificate backing, so the per-shard
+        checker flags the unbacked debit (C2)."""
+        system = _system(fast_network)
+        system.start()
+        rogue_mint = mint_transfer(_claim(system, amount=777))
+        system.shards[1].nodes[2].mint_certified_credit(rogue_mint)
+        report = system.check_definition1()
+        assert not report.ok
+        assert any("C2" in violation for violation in report.violations)

@@ -1,0 +1,129 @@
+"""Property-based conservation tests for the settled cluster.
+
+Across ~50 random seed × shard-count × batch-size × cross-shard-fraction
+configurations, a full cluster run (workload generation, routing, per-shard
+Figure 4, settlement relay, mint) must end with:
+
+* the two-ledger accounting identity intact — ``local + in-flight`` equals
+  the initial supply,
+* everything settled at quiescence — no credit left in flight, so the local
+  balances alone carry the whole supply, and
+* every shard passing its Definition 1 check (with settlement provisions)
+  plus the cluster-level conservation audit.
+
+The configurations are deliberately tiny (tens of payments, up to three
+shards) so the property suite stays inside the tier-1 budget; the benchmark
+exercises the paper-scale versions of the same assertions.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import ClusterSystem
+from repro.network.node import NetworkConfig
+from repro.workloads.cluster_driver import ClusterWorkloadConfig, cluster_open_loop_workload
+
+FAST_NETWORK = NetworkConfig(
+    latency_base=0.0002,
+    latency_mean=0.0003,
+    processing_time=0.000002,
+    signature_verification_time=0.00002,
+    seed=42,
+)
+
+REPLICAS = 4
+INITIAL_BALANCE = 100
+
+
+def _run_cluster(seed, shards, batch, fraction):
+    system = ClusterSystem(
+        shard_count=shards,
+        replicas_per_shard=REPLICAS,
+        batch_size=batch,
+        broadcast="bracha",
+        initial_balance=INITIAL_BALANCE,
+        network_config=FAST_NETWORK,
+        seed=seed % 997,
+    )
+    workload = cluster_open_loop_workload(
+        ClusterWorkloadConfig(
+            user_count=60,
+            aggregate_rate=2_000.0,
+            duration=0.02,
+            zipf_skew=1.0,
+            cross_shard_fraction=fraction,
+            router=system.router if fraction is not None else None,
+            seed=seed,
+        )
+    )
+    scheduled = system.schedule_submissions(workload)
+    system.run()
+    return system, scheduled
+
+
+class TestClusterConservationProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        shards=st.sampled_from([1, 2, 3]),
+        batch=st.sampled_from([1, 4]),
+        fraction=st.sampled_from([None, 0.0, 0.5, 1.0]),
+    )
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_supply_is_conserved_and_every_shard_passes_definition_1(
+        self, seed, shards, batch, fraction
+    ):
+        system, scheduled = _run_cluster(seed, shards, batch, fraction)
+        initial_supply = shards * REPLICAS * INITIAL_BALANCE
+
+        audit = system.supply_audit()
+        # The identity: local + in-flight (outbound minus minted) == initial.
+        assert audit.total == initial_supply
+        assert system.total_supply() == initial_supply
+        # Quiescence: everything certified, delivered, minted — exactly once.
+        assert audit.fully_settled
+        assert audit.local == initial_supply
+        assert audit.ledger_matches_relay
+        # Every cross-shard payment carries at least min_amount = 1 coin, so
+        # any cross-shard traffic must have minted something by quiescence.
+        if system.cross_shard_submissions:
+            assert audit.minted > 0
+
+        report = system.check_definition1()
+        assert report.ok, report.violations
+        assert len(report.shard_reports) == shards
+
+    @given(seed=st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_settled_and_unsettled_runs_conserve_identically(self, seed):
+        """With settlement off, the same run parks credits instead of minting
+        them — in both worlds the netted supply equals the initial supply."""
+        initial_supply = 2 * REPLICAS * INITIAL_BALANCE
+        settled, _ = _run_cluster(seed, shards=2, batch=1, fraction=None)
+        parked_system = ClusterSystem(
+            shard_count=2,
+            replicas_per_shard=REPLICAS,
+            batch_size=1,
+            broadcast="bracha",
+            initial_balance=INITIAL_BALANCE,
+            network_config=FAST_NETWORK,
+            settlement=False,
+            seed=seed % 997,
+        )
+        workload = cluster_open_loop_workload(
+            ClusterWorkloadConfig(
+                user_count=60, aggregate_rate=2_000.0, duration=0.02, seed=seed
+            )
+        )
+        parked_system.schedule_submissions(workload)
+        parked_system.run()
+
+        settled_audit = settled.supply_audit()
+        parked_audit = parked_system.supply_audit()
+        assert settled_audit.total == parked_audit.total == initial_supply
+        assert settled_audit.fully_settled
+        assert parked_audit.minted == 0
+        assert parked_audit.outbound == settled_audit.outbound
+        assert parked_audit.in_flight == settled_audit.minted
