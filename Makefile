@@ -5,7 +5,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-props bench-smoke bench example clean
+.PHONY: test test-props test-backends bench-smoke bench example clean
+
+## Narrows the benchmark's execution-backend sweep, e.g.:
+##   make bench BACKEND=process
+##   make bench-smoke BACKEND=serial,thread
+BACKEND ?=
 
 ## Tier-1: the full unit/integration suite (fails fast, quiet).
 test:
@@ -15,13 +20,17 @@ test:
 test-props:
 	$(PYTHON) -m pytest tests/properties -q
 
+## The cross-backend equivalence harness and backend determinism sweep alone.
+test-backends:
+	$(PYTHON) -m pytest tests/cluster/test_backend_equivalence.py tests/properties/test_backend_determinism.py -q
+
 ## A fast sanity pass over the cluster benchmark (shrunken grid and load).
 bench-smoke:
-	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_cluster_scaling.py -q
+	REPRO_BENCH_SMOKE=1 REPRO_BENCH_BACKEND=$(BACKEND) $(PYTHON) -m pytest benchmarks/bench_cluster_scaling.py -q
 
 ## The full benchmark suite (slow; regenerates BENCH_cluster.json).
 bench:
-	$(PYTHON) -m pytest benchmarks -q
+	REPRO_BENCH_BACKEND=$(BACKEND) $(PYTHON) -m pytest benchmarks -q
 
 ## The cluster quickstart example.
 example:

@@ -23,6 +23,7 @@ Setting ``REPRO_BENCH_SMOKE=1`` shrinks the grids and the offered load
 (used by ``make bench-smoke``).
 """
 
+import dataclasses
 import json
 import os
 from pathlib import Path
@@ -31,10 +32,11 @@ import pytest
 
 from repro.eval.experiments import (
     ClusterExperimentConfig,
+    backend_comparison_experiment,
     cluster_scaling_experiment,
     cross_shard_settlement_experiment,
 )
-from repro.eval.reporting import format_cluster_table
+from repro.eval.reporting import format_backend_table, format_cluster_table
 from repro.network.node import NetworkConfig
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
@@ -45,6 +47,18 @@ BATCH_SIZES = (1, 8) if SMOKE else (1, 8, 32)
 CROSS_SHARD_CONFIGS = (
     ((2, 8, 0.5),) if SMOKE else ((2, 1, 0.25), (2, 8, 0.5), (4, 8, 0.5), (8, 8, 1.0))
 )
+# Execution backends for the wall-clock sweep; `make bench BACKEND=process`
+# (or a comma list) narrows it.
+BACKENDS = tuple(
+    name for name in os.environ.get("REPRO_BENCH_BACKEND", "").split(",") if name
+) or ("serial", "thread", "process")
+BACKEND_SHARDS = 2 if SMOKE else 8
+BACKEND_BATCH = 8
+# The process pool can only beat the serial reference when the machine has
+# cores to run shards on; on a single-CPU runner the sweep still proves
+# result equivalence and records honest timings, but the speedup assertion
+# would measure the container, not the code.
+CPU_COUNT = os.cpu_count() or 1
 # Smoke runs write alongside rather than clobbering the tracked trajectory.
 _OUTPUT_NAME = "BENCH_cluster_smoke.json" if SMOKE else "BENCH_cluster.json"
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / _OUTPUT_NAME
@@ -87,7 +101,9 @@ def _row_payload(row, fraction=None) -> dict:
     }
 
 
-def _update_json(key: str, rows: list, config: ClusterExperimentConfig) -> None:
+def _update_json(
+    key: str, rows: list, config: ClusterExperimentConfig, extra: dict = None
+) -> None:
     """Read-modify-write one section of the benchmark JSON.
 
     The scaling grid and the settlement sweep run as separate pytest items;
@@ -110,6 +126,8 @@ def _update_json(key: str, rows: list, config: ClusterExperimentConfig) -> None:
         },
         "rows": rows,
     }
+    if extra:
+        payload[key].update(extra)
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
 
@@ -205,3 +223,94 @@ def test_cross_shard_settlement_configs(benchmark):
     )
     print()
     print(format_cluster_table([row for _, row in rows]))
+
+
+def test_backend_wall_clock(benchmark):
+    """One workload, every execution backend: identical results, real time.
+
+    The per-backend wall-clock columns land in ``BENCH_cluster.json`` so the
+    performance trajectory tracks parallel execution alongside simulated
+    throughput.  Hard assertions: every backend's run is fully audited
+    (Definition 1 + supply conservation + complete settlement) and all
+    backends produce the *same canonical fingerprint* — the benchmark may
+    never trade correctness for speed.  On a multi-core machine the process
+    pool must beat the serial reference by >= 1.5x at 8 shards; on a
+    single-CPU runner that bound is unobtainable by any implementation (there
+    is nothing to run shards on in parallel), so it is asserted only when
+    cores are available and the recorded ``cpu_count`` qualifies the numbers.
+    """
+    config = dataclasses.replace(_config(), cross_shard_fraction=0.25)
+
+    def run():
+        return backend_comparison_experiment(
+            shard_count=BACKEND_SHARDS,
+            batch_size=BACKEND_BATCH,
+            backends=BACKENDS,
+            config=config,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    by_backend = {row.backend: row for row in rows}
+    for row in rows:
+        benchmark.extra_info[f"{row.backend}_wall_s"] = round(row.wall_clock_s, 3)
+        assert row.row.check.ok, (
+            f"Definition 1 violated on backend={row.backend}: "
+            f"{row.row.check.violations[:3]}"
+        )
+        assert row.row.conservation_ok, (
+            f"conservation violated on backend={row.backend}: "
+            f"{row.row.check.conservation}"
+        )
+        assert row.row.fully_settled
+    # The equivalence guarantee, asserted where the speed is measured.
+    assert len({row.fingerprint for row in rows}) == 1, (
+        "backends disagreed on the canonical run fingerprint: "
+        + ", ".join(f"{row.backend}={row.fingerprint[:12]}" for row in rows)
+    )
+
+    speedup = None
+    if "serial" in by_backend and "process" in by_backend:
+        speedup = (
+            by_backend["serial"].wall_clock_s / by_backend["process"].wall_clock_s
+        )
+        benchmark.extra_info["process_speedup"] = round(speedup, 2)
+        if not SMOKE and CPU_COUNT >= 2:
+            assert speedup >= 1.5, (
+                f"ProcessPoolBackend only {speedup:.2f}x faster than serial at "
+                f"{BACKEND_SHARDS} shards on {CPU_COUNT} CPUs"
+            )
+
+    _update_json(
+        "backend_rows",
+        [
+            {
+                "backend": row.backend,
+                "wall_clock_s": round(row.wall_clock_s, 3),
+                "speedup_vs_serial": (
+                    round(by_backend["serial"].wall_clock_s / row.wall_clock_s, 2)
+                    if "serial" in by_backend and row.wall_clock_s > 0
+                    else None
+                ),
+                "throughput_tps": round(row.throughput, 1),
+                "committed": row.row.summary.committed,
+                "definition_1_ok": all(
+                    r.ok for r in row.row.check.shard_reports.values()
+                ),
+                "conservation_ok": row.row.conservation_ok,
+                "fully_settled": row.row.fully_settled,
+                "fingerprint": row.fingerprint,
+            }
+            for row in rows
+        ],
+        config,
+        extra={
+            "cpu_count": CPU_COUNT,
+            "shard_count": BACKEND_SHARDS,
+            "batch_size": BACKEND_BATCH,
+            "cross_shard_fraction": 0.25,
+            "fingerprints_identical": len({row.fingerprint for row in rows}) == 1,
+        },
+    )
+    print()
+    print(format_backend_table(rows))

@@ -17,6 +17,11 @@ This package deploys that observation:
   voucher signatures into a certificate; :class:`SettlementInbox` per
   destination replica verifies and mints the credit exactly once, making
   cross-shard money *spendable* at its destination.
+* :mod:`repro.cluster.backends` — the parallel execution backends:
+  :class:`SerialBackend`, :class:`ThreadBackend` and
+  :class:`ProcessPoolBackend` advance per-shard simulators between the
+  :class:`EpochScheduler`'s deterministic settlement barriers, with
+  bit-identical results across all three.
 * :mod:`repro.cluster.system` — :class:`ClusterSystem`, the façade that
   routes, drives, settles and audits the whole cluster.
 * :mod:`repro.cluster.result` — :class:`ClusterResult` /
@@ -40,15 +45,35 @@ from repro.cluster.settlement import (
     is_settlement_account,
     settlement_account,
 )
-from repro.cluster.shard import Shard
+from repro.cluster.shard import AdvanceReport, Shard, ShardSnapshot, ShardSpec, ValidationEvent
+from repro.cluster.backends import (
+    BACKEND_NAMES,
+    EpochScheduler,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
 from repro.cluster.system import ClusterSystem
 
 __all__ = [
+    "AdvanceReport",
+    "BACKEND_NAMES",
     "BatchAnnouncement",
     "BatchingTransferNode",
     "ClusterCheckReport",
     "ClusterResult",
     "ClusterSystem",
+    "EpochScheduler",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ShardSnapshot",
+    "ShardSpec",
+    "ThreadBackend",
+    "ValidationEvent",
+    "make_backend",
     "Route",
     "SettlementCertificate",
     "SettlementClaim",

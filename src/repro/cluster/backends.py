@@ -1,0 +1,633 @@
+"""Parallel shard execution backends and the epoch-barrier scheduler.
+
+The paper's consensus-number-1 result means shards never coordinate, so
+nothing forces them onto one Python event loop: a shard's event sequence
+depends only on its own schedule plus the settlement certificates it is
+handed.  This module exploits that.  Each shard runs on *its own*
+:class:`~repro.network.simulator.Simulator`, advanced independently up to the
+next **settlement barrier**; at the barrier the (driver-process) settlement
+fabric exchanges vouchers and certificates in a deterministic order, the
+resulting mints are scheduled back onto the destination shards' clocks, and
+the loop repeats until global quiescence.
+
+Three backends execute the per-epoch shard advancement:
+
+* :class:`SerialBackend` — one shard after the other, in-process (today's
+  single-threaded execution, extracted behind the interface).
+* :class:`ThreadBackend` — a thread pool; shards share no state, so threads
+  only contend on the GIL (a correctness-under-concurrency backend more than
+  a speed one in CPython).
+* :class:`ProcessPoolBackend` — persistent worker processes, each owning a
+  fixed subset of shards built from picklable :class:`ShardSpec`s; epochs
+  exchange only plain data (validation events out, mint transfers in), and a
+  final :class:`ShardSnapshot` per shard rehydrates the driver-side twins so
+  every inspection and audit surface answers as usual.
+
+The headline guarantee is **bit-identical results across backends**: the
+barrier schedule, the voucher/certificate processing order (sorted by
+``(time, shard, sequence)``) and the per-shard event sequences are all
+deterministic functions of the cluster seed, never of wall-clock timing,
+thread interleaving or worker assignment.  The cross-backend equivalence
+harness (``tests/cluster/test_backend_equivalence.py``) asserts the resulting
+:meth:`~repro.cluster.result.ClusterResult.fingerprint` equality on a
+seed × shards × batch × cross-shard-fraction grid.
+
+Against the classic shared-clock mode, the only semantic difference is
+settlement *timing*: vouchers and certificates hop between shards at barrier
+granularity (the ``epoch``) instead of at continuous simulator times.  The
+Figure 4 protocol inside each shard is untouched — which is exactly the
+freedom the set-constrained-delivery view of broadcast-level abstractions
+(Imbs et al., arXiv:1706.05267) predicts: the only cross-shard obligation is
+reliable, source-ordered certificate delivery, and that batches freely.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import math
+import multiprocessing
+import os
+import traceback
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.settlement import SettlementCertificate, SettlementRelay, SettlementVoucher
+from repro.cluster.shard import AdvanceReport, Shard, ShardSnapshot, ShardSpec
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.types import ProcessId, Transfer
+from repro.network.simulator import Simulator
+from repro.workloads.cluster_driver import RoutedSubmission
+
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+def _schedule_into(shard: Shard, submissions: List[RoutedSubmission]) -> None:
+    """Schedule a shard's pre-partitioned arrivals, preserving list order."""
+    for submission in submissions:
+        shard.submit(
+            time=submission.time,
+            issuer=submission.issuer,
+            destination=submission.destination,
+            amount=submission.amount,
+        )
+
+
+# -- the backend interface --------------------------------------------------------------------
+
+
+class ExecutionBackend(abc.ABC):
+    """Executes the per-epoch shard advancement for the barrier scheduler.
+
+    A backend session is *opened* once with the driver-side shard objects,
+    their specs and the pre-partitioned submissions; after that the scheduler
+    only ever asks it to ``advance`` every shard to a barrier, to
+    ``apply_mints`` the barrier produced, and finally to ``finalize`` so the
+    driver-side shards reflect the run (a no-op for in-process backends).
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def open(
+        self,
+        shards: List[Shard],
+        specs: List[ShardSpec],
+        submissions: Dict[int, List[RoutedSubmission]],
+    ) -> None:
+        """Start the session: install collectors, start shards, load arrivals."""
+
+    @abc.abstractmethod
+    def advance(
+        self, horizon: Optional[float], max_events: Optional[int] = None
+    ) -> Dict[int, AdvanceReport]:
+        """Advance every shard to ``horizon`` and collect their reports."""
+
+    @abc.abstractmethod
+    def apply_mints(
+        self, time: float, mints: Dict[int, List[Tuple[ProcessId, Transfer]]]
+    ) -> None:
+        """Schedule the barrier's certified mints onto the target shards."""
+
+    def finalize(self) -> None:
+        """Synchronise driver-side shard state with the executed run."""
+
+    def close(self) -> None:
+        """Release session resources (worker processes, thread pools)."""
+
+
+class SerialBackend(ExecutionBackend):
+    """Runs every shard in the driver process, one after the other.
+
+    This is the previous ``ClusterSystem`` execution model extracted behind
+    the backend interface: single-threaded, live objects, no serialisation
+    anywhere.  It is both the baseline the benchmark compares against and the
+    reference the other backends must match bit-for-bit.
+    """
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self._shards: List[Shard] = []
+
+    def open(
+        self,
+        shards: List[Shard],
+        specs: List[ShardSpec],
+        submissions: Dict[int, List[RoutedSubmission]],
+    ) -> None:
+        self._shards = list(shards)
+        for shard in self._shards:
+            shard.install_validation_collector()
+            shard.start()
+            _schedule_into(shard, submissions.get(shard.index, []))
+
+    def advance(
+        self, horizon: Optional[float], max_events: Optional[int] = None
+    ) -> Dict[int, AdvanceReport]:
+        return {shard.index: shard.advance(horizon, max_events) for shard in self._shards}
+
+    def apply_mints(
+        self, time: float, mints: Dict[int, List[Tuple[ProcessId, Transfer]]]
+    ) -> None:
+        for index in sorted(mints):
+            self._shards[index].apply_mints(time, mints[index])
+
+
+class ThreadBackend(SerialBackend):
+    """Advances shards concurrently on a thread pool.
+
+    Shards are fully disjoint object graphs (own simulator, network, nodes,
+    RNG streams), so per-epoch advancement is embarrassingly parallel and the
+    only shared resource is the interpreter lock.  Determinism needs no
+    locks: each shard is touched by exactly one task per epoch, and the
+    reports are keyed by shard index, not completion order.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__()
+        self._max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def open(
+        self,
+        shards: List[Shard],
+        specs: List[ShardSpec],
+        submissions: Dict[int, List[RoutedSubmission]],
+    ) -> None:
+        super().open(shards, specs, submissions)
+        workers = self._max_workers or min(len(shards), os.cpu_count() or 1) or 1
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="shard-backend"
+        )
+
+    def advance(
+        self, horizon: Optional[float], max_events: Optional[int] = None
+    ) -> Dict[int, AdvanceReport]:
+        assert self._pool is not None, "backend session not open"
+        futures = {
+            shard.index: self._pool.submit(shard.advance, horizon, max_events)
+            for shard in self._shards
+        }
+        return {index: future.result() for index, future in futures.items()}
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# -- the process-pool backend -----------------------------------------------------------------
+
+
+def _worker_main(
+    connection,
+    specs: List[ShardSpec],
+    submissions: Dict[int, List[RoutedSubmission]],
+) -> None:
+    """One worker process: builds its shards from specs and serves commands.
+
+    The worker is a deterministic replica of what the serial backend would
+    have done for these shards: build from spec (all randomness is seeded),
+    install the validation collector, start, load the pre-partitioned
+    arrivals, then alternate ``advance`` / ``mint`` commands until asked for
+    the final ``snapshot``.  Every payload crossing the pipe is plain
+    picklable data; exceptions travel back as formatted tracebacks.
+    """
+    shards: Dict[int, Shard] = {}
+    for spec in specs:
+        shard = spec.build()
+        shard.install_validation_collector()
+        shard.start()
+        _schedule_into(shard, submissions.get(spec.index, []))
+        shards[spec.index] = shard
+    while True:
+        try:
+            command = connection.recv()
+        except EOFError:
+            break
+        kind = command[0]
+        try:
+            if kind == "advance":
+                _, horizon, max_events = command
+                reports = {
+                    index: shards[index].advance(horizon, max_events)
+                    for index in sorted(shards)
+                }
+                connection.send(("ok", reports))
+            elif kind == "mint":
+                _, time, per_shard = command
+                for index, mints in per_shard:
+                    shards[index].apply_mints(time, mints)
+                connection.send(("ok", None))
+            elif kind == "snapshot":
+                connection.send(
+                    ("ok", {index: shards[index].snapshot() for index in sorted(shards)})
+                )
+            elif kind == "stop":
+                connection.send(("ok", None))
+                break
+            else:
+                connection.send(("error", f"unknown worker command {kind!r}"))
+        except Exception:  # ship the traceback; the driver decides how to fail
+            connection.send(("error", traceback.format_exc()))
+    connection.close()
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Executes shards in persistent worker processes.
+
+    Shards are assigned round-robin to ``max_workers`` long-lived workers
+    (shard *state* must persist across epochs, so this is a static
+    partition, not a task queue).  Per epoch the driver broadcasts the
+    barrier horizon, workers advance their shards concurrently and return
+    validation events; mints travel the other way.  After the run, each
+    worker ships a :class:`~repro.cluster.shard.ShardSnapshot` per shard and
+    :meth:`finalize` rehydrates the driver-side twins, so audits, balance
+    reads and Definition 1 checks see exactly the worker's final state.
+
+    The assignment of shards to workers affects only *where* a shard's
+    deterministic event sequence is computed, never its content — results
+    are identical for any worker count, which the two-worker smoke test
+    pins.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self._max_workers = max_workers
+        self._workers: List[Tuple[Any, Any]] = []  # (process, connection)
+        self._assignment: Dict[int, int] = {}  # shard index -> worker slot
+        self._shards: List[Shard] = []
+        self._finalizer = None
+
+    def open(
+        self,
+        shards: List[Shard],
+        specs: List[ShardSpec],
+        submissions: Dict[int, List[RoutedSubmission]],
+    ) -> None:
+        self._shards = list(shards)
+        worker_count = self._max_workers or min(len(shards), os.cpu_count() or 1) or 1
+        worker_count = max(1, min(worker_count, len(shards)))
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        )
+        per_worker_specs: List[List[ShardSpec]] = [[] for _ in range(worker_count)]
+        for position, spec in enumerate(specs):
+            slot = position % worker_count
+            per_worker_specs[slot].append(spec)
+            self._assignment[spec.index] = slot
+        for slot in range(worker_count):
+            parent, child = context.Pipe(duplex=True)
+            worker_submissions = {
+                spec.index: submissions.get(spec.index, [])
+                for spec in per_worker_specs[slot]
+            }
+            process = context.Process(
+                target=_worker_main,
+                args=(child, per_worker_specs[slot], worker_submissions),
+                daemon=True,
+                name=f"shard-worker-{slot}",
+            )
+            process.start()
+            child.close()
+            self._workers.append((process, parent))
+        # Belt and braces: if the owning ClusterSystem is garbage-collected
+        # without close(), reap the (daemonic) workers eagerly.
+        self._finalizer = weakref.finalize(
+            self, ProcessPoolBackend._shutdown, list(self._workers)
+        )
+
+    def _request(self, slot: int, command: tuple) -> None:
+        self._workers[slot][1].send(command)
+
+    def _collect(self, slot: int) -> Any:
+        status, payload = self._workers[slot][1].recv()
+        if status != "ok":
+            raise SimulationError(f"shard worker {slot} failed:\n{payload}")
+        return payload
+
+    def advance(
+        self, horizon: Optional[float], max_events: Optional[int] = None
+    ) -> Dict[int, AdvanceReport]:
+        for slot in range(len(self._workers)):
+            self._request(slot, ("advance", horizon, max_events))
+        reports: Dict[int, AdvanceReport] = {}
+        for slot in range(len(self._workers)):
+            reports.update(self._collect(slot))
+        return reports
+
+    def apply_mints(
+        self, time: float, mints: Dict[int, List[Tuple[ProcessId, Transfer]]]
+    ) -> None:
+        per_slot: Dict[int, List[Tuple[int, List[Tuple[ProcessId, Transfer]]]]] = {}
+        for index in sorted(mints):
+            per_slot.setdefault(self._assignment[index], []).append((index, mints[index]))
+        for slot, payload in sorted(per_slot.items()):
+            self._request(slot, ("mint", time, payload))
+        for slot in sorted(per_slot):
+            self._collect(slot)
+
+    def finalize(self) -> None:
+        for slot in range(len(self._workers)):
+            self._request(slot, ("snapshot",))
+        snapshots: Dict[int, ShardSnapshot] = {}
+        for slot in range(len(self._workers)):
+            snapshots.update(self._collect(slot))
+        for shard in self._shards:
+            shard.restore(snapshots[shard.index])
+
+    @staticmethod
+    def _shutdown(workers: List[Tuple[Any, Any]]) -> None:
+        for process, connection in workers:
+            try:
+                connection.send(("stop",))
+                connection.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            connection.close()
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - hung worker safety net
+                process.terminate()
+                process.join(timeout=2.0)
+
+    def close(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._workers:
+            self._shutdown(self._workers)
+            self._workers = []
+
+
+def make_backend(name: str, max_workers: Optional[int] = None) -> ExecutionBackend:
+    """Build an execution backend by name (``serial``/``thread``/``process``)."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(max_workers)
+    if name == "process":
+        return ProcessPoolBackend(max_workers)
+    raise ConfigurationError(
+        f"unknown execution backend {name!r}; expected one of {BACKEND_NAMES}"
+    )
+
+
+# -- the epoch-barrier scheduler --------------------------------------------------------------
+
+
+class EpochScheduler:
+    """Drives independent shard simulators to quiescence, barrier by barrier.
+
+    Barriers live on the grid ``k * epoch``.  Between barriers, shards run
+    free on their own clocks; *at* a barrier the scheduler
+
+    1. replays the epoch's collected validation events — sorted by
+       ``(time, shard, sequence)`` — through the settlement fabric, which
+       signs vouchers (applying any Byzantine voucher behaviours) and queues
+       them with their maturity times,
+    2. feeds every matured voucher to its relay (assembled certificates queue
+       with maturity ``barrier + delivery_delay``),
+    3. delivers every matured certificate to the destination replicas'
+       inboxes, whose accept/replay/buffer decisions emit mint commands, and
+    4. ships the mint commands to the destination shards, scheduled at the
+       barrier time, in deterministic order.
+
+    Empty stretches are skipped: the next barrier is the first grid point at
+    or after the earliest thing that can happen (an event on some shard, a
+    maturing voucher or certificate, or a just-applied mint).  All of this is
+    computed in the driver process from backend-reported values, so the
+    barrier sequence — and with it every shard's event sequence — is
+    identical whichever backend executes the epochs.
+    """
+
+    def __init__(self, epoch: float) -> None:
+        if epoch <= 0:
+            raise ConfigurationError("epoch must be positive")
+        self.epoch = epoch
+        self.now = 0.0
+        self.barriers = 0
+        self._barrier_index = 0
+        self._pending_index = 0
+        self._order = itertools.count()
+        self._vouchers: List[Tuple[float, int, SettlementRelay, SettlementVoucher]] = []
+        self._certificates: List[Tuple[float, int, SettlementRelay, SettlementCertificate]] = []
+        self._mints: List[Tuple[int, ProcessId, Transfer]] = []
+        self._reports: Optional[Dict[int, AdvanceReport]] = None
+
+    # -- queues fed by the settlement fabric ---------------------------------------------------
+
+    def enqueue_voucher(
+        self, ready: float, relay: SettlementRelay, voucher: SettlementVoucher
+    ) -> None:
+        self._vouchers.append((ready, next(self._order), relay, voucher))
+
+    def enqueue_certificate(
+        self, relay: SettlementRelay, certificate: SettlementCertificate
+    ) -> None:
+        ready = self.now + relay.config.delivery_delay
+        self._certificates.append((ready, next(self._order), relay, certificate))
+
+    def enqueue_mint(self, shard: int, replica: ProcessId, transfer: Transfer) -> None:
+        self._mints.append((shard, replica, transfer))
+
+    @property
+    def in_flight(self) -> int:
+        """Vouchers and certificates queued between barriers (plus mints)."""
+        return len(self._vouchers) + len(self._certificates) + len(self._mints)
+
+    # -- the drive loop ------------------------------------------------------------------------
+
+    def run(
+        self,
+        backend: ExecutionBackend,
+        fabric=None,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> Dict[int, AdvanceReport]:
+        """Advance the cluster to quiescence (or ``until``); returns the
+        final per-shard reports."""
+        if self._reports is None:
+            self._reports = backend.advance(self.now, max_events)
+            self._check_budget(max_events)
+        while True:
+            minted = self._exchange(backend, fabric)
+            reports = self._reports
+            pending = any(report.pending_events for report in reports.values())
+            if not (pending or minted or self._vouchers or self._certificates):
+                break
+            target = self._next_target(minted)
+            horizon = self._next_barrier(target)
+            if until is not None and horizon > until:
+                # Pause *on the grid*: the run stops at the last barrier not
+                # exceeding ``until`` and a later run() resumes with exactly
+                # the barrier sequence an uninterrupted run would have used.
+                break
+            self._barrier_index = self._pending_index
+            budget = self._remaining_budget(max_events)
+            self._reports = backend.advance(horizon, budget)
+            self._check_budget(max_events)
+            self.now = horizon
+            self.barriers += 1
+        return self._reports
+
+    def _exchange(self, backend: ExecutionBackend, fabric) -> int:
+        """Run one barrier's settlement exchange; returns mints applied."""
+        reports = self._reports or {}
+        events = sorted(
+            (event for report in reports.values() for event in report.events),
+            key=lambda event: (event.time, event.shard, event.index),
+        )
+        # Consume exactly once: run() can be re-entered (pause/resume, drain
+        # after a run) with the same final reports still in hand, and
+        # replaying an epoch's validations would voucher — and mint — the
+        # same credits twice.
+        for report in reports.values():
+            report.events = []
+        if fabric is not None:
+            for event in events:
+                fabric.observe_validation(
+                    event.shard, event.replica, event.transfer, at=event.time
+                )
+        # Vouchers can assemble certificates and (when delivery_delay is 0)
+        # certificates can mature within the same barrier, so drain to a
+        # fixed point.
+        progressed = True
+        while progressed:
+            progressed = False
+            ready_vouchers = sorted(
+                (entry for entry in self._vouchers if entry[0] <= self.now),
+                key=lambda entry: (entry[0], entry[1]),
+            )
+            if ready_vouchers:
+                progressed = True
+                matured = set(id(entry) for entry in ready_vouchers)
+                self._vouchers = [e for e in self._vouchers if id(e) not in matured]
+                for _, _, relay, voucher in ready_vouchers:
+                    relay.submit_voucher(voucher)
+            ready_certificates = sorted(
+                (entry for entry in self._certificates if entry[0] <= self.now),
+                key=lambda entry: (entry[0], entry[1]),
+            )
+            if ready_certificates:
+                progressed = True
+                matured = set(id(entry) for entry in ready_certificates)
+                self._certificates = [
+                    e for e in self._certificates if id(e) not in matured
+                ]
+                for _, _, relay, certificate in ready_certificates:
+                    relay.deliver(certificate)
+        if not self._mints:
+            return 0
+        grouped: Dict[int, List[Tuple[ProcessId, Transfer]]] = {}
+        for shard, replica, transfer in self._mints:
+            grouped.setdefault(shard, []).append((replica, transfer))
+        applied = len(self._mints)
+        self._mints = []
+        backend.apply_mints(self.now, grouped)
+        return applied
+
+    def _next_target(self, minted: int) -> float:
+        """The earliest instant at which anything can happen next."""
+        candidates: List[float] = []
+        for report in (self._reports or {}).values():
+            if report.next_event_time is not None:
+                candidates.append(report.next_event_time)
+        candidates.extend(entry[0] for entry in self._vouchers)
+        candidates.extend(entry[0] for entry in self._certificates)
+        if minted:
+            candidates.append(self.now)
+        return min(candidates) if candidates else self.now
+
+    def _next_barrier(self, target: float) -> float:
+        """First grid point after the current barrier, at or after ``target``.
+
+        ``ceil`` may land one grid slot past ``target`` under floating-point
+        division — that only costs an empty barrier — and if rounding ever
+        left the grid point *short* of the target event, the event simply
+        matures at the following barrier: the grid always advances by at
+        least one ``epoch``, so the loop cannot stall.  The index is staged
+        in ``_pending_index`` and only committed once the caller decides the
+        barrier is actually taken (an ``until`` pause must not burn it).
+        """
+        index = max(self._barrier_index + 1, math.ceil(target / self.epoch))
+        self._pending_index = index
+        return index * self.epoch
+
+    def _remaining_budget(self, max_events: Optional[int]) -> Optional[int]:
+        """Events each shard may still execute in the coming epoch.
+
+        Shards advance concurrently — in worker processes, without a shared
+        counter — so the global cap is enforced at barrier granularity: every
+        epoch each shard gets the cluster-wide remainder as its own ceiling,
+        and :meth:`_check_budget` re-checks the cluster-wide total right
+        after the epoch.  A pathological epoch can therefore overshoot the
+        cap by up to ``shard_count`` times before being caught one barrier
+        later — the guard is a livelock backstop, not an exact meter (the
+        shared-clock mode, with its single queue, enforces it exactly).
+        """
+        if max_events is None:
+            return None
+        consumed = sum(report.processed_events for report in (self._reports or {}).values())
+        remaining = max_events - consumed
+        if remaining <= 0:
+            raise SimulationError(
+                f"cluster exceeded the event budget of {max_events}; "
+                "a protocol is likely flooding the network"
+            )
+        return remaining
+
+    def _check_budget(self, max_events: Optional[int]) -> None:
+        if max_events is None:
+            return
+        consumed = sum(report.processed_events for report in (self._reports or {}).values())
+        if consumed > max_events:
+            raise SimulationError(
+                f"cluster exceeded the event budget of {max_events}; "
+                "a protocol is likely flooding the network"
+            )
+
+    # -- result-side views ---------------------------------------------------------------------
+
+    @property
+    def reports(self) -> Dict[int, AdvanceReport]:
+        return dict(self._reports or {})
+
+    def events_processed(self) -> int:
+        return sum(report.processed_events for report in (self._reports or {}).values())
+
+    def duration(self) -> float:
+        """Last executed event time across shards (mirrors the shared clock)."""
+        times = [report.now for report in (self._reports or {}).values()]
+        return max(times) if times else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EpochScheduler(epoch={self.epoch}, now={self.now:.6f}, "
+            f"barriers={self.barriers}, in_flight={self.in_flight})"
+        )

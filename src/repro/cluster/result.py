@@ -10,9 +10,12 @@ without special cases.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.common.errors import ConfigurationError
 from repro.common.types import Amount
 from repro.mp.consensusless_transfer import TransferRecord
 from repro.mp.system import SystemResult
@@ -26,6 +29,21 @@ class ClusterResult:
     shard_results: List[SystemResult] = field(default_factory=list)
     duration: float = 0.0
     events_processed: int = 0
+
+    # Canonical run capture (filled in by ``ClusterSystem.run``): everything
+    # the cross-backend equivalence harness compares byte-for-byte.
+    # ``balances`` maps shard -> replica -> account -> amount (every replica's
+    # full ledger view, not just replica 0); ``committed_stream`` /
+    # ``settlement_stream`` are the deterministic sequence fingerprints;
+    # ``audit`` is the supply audit's verdicts and figures;
+    # ``per_shard_events`` carries per-shard simulator event counts under the
+    # epoch backends (``None`` on the shared clock, which has only a global
+    # count).
+    balances: Optional[Dict[str, Dict[str, Dict[str, Amount]]]] = None
+    committed_stream: Optional[List[tuple]] = None
+    settlement_stream: Optional[List[tuple]] = None
+    audit: Optional[Dict[str, object]] = None
+    per_shard_events: Optional[List[int]] = None
 
     # -- SystemResult-compatible surface ------------------------------------------------------
 
@@ -95,6 +113,48 @@ class ClusterResult:
             return 0.0
         mean = sum(counts) / len(counts)
         return max(counts) / mean
+
+    # -- canonical serialisation --------------------------------------------------------------
+
+    def fingerprint_payload(self) -> Dict[str, object]:
+        """The canonical, JSON-serialisable content of this run.
+
+        Raises if the run capture is missing — a fingerprint over a result
+        that never went through ``ClusterSystem.run`` would silently compare
+        empty shells equal, which is exactly the failure mode the equivalence
+        harness exists to rule out.
+        """
+        if self.balances is None or self.committed_stream is None:
+            raise ConfigurationError(
+                "this ClusterResult was not captured by ClusterSystem.run(); "
+                "there is nothing meaningful to fingerprint"
+            )
+        return {
+            "balances": self.balances,
+            "committed": [list(entry) for entry in self.committed_stream],
+            "settlement": [list(entry) for entry in self.settlement_stream or []],
+            "audit": self.audit,
+            "duration": self.duration,
+            "events_processed": self.events_processed,
+            "per_shard_events": self.per_shard_events,
+            "messages_sent": self.messages_sent,
+            "committed_count": self.committed_count,
+            "rejected_count": len(self.rejected),
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON encoding of the run.
+
+        Two runs fingerprint equal iff every per-account balance on every
+        replica, the committed and settlement streams (with completion
+        times), the supply-audit verdicts and the event/message counts are
+        byte-for-byte identical — the contract the execution backends must
+        uphold: parallelism may never change what the protocol did.
+        """
+        canonical = json.dumps(
+            self.fingerprint_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)

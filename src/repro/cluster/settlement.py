@@ -181,6 +181,7 @@ class SettlementRelay:
         quorum_size: int,
         allowed_signers: frozenset,
         config: Optional[SettlementConfig] = None,
+        dispatch: Optional[Callable[["SettlementCertificate"], None]] = None,
     ) -> None:
         if quorum_size <= 0:
             raise ConfigurationError("quorum_size must be positive")
@@ -192,6 +193,12 @@ class SettlementRelay:
         self.allowed_signers = allowed_signers
         self.config = config or SettlementConfig()
         self.config.validate()
+        # How an assembled certificate reaches the destination inboxes.  The
+        # default schedules ``_deliver`` on the shared simulator clock (the
+        # classic mode); the epoch backends substitute a queue hand-off so the
+        # barrier scheduler delivers it — via ``deliver`` below — at the next
+        # settlement barrier instead.
+        self._dispatch = dispatch
         self._pending: Dict[SettlementClaim, Dict[ProcessId, Signature]] = {}
         self._assembled: Set[SettlementClaim] = set()
         self._subscribers: List[Callable[[SettlementCertificate], None]] = []
@@ -232,11 +239,24 @@ class SettlementRelay:
         )
         self._assembled.add(claim)
         self.certificates.append(certificate)
+        if self._dispatch is not None:
+            self._dispatch(certificate)
+            return
         self.simulator.schedule(
             self.config.delivery_delay,
             lambda: self._deliver(certificate),
             label=f"settle s{self.source_shard}->s{self.destination_shard}",
         )
+
+    def deliver(self, certificate: SettlementCertificate) -> None:
+        """Deliver one assembled certificate to every subscribed inbox.
+
+        Called by the simulator-scheduled hop in the classic mode and by the
+        epoch barrier in backend mode; either way the certificate lands on
+        the relay's ``delivered`` record and on each destination replica's
+        inbox, in subscription (replica-id) order.
+        """
+        self._deliver(certificate)
 
     def _deliver(self, certificate: SettlementCertificate) -> None:
         self.delivered.append(certificate)
@@ -286,9 +306,16 @@ class SettlementInbox:
         shard_index: int,
         node,
         verify: Callable[[SettlementClaim, QuorumCertificate], bool],
+        mint_sink: Optional[Callable[[Transfer], None]] = None,
     ) -> None:
         self.shard_index = shard_index
         self.node = node
+        # Where an accepted mint goes: straight into the replica (classic
+        # shared-clock mode) or into the epoch barrier's mint queue, which
+        # ships it to wherever the replica actually executes.  The accept/
+        # replay/buffer *decisions* always happen right here, so adversarial
+        # tests poke one and the same trust boundary on every backend.
+        self._mint_sink = mint_sink
         self._verify = verify
         self._next_sequence: Dict[Tuple[int, ProcessId], int] = {}
         self._buffered: Dict[Tuple[int, ProcessId], Dict[int, SettlementCertificate]] = {}
@@ -322,7 +349,11 @@ class SettlementInbox:
     def _mint(self, stream: Tuple[int, ProcessId], certificate: SettlementCertificate) -> None:
         self._next_sequence[stream] = certificate.claim.sequence
         self.accepted.append(certificate)
-        self.node.mint_certified_credit(mint_transfer(certificate.claim))
+        transfer = mint_transfer(certificate.claim)
+        if self._mint_sink is not None:
+            self._mint_sink(transfer)
+        else:
+            self.node.mint_certified_credit(transfer)
 
     def _reject(self, certificate: SettlementCertificate, reason: str) -> bool:
         self.rejected.append((certificate, reason))
@@ -352,10 +383,24 @@ class SettlementFabric:
     participants without touching the protocol code.
     """
 
-    def __init__(self, shards, simulator: Simulator, config: Optional[SettlementConfig] = None) -> None:
+    def __init__(
+        self,
+        shards,
+        simulator: Simulator,
+        config: Optional[SettlementConfig] = None,
+        scheduler=None,
+    ) -> None:
         self.config = config or SettlementConfig()
         self.config.validate()
         self.simulator = simulator
+        # Epoch-backend mode: a barrier scheduler (see
+        # ``repro.cluster.backends.EpochScheduler``) carries vouchers and
+        # certificates between barriers instead of the shared simulator, and
+        # validation events are replayed into ``observe_validation`` by the
+        # engine rather than hooked on the nodes (which may execute in worker
+        # processes).  Everything else — signing, behaviours, relays, inbox
+        # decisions — runs identically in both modes.
+        self.scheduler = scheduler
         self._shards = {shard.index: shard for shard in shards}
         self._relays: Dict[Tuple[int, int], SettlementRelay] = {}
         self._out_sequences: Dict[Tuple[int, ProcessId], Dict[Tuple[int, ProcessId], int]] = {}
@@ -366,10 +411,20 @@ class SettlementFabric:
         for shard in shards:
             for pid in sorted(shard.nodes):
                 node = shard.nodes[pid]
+                mint_sink = None
+                if scheduler is not None:
+                    mint_sink = self._mint_sink(shard.index, pid)
                 self.inboxes[(shard.index, pid)] = SettlementInbox(
-                    shard.index, node, self._verify_certificate
+                    shard.index, node, self._verify_certificate, mint_sink=mint_sink
                 )
-                node.on_validated = self._observer(shard.index, pid)
+                if scheduler is None:
+                    node.on_validated = self._observer(shard.index, pid)
+
+    def _mint_sink(self, shard_index: int, replica: ProcessId) -> Callable[[Transfer], None]:
+        def sink(transfer: Transfer) -> None:
+            self.scheduler.enqueue_mint(shard_index, replica, transfer)
+
+        return sink
 
     # -- fault injection ----------------------------------------------------------------------
 
@@ -385,8 +440,21 @@ class SettlementFabric:
 
         return observe
 
-    def observe_validation(self, shard_index: int, replica: ProcessId, transfer: Transfer) -> None:
-        """Emit a signed voucher if ``transfer`` credits another shard."""
+    def observe_validation(
+        self,
+        shard_index: int,
+        replica: ProcessId,
+        transfer: Transfer,
+        at: Optional[float] = None,
+    ) -> None:
+        """Emit a signed voucher if ``transfer`` credits another shard.
+
+        ``at`` is the validation's timestamp on the validating shard's clock;
+        the epoch engine passes it when replaying collected events, while the
+        classic mode's node hooks leave it to default to the shared
+        simulator's current time (the hook fires during the validation
+        event itself, so the two agree).
+        """
         parsed = parse_external_account(transfer.destination)
         if parsed is None:
             return
@@ -406,10 +474,16 @@ class SettlementFabric:
             amount=transfer.amount,
         )
         voucher = SettlementVoucher(claim=claim, signature=self._keypair(shard_index, replica).sign(claim))
-        self._dispatch(shard_index, replica, destination_shard, voucher)
+        emitted_at = at if at is not None else self.simulator.now
+        self._dispatch(shard_index, replica, destination_shard, voucher, emitted_at)
 
     def _dispatch(
-        self, shard_index: int, replica: ProcessId, destination_shard: int, voucher: SettlementVoucher
+        self,
+        shard_index: int,
+        replica: ProcessId,
+        destination_shard: int,
+        voucher: SettlementVoucher,
+        emitted_at: float,
     ) -> None:
         behavior = self._behaviors.get((shard_index, replica))
         if behavior is None:
@@ -421,6 +495,13 @@ class SettlementFabric:
                 continue
             relay = self.relay(shard_index, out.recipient)
             self.vouchers_dispatched += 1
+            if self.scheduler is not None:
+                self.scheduler.enqueue_voucher(
+                    emitted_at + self.config.voucher_delay + out.extra_delay,
+                    relay,
+                    out.message,
+                )
+                continue
             self.simulator.schedule(
                 self.config.voucher_delay + out.extra_delay,
                 lambda message=out.message, target=relay: target.submit_voucher(message),
@@ -442,6 +523,13 @@ class SettlementFabric:
         relay = self._relays.get(key)
         if relay is None:
             source = self._shards[source_shard]
+            dispatch = None
+            if self.scheduler is not None:
+                scheduler = self.scheduler
+
+                def dispatch(certificate, _pair=key):
+                    scheduler.enqueue_certificate(self._relays[_pair], certificate)
+
             relay = SettlementRelay(
                 source_shard=source_shard,
                 destination_shard=destination_shard,
@@ -450,6 +538,7 @@ class SettlementFabric:
                 quorum_size=source.quorum_size,
                 allowed_signers=frozenset(range(source.replicas)),
                 config=self.config,
+                dispatch=dispatch,
             )
             for pid in sorted(self._shards[destination_shard].nodes):
                 relay.subscribe(self.inboxes[(destination_shard, pid)].receive)

@@ -1,37 +1,143 @@
-"""One shard group: an independent Figure 4 deployment on a shared clock.
+"""One shard group: an independent Figure 4 deployment.
 
 A shard owns its replicas, its network (with its own seeded latency stream
-and per-node CPU queues) and its signature scheme, but *not* the clock: all
-shards schedule onto one :class:`~repro.network.simulator.Simulator`, so a
-cluster run is a single deterministic event sequence and per-shard results
-are directly comparable in simulated time.
+and per-node CPU queues) and its signature scheme.  The clock comes from the
+deployment: under the classic shared-clock mode every shard schedules onto
+one :class:`~repro.network.simulator.Simulator`, so a cluster run is a single
+deterministic event sequence; under the epoch-barrier execution backends
+(:mod:`repro.cluster.backends`) every shard owns *its own* simulator and is
+advanced independently up to each settlement barrier — which is safe for the
+same reason sharding itself is: shards never exchange messages, so a shard's
+event sequence depends only on its own schedule.
 
-Because shards never exchange messages, adding a shard adds broadcast-group
-capacity without touching any other shard — the horizontal-scaling property
-the consensus-number-1 result makes safe.
+Because a shard is built purely from seeds (:class:`ShardSpec`), the same
+spec builds bit-identical shards in the driver process and in a worker
+process — the property the cross-backend equivalence harness rests on.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.broadcast.bracha import BrachaBroadcast
 from repro.broadcast.echo_broadcast import EchoBroadcast
 from repro.common.errors import ConfigurationError
 from repro.common.rng import derive_seed
-from repro.common.types import AccountId, Amount, ProcessId
+from repro.common.types import AccountId, Amount, ProcessId, Transfer
 from repro.crypto.signatures import SignatureScheme
 from repro.cluster.batching import BatchingTransferNode
+from repro.cluster.routing import parse_external_account
 from repro.mp.consensusless_transfer import (
     ConsensuslessTransferNode,
     TransferRecord,
     account_of,
 )
 from repro.mp.system import SystemResult
-from repro.network.node import Network, NetworkConfig
+from repro.network.node import Network, NetworkConfig, NodeStats
 from repro.network.simulator import Simulator
-from repro.spec.byzantine_spec import ProcessObservation
+from repro.spec.byzantine_spec import ClientOperation, ProcessObservation, ValidatedTransfer
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything needed to rebuild a shard, as plain picklable data.
+
+    Shards are deterministic functions of their spec: the network latency
+    stream, the key material and every protocol decision derive from
+    ``seed``.  The process-pool backend ships specs (never live objects)
+    to its workers; the worker-built shard and the driver-side shard built
+    from the same spec behave identically.
+    """
+
+    index: int
+    replicas: int = 4
+    initial_balance: Amount = 1_000_000
+    broadcast: str = "bracha"
+    batch_size: int = 1
+    network_config: Optional[NetworkConfig] = None
+    relay_final: bool = True
+    seed: int = 0
+
+    def build(self, simulator: Optional[Simulator] = None) -> "Shard":
+        """Construct the shard (with its own simulator unless one is given)."""
+        return Shard(
+            index=self.index,
+            simulator=simulator if simulator is not None else Simulator(),
+            replicas=self.replicas,
+            initial_balance=self.initial_balance,
+            broadcast=self.broadcast,
+            batch_size=self.batch_size,
+            network_config=self.network_config,
+            relay_final=self.relay_final,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class ValidationEvent:
+    """One replica's validation of a cross-shard credit, with its local time.
+
+    ``index`` is the shard-local emission counter; ``(time, shard, index)``
+    totally orders the events of one epoch across all shards, which is the
+    sort key the settlement exchange uses to keep voucher processing
+    identical whatever backend produced the events.
+    """
+
+    time: float
+    shard: int
+    replica: ProcessId
+    transfer: Transfer
+    index: int
+
+
+@dataclass
+class AdvanceReport:
+    """What one shard reports back from running up to an epoch barrier."""
+
+    shard: int
+    events: List[ValidationEvent] = field(default_factory=list)
+    pending_events: int = 0
+    next_event_time: Optional[float] = None
+    processed_events: int = 0
+    now: float = 0.0
+
+
+@dataclass
+class NodeSnapshot:
+    """The picklable final state of one replica (inspection-relevant fields)."""
+
+    seq: Dict[ProcessId, int]
+    rec: Dict[ProcessId, int]
+    hist: Dict[AccountId, set]
+    deps: set
+    validated_log: List[ValidatedTransfer]
+    client_operations: List[ClientOperation]
+    completed: List[TransferRecord]
+    failed_immediately: List[TransferRecord]
+    stats: NodeStats
+
+
+@dataclass
+class ShardSnapshot:
+    """A shard's final state, shipped from a worker back to the driver.
+
+    Holds exactly what the inspection and audit surfaces read after a run:
+    per-node protocol state, the completion records in completion order, and
+    the shard-level counters.  Restoring it onto a never-started driver-side
+    shard makes ``balance_of`` / ``observations`` / ``finalize`` answer as if
+    the run had happened locally.
+    """
+
+    index: int
+    nodes: Dict[ProcessId, NodeSnapshot]
+    committed: List[TransferRecord]
+    rejected: List[TransferRecord]
+    messages_sent: int
+    submitted: int
+    broadcast_delivered: int
+    payload_items: int
 
 
 class Shard:
@@ -70,12 +176,19 @@ class Shard:
         self.network = Network(simulator, dataclasses.replace(base_config, seed=shard_seed))
         self.scheme = SignatureScheme(seed=shard_seed)
         self.result = SystemResult()
+        self._initial_balance = initial_balance
+        # The construction inputs, kept verbatim so spec() can emit the exact
+        # recipe this shard was built from (base config, pre-derivation seed).
+        self._base_network_config = network_config
+        self._seed = seed
         self._balances: Dict[AccountId, Amount] = {
             account_of(pid): initial_balance for pid in range(replicas)
         }
         self.nodes: Dict[ProcessId, ConsensuslessTransferNode] = {}
         self._build_nodes()
         self.submitted = 0
+        self._validation_events: List[ValidationEvent] = []
+        self._stats_override: Optional[Tuple[int, int]] = None
 
     # -- construction -------------------------------------------------------------------------
 
@@ -125,6 +238,152 @@ class Shard:
         )
         self.submitted += 1
 
+    # -- epoch-backend driving ----------------------------------------------------------------
+
+    def spec(self) -> ShardSpec:
+        """The picklable recipe this shard was built from.
+
+        ``spec().build()`` reconstructs a bit-identical twin: the original
+        base network config and root seed are kept verbatim, so the derived
+        latency streams and key material come out the same anywhere.
+        """
+        return ShardSpec(
+            index=self.index,
+            replicas=self.replicas,
+            initial_balance=self._initial_balance,
+            broadcast=self.broadcast_kind,
+            batch_size=self.batch_size,
+            network_config=self._base_network_config,
+            relay_final=self.relay_final,
+            seed=self._seed,
+        )
+
+    def install_validation_collector(self) -> None:
+        """Record cross-shard credit validations instead of vouchering inline.
+
+        Under the epoch backends the settlement fabric lives in the driver
+        process and never hooks worker-side nodes; each shard collects the
+        raw ``(time, replica, transfer)`` validation events of an epoch and
+        the barrier replays them — in ``(time, shard, index)`` order —
+        through the fabric.  Only credits to external ``x{d}:a`` accounts are
+        recorded; everything else never produces a voucher anyway.
+        """
+        for pid in sorted(self.nodes):
+            self.nodes[pid].on_validated = self._collector(pid)
+
+    def _collector(self, replica: ProcessId) -> Callable[[Transfer], None]:
+        def collect(transfer: Transfer) -> None:
+            if parse_external_account(transfer.destination) is None:
+                return
+            self._validation_events.append(
+                ValidationEvent(
+                    time=self.simulator.now,
+                    shard=self.index,
+                    replica=replica,
+                    transfer=transfer,
+                    index=len(self._validation_events),
+                )
+            )
+
+        return collect
+
+    def advance(self, horizon: Optional[float], max_events: Optional[int] = None) -> AdvanceReport:
+        """Run this shard's own simulator up to ``horizon`` and report back.
+
+        ``horizon=None`` runs to quiescence (used when settlement is off and
+        no barriers are needed).  The report carries the epoch's validation
+        events and the scheduling facts (pending events, next event time)
+        the barrier scheduler folds into the global quiescence and
+        next-barrier decisions.
+        """
+        if horizon is None:
+            self.simulator.run(max_events=max_events)
+        else:
+            self.simulator.run_until(horizon, max_events=max_events)
+        events = self._validation_events
+        self._validation_events = []
+        return AdvanceReport(
+            shard=self.index,
+            events=events,
+            pending_events=self.simulator.pending_events,
+            next_event_time=self.simulator.next_event_time,
+            processed_events=self.simulator.processed_events,
+            now=self.simulator.now,
+        )
+
+    def apply_mints(self, time: float, mints: List[Tuple[ProcessId, Transfer]]) -> None:
+        """Schedule certified mints onto this shard's clock, in list order.
+
+        The barrier delivers one ``(replica, transfer)`` entry per
+        destination inbox decision; scheduling them in list order on the
+        shard's own simulator reproduces the same ``(time, sequence)`` event
+        ordering on every backend.
+        """
+        for replica, transfer in mints:
+            node = self.nodes[replica]
+            self.simulator.schedule_at(
+                time,
+                lambda n=node, t=transfer: n.mint_certified_credit(t),
+                label=f"settle mint s{self.index}/p{replica}",
+            )
+
+    def snapshot(self) -> ShardSnapshot:
+        """Capture the inspection-relevant final state as picklable data."""
+        nodes = {}
+        for pid in sorted(self.nodes):
+            node = self.nodes[pid]
+            nodes[pid] = NodeSnapshot(
+                seq=dict(node.seq),
+                rec=dict(node.rec),
+                hist={account: set(history) for account, history in node.hist.items()},
+                deps=set(node.deps),
+                validated_log=list(node._validated_log),
+                client_operations=list(node._client_operations),
+                completed=list(node.completed),
+                failed_immediately=list(node.failed_immediately),
+                stats=node.stats,
+            )
+        return ShardSnapshot(
+            index=self.index,
+            nodes=nodes,
+            committed=list(self.result.committed),
+            rejected=list(self.result.rejected),
+            messages_sent=self.network.messages_sent,
+            submitted=self.submitted,
+            broadcast_delivered=self.broadcast_instances(),
+            payload_items=self.payload_items(),
+        )
+
+    def restore(self, snapshot: ShardSnapshot) -> None:
+        """Adopt a worker shard's final state onto this (never-run) twin.
+
+        After restoring, every read-side surface — ``balance_of``,
+        ``all_known_balances``, ``observations``, the result lists,
+        ``broadcast_instances`` — answers exactly as the worker's shard
+        would; the local simulator and broadcast layers stay untouched (the
+        run happened elsewhere).
+        """
+        if snapshot.index != self.index:
+            raise ConfigurationError(
+                f"snapshot of shard {snapshot.index} applied to shard {self.index}"
+            )
+        for pid, node_snapshot in snapshot.nodes.items():
+            node = self.nodes[pid]
+            node.seq = dict(node_snapshot.seq)
+            node.rec = dict(node_snapshot.rec)
+            node.hist = {account: set(history) for account, history in node_snapshot.hist.items()}
+            node.deps = set(node_snapshot.deps)
+            node._validated_log = list(node_snapshot.validated_log)
+            node._client_operations = list(node_snapshot.client_operations)
+            node.completed = list(node_snapshot.completed)
+            node.failed_immediately = list(node_snapshot.failed_immediately)
+            node.stats = node_snapshot.stats
+        self.result.committed = list(snapshot.committed)
+        self.result.rejected = list(snapshot.rejected)
+        self.network.messages_sent = snapshot.messages_sent
+        self.submitted = snapshot.submitted
+        self._stats_override = (snapshot.broadcast_delivered, snapshot.payload_items)
+
     def finalize(self, duration: float) -> SystemResult:
         """Stamp run-wide figures once the shared simulator has quiesced.
 
@@ -164,11 +423,15 @@ class Shard:
 
     def broadcast_instances(self) -> int:
         """Secure-broadcast instances delivered at replica 0 (amortisation)."""
+        if self._stats_override is not None:
+            return self._stats_override[0]
         layer = self.nodes[0].broadcast_layer
         return layer.stats.delivered if layer is not None else 0
 
     def payload_items(self) -> int:
         """Application transfers delivered at replica 0 across all instances."""
+        if self._stats_override is not None:
+            return self._stats_override[1]
         layer = self.nodes[0].broadcast_layer
         return layer.stats.payload_items if layer is not None else 0
 

@@ -1,12 +1,19 @@
-"""The cluster façade: N independent shards, one deterministic clock.
+"""The cluster façade: N independent shards, one deterministic outcome.
 
 :class:`ClusterSystem` mirrors :class:`repro.mp.system.ConsensuslessSystem`
-one level up: it owns the shared :class:`Simulator`, the
-:class:`~repro.cluster.routing.ShardRouter`, the per-shard deployments and
-the :class:`~repro.cluster.settlement.SettlementFabric` that turns validated
+one level up: it owns the :class:`~repro.cluster.routing.ShardRouter`, the
+per-shard deployments and the
+:class:`~repro.cluster.settlement.SettlementFabric` that turns validated
 cross-shard credits into quorum certificates minted at the destination
 shard.  It routes cluster-level submissions to their owning shard, drives
 the whole cluster to quiescence and merges per-shard results.
+
+*How* the shards execute is pluggable: the default keeps every shard on one
+shared :class:`Simulator` (the classic mode), while ``backend="serial" |
+"thread" | "process"`` gives each shard its own simulator driven between
+epoch-barrier settlement exchanges by an execution backend
+(:mod:`repro.cluster.backends`) — same results, bit for bit, with the
+process pool putting real cores behind the shards.
 
 The audit runs at two levels.  The Definition 1 checker runs *per shard* —
 shards share no accounts, so each shard's observations are checked against
@@ -23,6 +30,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import Amount
+from repro.cluster.backends import BACKEND_NAMES, EpochScheduler, make_backend
 from repro.cluster.result import ClusterCheckReport, ClusterResult, SupplyAudit
 from repro.cluster.routing import ShardRouter, parse_external_account
 from repro.cluster.settlement import (
@@ -34,7 +42,7 @@ from repro.cluster.shard import Shard
 from repro.network.node import NetworkConfig
 from repro.network.simulator import Simulator
 from repro.spec.byzantine_spec import ByzantineAssetTransferChecker
-from repro.workloads.cluster_driver import ClusterSubmission
+from repro.workloads.cluster_driver import ClusterSubmission, partition_submissions
 
 
 class ClusterSystem:
@@ -61,6 +69,22 @@ class ClusterSystem:
         accounts (the PR 1 behaviour), which the negative-control tests use.
     settlement_config:
         Timing of the settlement fabric's voucher and delivery legs.
+    backend:
+        ``None`` (or ``"shared"``) keeps the classic mode: every shard on one
+        shared simulator, settlement hops scheduled continuously.  One of
+        ``"serial"``/``"thread"``/``"process"`` switches to the epoch-barrier
+        execution backends (:mod:`repro.cluster.backends`): each shard owns
+        its simulator, runs independently up to each settlement barrier, and
+        vouchers/certificates are exchanged at the barrier in deterministic
+        ``(time, shard, sequence)`` order.  All three backends produce
+        bit-identical :class:`ClusterResult` fingerprints.
+    epoch:
+        Barrier spacing of the backend mode, in simulated seconds (also the
+        granularity of cross-shard settlement latency).
+    max_workers:
+        Thread/process pool size for the concurrent backends (defaults to
+        ``min(shard_count, cpu_count)``).  Worker count never affects
+        results, only wall-clock time.
     seed:
         Root seed; all shard seeds derive from it.
     """
@@ -76,20 +100,33 @@ class ClusterSystem:
         relay_final: bool = True,
         settlement: bool = True,
         settlement_config: Optional[SettlementConfig] = None,
+        backend: Optional[str] = None,
+        epoch: float = 0.005,
+        max_workers: Optional[int] = None,
         seed: int = 0,
     ) -> None:
         if shard_count <= 0:
             raise ConfigurationError("shard_count must be positive")
+        if backend is not None and backend != "shared" and backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown execution backend {backend!r}; expected None, 'shared' "
+                f"or one of {BACKEND_NAMES}"
+            )
         self.shard_count = shard_count
         self.replicas_per_shard = replicas_per_shard
         self.batch_size = batch_size
         self.seed = seed
+        self.backend_name = backend if backend not in (None, "shared") else "shared"
+        self._epoch_mode = self.backend_name != "shared"
         self.simulator = Simulator()
         self.router = ShardRouter(shard_count, replicas_per_shard, salt=seed)
         self.shards: List[Shard] = [
             Shard(
                 index=index,
-                simulator=self.simulator,
+                # Shared clock classically; per-shard clocks under the epoch
+                # backends (shards never talk, so their event sequences are
+                # independent either way).
+                simulator=self.simulator if not self._epoch_mode else Simulator(),
                 replicas=replicas_per_shard,
                 initial_balance=initial_balance,
                 broadcast=broadcast,
@@ -100,8 +137,16 @@ class ClusterSystem:
             )
             for index in range(shard_count)
         ]
+        self.scheduler: Optional[EpochScheduler] = (
+            EpochScheduler(epoch) if self._epoch_mode else None
+        )
+        self._backend = make_backend(self.backend_name, max_workers) if self._epoch_mode else None
+        self._session_open = False
+        self._partitioned: Dict[int, List] = {}
         self.settlement: Optional[SettlementFabric] = (
-            SettlementFabric(self.shards, self.simulator, settlement_config)
+            SettlementFabric(
+                self.shards, self.simulator, settlement_config, scheduler=self.scheduler
+            )
             if settlement
             else None
         )
@@ -120,8 +165,28 @@ class ClusterSystem:
             shard.start()
 
     def schedule_submissions(self, submissions: Iterable[ClusterSubmission]) -> int:
-        """Route and schedule cluster-level submissions; returns the count."""
+        """Route and schedule cluster-level submissions; returns the count.
+
+        Under the epoch backends the arrivals are *pre-partitioned* into
+        per-shard routed lists instead of scheduled on a shared clock — the
+        lists travel with the shards into worker threads/processes when the
+        run opens the backend session (after which further submissions are
+        rejected: the workload must be fully known before the shards start
+        executing elsewhere).
+        """
         self.start()
+        if self._epoch_mode:
+            if self._session_open:
+                raise ConfigurationError(
+                    "the backend session is already executing; schedule all "
+                    "submissions before the first run()"
+                )
+            materialized = list(submissions)
+            per_shard, cross_shard = partition_submissions(materialized, self.router)
+            self.cross_shard_submissions += cross_shard
+            for shard_index, routed in per_shard.items():
+                self._partitioned.setdefault(shard_index, []).extend(routed)
+            return len(materialized)
         scheduled = 0
         for submission in submissions:
             route = self.router.route(submission.source_user, submission.destination_user)
@@ -139,14 +204,92 @@ class ClusterSystem:
     def run(
         self, until: Optional[float] = None, max_events: Optional[int] = None
     ) -> ClusterResult:
-        """Drive all shards on the shared clock until quiescence."""
+        """Drive the cluster to quiescence (shared clock or epoch barriers)."""
         self.start()
+        if self._epoch_mode:
+            return self._run_epochs(until=until, max_events=max_events)
         self.simulator.run(until=until, max_events=max_events)
         duration = self.simulator.now
         self._result.shard_results = [shard.finalize(duration) for shard in self.shards]
         self._result.duration = duration
         self._result.events_processed = self.simulator.processed_events
+        self._capture_result()
         return self._result
+
+    def _run_epochs(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> ClusterResult:
+        assert self.scheduler is not None and self._backend is not None
+        if not self._session_open:
+            specs = [shard.spec() for shard in self.shards]
+            self._backend.open(self.shards, specs, self._partitioned)
+            self._session_open = True
+        reports = self.scheduler.run(
+            self._backend, self.settlement, until=until, max_events=max_events
+        )
+        self._backend.finalize()
+        duration = self.scheduler.duration()
+        self._result.shard_results = [shard.finalize(duration) for shard in self.shards]
+        self._result.duration = duration
+        self._result.events_processed = self.scheduler.events_processed()
+        self._result.per_shard_events = [
+            reports[shard.index].processed_events for shard in self.shards
+        ]
+        self._capture_result()
+        return self._result
+
+    def drain(self) -> ClusterResult:
+        """Run whatever is pending to quiescence, backend-neutrally.
+
+        On the shared clock this is ``simulator.run_until_quiescent``; under
+        the epoch backends it drives the barrier scheduler (delivering any
+        certificates tests injected directly into relays).  Adversarial
+        tests use this so the same drive call works on every backend.
+        """
+        if not self._epoch_mode:
+            self.start()
+            self.simulator.run_until_quiescent()
+            duration = self.simulator.now
+            self._result.shard_results = [shard.finalize(duration) for shard in self.shards]
+            self._result.duration = duration
+            self._result.events_processed = self.simulator.processed_events
+            self._capture_result()
+            return self._result
+        return self._run_epochs()
+
+    def close(self) -> None:
+        """Release backend resources (worker processes / thread pools)."""
+        if self._backend is not None:
+            self._backend.close()
+
+    def __enter__(self) -> "ClusterSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _capture_result(self) -> None:
+        """Record the canonical run content on the result (fingerprint input)."""
+        self._result.balances = {
+            str(shard.index): {
+                str(pid): dict(shard.nodes[pid].all_known_balances())
+                for pid in sorted(shard.nodes)
+            }
+            for shard in self.shards
+        }
+        self._result.committed_stream = self.committed_signature()
+        self._result.settlement_stream = self.settlement_signature()
+        audit = self.supply_audit()
+        self._result.audit = {
+            "initial_supply": audit.initial_supply,
+            "local": audit.local,
+            "outbound": audit.outbound,
+            "minted": audit.minted,
+            "relay_delivered": audit.relay_delivered,
+            "conserved": audit.conserved,
+            "fully_settled": audit.fully_settled,
+            "ledger_matches_relay": audit.ledger_matches_relay,
+        }
 
     # -- inspection ---------------------------------------------------------------------------
 

@@ -9,6 +9,7 @@ from an interactive session alike.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -16,6 +17,7 @@ from repro.bft.consensus_transfer import ConsensusTransferSystem
 from repro.bft.pbft import PbftConfig
 from repro.byzantine.faults import FaultKind, FaultModel
 from repro.cluster.result import ClusterCheckReport
+from repro.cluster.routing import ShardRouter
 from repro.cluster.system import ClusterSystem
 from repro.common.errors import ConfigurationError
 from repro.common.types import OwnershipMap
@@ -480,6 +482,13 @@ class ClusterExperimentConfig:
     duration: float = 0.1
     zipf_skew: float = 1.0
     cross_shard_fraction: Optional[float] = None
+    # Execution backend of the swept systems: None for the classic shared
+    # clock, or "serial"/"thread"/"process" for the epoch-barrier backends
+    # (see repro.cluster.backends); results are backend-invariant, wall-clock
+    # time is not.
+    backend: Optional[str] = None
+    epoch: float = 0.005
+    max_workers: Optional[int] = None
     seed: int = 7
     network: NetworkConfig = field(default_factory=NetworkConfig)
     max_events: Optional[int] = 50_000_000
@@ -563,6 +572,9 @@ def run_cluster(
         broadcast=config.broadcast,
         initial_balance=config.initial_balance,
         network_config=config.network_copy(),
+        backend=config.backend,
+        epoch=config.epoch,
+        max_workers=config.max_workers,
         seed=config.seed,
     )
     if workload is None:
@@ -610,7 +622,8 @@ def cluster_scaling_experiment(
     rows: List[ClusterScalingRow] = []
     for batch_size in batch_sizes:
         for shard_count in shard_counts:
-            row, _ = run_cluster(shard_count, batch_size, config, workload=workload)
+            row, system = run_cluster(shard_count, batch_size, config, workload=workload)
+            system.close()
             rows.append(row)
     return rows
 
@@ -632,6 +645,66 @@ def cross_shard_settlement_experiment(
     rows: List[Tuple[float, ClusterScalingRow]] = []
     for shard_count, batch_size, fraction in configurations:
         variant = dataclasses.replace(config, cross_shard_fraction=fraction)
-        row, _ = run_cluster(shard_count, batch_size, variant)
+        row, system = run_cluster(shard_count, batch_size, variant)
+        system.close()
         rows.append((fraction, row))
+    return rows
+
+
+@dataclass(frozen=True)
+class BackendComparisonRow:
+    """One execution backend's audited run of the same cluster workload."""
+
+    backend: str
+    wall_clock_s: float
+    fingerprint: str
+    row: ClusterScalingRow
+
+    @property
+    def throughput(self) -> float:
+        return self.row.summary.throughput
+
+
+def backend_comparison_experiment(
+    shard_count: int = 8,
+    batch_size: int = 8,
+    backends: Sequence[str] = ("serial", "thread", "process"),
+    config: Optional[ClusterExperimentConfig] = None,
+) -> List[BackendComparisonRow]:
+    """Run one workload through every execution backend and time it.
+
+    Simulated results are backend-invariant by construction (each row
+    carries the run's :meth:`~repro.cluster.result.ClusterResult.fingerprint`
+    so callers can assert it); what differs is *wall-clock* time — the
+    process pool advances shards on real cores while the serial backend is
+    the single-threaded reference.  Fraction-steered workloads are shared
+    across backends (one geometry, one router salt), so the comparison is
+    equal work, not merely equal offered load.
+    """
+    config = config or ClusterExperimentConfig()
+    # Fraction-steered workloads need the cluster geometry; the router is a
+    # pure function of (shards, replicas, salt), the same one every swept
+    # system will construct for itself.
+    router = (
+        ShardRouter(shard_count, config.replicas_per_shard, salt=config.seed)
+        if config.cross_shard_fraction is not None
+        else None
+    )
+    workload = config.workload(router)
+    rows: List[BackendComparisonRow] = []
+    for backend in backends:
+        variant = dataclasses.replace(config, backend=backend)
+        started = time.perf_counter()
+        scaling_row, system = run_cluster(shard_count, batch_size, variant, workload=workload)
+        elapsed = time.perf_counter() - started
+        fingerprint = system.result.fingerprint()
+        system.close()
+        rows.append(
+            BackendComparisonRow(
+                backend=backend,
+                wall_clock_s=elapsed,
+                fingerprint=fingerprint,
+                row=scaling_row,
+            )
+        )
     return rows

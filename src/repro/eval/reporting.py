@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
-from repro.eval.experiments import AblationRow, ClusterScalingRow, ComparisonRow, LatencyRow
+from repro.eval.experiments import (
+    AblationRow,
+    BackendComparisonRow,
+    ClusterScalingRow,
+    ComparisonRow,
+    LatencyRow,
+)
 from repro.eval.metrics import RunSummary
 
 
@@ -138,6 +144,30 @@ def format_cluster_table(rows: Sequence[ClusterScalingRow]) -> str:
             str(row.settled_amount),
             "OK" if row.check.ok else "VIOLATED",
             "OK" if row.conservation_ok else "VIOLATED",
+        ]
+        for row in rows
+    ]
+    return _format_table(headers, body)
+
+
+def format_backend_table(rows: Sequence[BackendComparisonRow]) -> str:
+    """The execution-backend comparison: one workload, three engines.
+
+    ``speedup`` is wall-clock relative to the first row (conventionally the
+    serial backend); ``fingerprint`` is the truncated canonical run hash —
+    identical down the column by the equivalence guarantee, printed so a
+    human can see at a glance that the engines did the same work.
+    """
+    baseline = rows[0].wall_clock_s if rows else 0.0
+    headers = ["backend", "wall clock s", "speedup", "tx/s (sim)", "def-1", "fingerprint"]
+    body = [
+        [
+            row.backend,
+            f"{row.wall_clock_s:.2f}",
+            f"{baseline / row.wall_clock_s:.2f}x" if row.wall_clock_s > 0 else "-",
+            f"{row.throughput:.0f}",
+            "OK" if row.row.check.ok else "VIOLATED",
+            row.fingerprint[:12],
         ]
         for row in rows
     ]

@@ -122,6 +122,39 @@ class Simulator:
         """Run until no events remain (the common case in tests)."""
         return self.run(max_events=max_events)
 
+    # -- incremental driving ------------------------------------------------------------------
+    #
+    # The cluster's execution backends advance many independent simulators in
+    # lockstep epochs: each shard repeatedly runs *up to* the next settlement
+    # barrier, the barriers exchange certificates, and the loop needs to know
+    # when each simulator will next do something.  ``run`` already supports a
+    # horizon; these two entry points make the epoch pattern first-class.
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> float:
+        """Run every event scheduled at or before ``time``; idempotent.
+
+        Unlike :meth:`run`, a horizon in the past (or at the current time with
+        nothing scheduled) is a no-op rather than an error, so a scheduler can
+        call ``run_until(barrier)`` for a fixed barrier sequence without
+        tracking which simulators have already reached it.  The clock advances
+        to ``time`` when undelivered events remain beyond the horizon, and
+        stays at the last executed event when the queue drains.
+        """
+        if time < self._now:
+            return self._now
+        return self.run(until=time, max_events=max_events)
+
+    @property
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` when quiescent.
+
+        Cancelled events at the head of the queue are discarded on the way, so
+        the answer is exact, not an upper bound.
+        """
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
     @property
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still queued."""

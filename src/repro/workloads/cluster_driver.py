@@ -17,7 +17,7 @@ assert directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import SeededRng, ZipfSampler
@@ -36,6 +36,51 @@ class ClusterSubmission:
     source_user: int
     destination_user: int
     amount: Amount
+
+
+@dataclass(frozen=True)
+class RoutedSubmission:
+    """One already-routed arrival on its owning shard, as picklable data.
+
+    ``issuer`` is the shard-local process that debits its account and
+    ``destination`` the account credited inside that shard's ledger (an
+    external ``x{d}:a`` settlement account for cross-shard payments).  The
+    execution backends ship per-shard lists of these into whichever process
+    runs the shard, so the open-loop driver effectively moves into the
+    workers with the shards it feeds.
+    """
+
+    time: float
+    issuer: int
+    destination: str
+    amount: Amount
+
+
+def partition_submissions(
+    submissions: Iterable[ClusterSubmission], router: "ShardRouter"
+) -> Tuple[Dict[int, List[RoutedSubmission]], int]:
+    """Pre-partition user-level arrivals into per-shard routed lists.
+
+    Returns ``(per_shard, cross_shard_count)``.  Per-shard lists preserve the
+    submission stream's order (arrival times are non-decreasing, and routing
+    is stateless), so scheduling each list in order reproduces exactly the
+    event sequence the shared-clock path would have produced for that shard.
+    """
+    per_shard: Dict[int, List[RoutedSubmission]] = {}
+    cross_shard = 0
+    for submission in submissions:
+        route = router.route(submission.source_user, submission.destination_user)
+        if route.cross_shard:
+            cross_shard += 1
+        per_shard.setdefault(route.shard, []).append(
+            RoutedSubmission(
+                time=submission.time,
+                issuer=route.issuer,
+                destination=route.destination_account,
+                amount=submission.amount,
+            )
+        )
+    return per_shard, cross_shard
 
 
 @dataclass

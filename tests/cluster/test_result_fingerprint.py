@@ -1,0 +1,111 @@
+"""Unit tests for the canonical ClusterResult serialisation.
+
+``ClusterResult.fingerprint`` is the backbone of the cross-backend
+equivalence harness and the determinism regressions: it must be a *stable*
+canonical form (same run, same bytes — across processes and interpreter
+hash-randomisation), *complete* enough that any behavioural divergence
+changes it, and *honest* — refusing to fingerprint a result that was never
+captured, rather than comparing empty shells equal.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.cluster import ClusterResult, ClusterSystem
+from repro.common.errors import ConfigurationError
+from repro.workloads.cluster_driver import ClusterWorkloadConfig, cluster_open_loop_workload
+
+
+def _run(fast_network, seed=5, backend=None):
+    system = ClusterSystem(
+        shard_count=2,
+        replicas_per_shard=4,
+        initial_balance=500,
+        network_config=fast_network,
+        backend=backend,
+        seed=seed,
+    )
+    workload = cluster_open_loop_workload(
+        ClusterWorkloadConfig(
+            user_count=40,
+            aggregate_rate=1_500.0,
+            duration=0.015,
+            cross_shard_fraction=0.5,
+            router=system.router,
+            seed=seed,
+        )
+    )
+    system.schedule_submissions(workload)
+    result = system.run()
+    system.close()
+    return result
+
+
+class TestFingerprint:
+    def test_same_seed_same_fingerprint(self, fast_network):
+        assert _run(fast_network).fingerprint() == _run(fast_network).fingerprint()
+
+    def test_different_seed_different_fingerprint(self, fast_network):
+        assert _run(fast_network, seed=5).fingerprint() != _run(
+            fast_network, seed=6
+        ).fingerprint()
+
+    def test_fingerprint_is_sha256_of_canonical_json(self, fast_network):
+        result = _run(fast_network)
+        canonical = json.dumps(
+            result.fingerprint_payload(), sort_keys=True, separators=(",", ":")
+        )
+        assert result.fingerprint() == hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        # The canonical form must actually be JSON-round-trippable (no sets,
+        # no dataclasses, no non-string keys sneaking in).
+        assert json.loads(canonical) == json.loads(
+            json.dumps(result.fingerprint_payload(), sort_keys=True)
+        )
+
+    def test_payload_carries_every_advertised_section(self, fast_network):
+        payload = _run(fast_network).fingerprint_payload()
+        for section in (
+            "balances",
+            "committed",
+            "settlement",
+            "audit",
+            "duration",
+            "events_processed",
+            "messages_sent",
+        ):
+            assert section in payload
+        assert payload["settlement"], "grid config must exercise settlement"
+        assert payload["audit"]["conserved"] is True
+        # Balances cover every replica of every shard, keyed canonically.
+        assert set(payload["balances"]) == {"0", "1"}
+        assert set(payload["balances"]["0"]) == {"0", "1", "2", "3"}
+
+    def test_single_balance_change_changes_the_fingerprint(self, fast_network):
+        result = _run(fast_network)
+        before = result.fingerprint()
+        account, amount = next(iter(result.balances["0"]["0"].items()))
+        result.balances["0"]["0"][account] = amount + 1
+        assert result.fingerprint() != before
+
+    def test_settlement_stream_reordering_changes_the_fingerprint(self, fast_network):
+        result = _run(fast_network)
+        assert len(result.settlement_stream) >= 2
+        before = result.fingerprint()
+        result.settlement_stream.reverse()
+        assert result.fingerprint() != before
+
+    def test_uncaptured_result_refuses_to_fingerprint(self):
+        with pytest.raises(ConfigurationError):
+            ClusterResult().fingerprint()
+        with pytest.raises(ConfigurationError):
+            ClusterResult().fingerprint_payload()
+
+    def test_epoch_and_shared_captures_use_the_same_schema(self, fast_network):
+        shared = _run(fast_network, backend=None).fingerprint_payload()
+        epoch = _run(fast_network, backend="serial").fingerprint_payload()
+        assert set(shared) == set(epoch)
+        # The shared clock has no per-shard event counters; the backends do.
+        assert shared["per_shard_events"] is None
+        assert len(epoch["per_shard_events"]) == 2

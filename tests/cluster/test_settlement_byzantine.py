@@ -6,7 +6,17 @@ behaviours of :mod:`repro.byzantine.behaviors`) and asserts the same three
 things the paper's fault-containment framing demands: the bogus input is
 rejected, destination balances are untouched, and the cluster audits —
 per-shard Definition 1 plus the cross-ledger supply identity — stay clean.
+
+The whole suite is parametrized over the execution backends: every fault
+scenario runs on the classic shared clock *and* under
+Serial/Thread/ProcessPool epoch execution, so fault containment is exercised
+under real parallelism, not just serially.  The relay, inbox and voucher
+behaviours live in the driver process on every backend (that is the
+backends' design: the trust boundary is poked identically everywhere), while
+the shard protocol reacting to the faults runs wherever the backend puts it.
 """
+
+import pytest
 
 from repro.byzantine.behaviors import CrashBehavior, EquivocationPlan, ScriptedBehavior
 from repro.cluster import ClusterSystem
@@ -19,16 +29,34 @@ from repro.cluster.settlement import (
 from repro.crypto.signatures import SignatureScheme
 from repro.workloads.cluster_driver import ClusterSubmission
 
+BACKENDS = [None, "serial", "thread", "process"]
 
-def _system(fast_network, seed=3, **kwargs):
-    return ClusterSystem(
-        shard_count=2,
-        replicas_per_shard=4,
-        broadcast="bracha",
-        network_config=fast_network,
-        seed=seed,
-        **kwargs,
-    )
+
+@pytest.fixture(params=BACKENDS, ids=["shared", "serial", "thread", "process"])
+def make_system(request, fast_network):
+    """A factory for 2-shard systems on the parametrized backend.
+
+    Created systems are closed at teardown so process-pool workers never
+    outlive their test.
+    """
+    created = []
+
+    def factory(seed=3, **kwargs):
+        system = ClusterSystem(
+            shard_count=2,
+            replicas_per_shard=4,
+            broadcast="bracha",
+            network_config=fast_network,
+            backend=request.param,
+            seed=seed,
+            **kwargs,
+        )
+        created.append(system)
+        return system
+
+    yield factory
+    for system in created:
+        system.close()
 
 
 def _user_on_shard(router, shard):
@@ -54,9 +82,9 @@ def _claim(system, amount=1_000_000, sequence=1, account="0"):
 
 
 class TestForgedCertificates:
-    def test_forged_signatures_mint_nothing(self, fast_network):
+    def test_forged_signatures_mint_nothing(self, make_system):
         """A certificate signed by keys outside the source shard is rejected."""
-        system = _system(fast_network)
+        system = make_system()
         system.start()
         claim = _claim(system)
         rogue = SignatureScheme(seed=999)  # the attacker's own key universe
@@ -75,8 +103,8 @@ class TestForgedCertificates:
         assert report.ok, report.violations
         assert report.conservation.minted == 0
 
-    def test_misrouted_certificate_is_rejected(self, fast_network):
-        system = _system(fast_network)
+    def test_misrouted_certificate_is_rejected(self, make_system):
+        system = make_system()
         system.start()
         claim = SettlementClaim(
             source_shard=0, destination_shard=5, issuer=0, sequence=1, account="0", amount=9
@@ -92,9 +120,9 @@ class TestForgedCertificates:
 
 
 class TestUnderQuorumCertificates:
-    def test_fewer_than_2f_plus_1_signatures_mint_nothing(self, fast_network):
+    def test_fewer_than_2f_plus_1_signatures_mint_nothing(self, make_system):
         """f+1 = 2 genuine signatures are not a quorum (2f+1 = 3 needed)."""
-        system = _system(fast_network)
+        system = make_system()
         system.start()
         claim = _claim(system, amount=50)
         scheme = system.shards[0].scheme  # genuine keys, too few of them
@@ -110,9 +138,9 @@ class TestUnderQuorumCertificates:
         assert _destination_balances(system) == before
         assert system.check_definition1().ok
 
-    def test_duplicated_signer_does_not_fake_a_quorum(self, fast_network):
+    def test_duplicated_signer_does_not_fake_a_quorum(self, make_system):
         """Three signatures from one replica are one signer, not a quorum."""
-        system = _system(fast_network)
+        system = make_system()
         system.start()
         claim = _claim(system, amount=50)
         scheme = system.shards[0].scheme
@@ -126,8 +154,8 @@ class TestUnderQuorumCertificates:
 
 
 class TestReplayedCertificates:
-    def test_replayed_certificate_mints_exactly_once(self, fast_network):
-        system = _system(fast_network)
+    def test_replayed_certificate_mints_exactly_once(self, make_system):
+        system = make_system()
         a = _user_on_shard(system.router, 0)
         b = _user_on_shard(system.router, 1)
         system.schedule_submissions(
@@ -147,10 +175,10 @@ class TestReplayedCertificates:
         assert report.ok, report.violations
         assert report.conservation.minted == 9  # once, not twice
 
-    def test_ahead_of_sequence_certificates_wait_for_the_gap_to_fill(self, fast_network):
+    def test_ahead_of_sequence_certificates_wait_for_the_gap_to_fill(self, make_system):
         """A verified certificate that skips ahead is buffered, not minted —
         and mints in order once the missing slot arrives."""
-        system = _system(fast_network)
+        system = make_system()
         system.start()
         scheme = system.shards[0].scheme
 
@@ -173,10 +201,10 @@ class TestReplayedCertificates:
         assert inbox.buffered_count == 0
         assert inbox.minted_amount() == 12
 
-    def test_unverified_certificates_are_never_buffered(self, fast_network):
+    def test_unverified_certificates_are_never_buffered(self, make_system):
         """The ahead-of-sequence buffer only holds quorum-verified input, so
         an attacker cannot park forgeries in it."""
-        system = _system(fast_network)
+        system = make_system()
         system.start()
         rogue = SignatureScheme(seed=999)
         ahead = _claim(system, amount=5, sequence=2)
@@ -191,9 +219,9 @@ class TestReplayedCertificates:
 
 
 class TestWithheldAndEquivocatedVouchers:
-    def test_f_silent_replicas_cannot_block_settlement(self, fast_network):
+    def test_f_silent_replicas_cannot_block_settlement(self, make_system):
         """With f = 1 silent source replica, the other 3 still form a quorum."""
-        system = _system(fast_network)
+        system = make_system()
         system.settlement.set_voucher_behavior(0, 3, CrashBehavior(send_limit=0))
         a = _user_on_shard(system.router, 0)
         b = _user_on_shard(system.router, 1)
@@ -206,9 +234,9 @@ class TestWithheldAndEquivocatedVouchers:
         assert audit.fully_settled
         assert system.check_definition1().ok
 
-    def test_more_than_f_withheld_vouchers_park_the_credit_safely(self, fast_network):
+    def test_more_than_f_withheld_vouchers_park_the_credit_safely(self, make_system):
         """Beyond f faults settlement loses liveness but never conservation."""
-        system = _system(fast_network)
+        system = make_system()
         # EquivocationPlan machinery picks which half of the replica set the
         # adversary controls; we silence that half's vouchers.
         plan = EquivocationPlan.split_evenly(range(4))
@@ -232,10 +260,10 @@ class TestWithheldAndEquivocatedVouchers:
         report = system.check_definition1()
         assert report.ok, report.violations  # Definition 1 is untouched
 
-    def test_equivocating_voucher_cannot_inflate_the_amount(self, fast_network):
+    def test_equivocating_voucher_cannot_inflate_the_amount(self, make_system):
         """One replica vouching an inflated claim changes nothing: its bogus
         claim never reaches quorum, the honest claim still does."""
-        system = _system(fast_network)
+        system = make_system()
         bogus_claim = _claim(system, amount=1_000_000, account="0")
         keypair = system.shards[0].scheme.keypair_for(3)
         bogus_voucher = SettlementVoucher(
@@ -257,11 +285,11 @@ class TestWithheldAndEquivocatedVouchers:
 
 
 class TestOutOfOrderCertification:
-    def test_certificates_assembled_out_of_order_still_mint_in_order(self, fast_network):
+    def test_certificates_assembled_out_of_order_still_mint_in_order(self, make_system):
         """A Byzantine replica withholding its voucher for claim 1 while
         vouchering claim 2 makes the relay certify 2 before 1; the inboxes
         must hold certificate 2 and mint both once 1 arrives."""
-        system = _system(fast_network)
+        system = make_system()
         system.start()
         scheme = system.shards[0].scheme
         relay = system.settlement.relay(0, 1)
@@ -280,7 +308,7 @@ class TestOutOfOrderCertification:
         for signer in (0, 1, 2):
             relay.submit_voucher(voucher(signer, first))
         assert [c.claim.sequence for c in relay.certificates] == [2, 1]
-        system.simulator.run_until_quiescent()
+        system.drain()
         account_initial = system.shards[1].initial_balances()["0"]
         for pid, node in system.shards[1].nodes.items():
             inbox = system.settlement.inboxes[(1, pid)]
@@ -288,7 +316,7 @@ class TestOutOfOrderCertification:
             assert inbox.buffered_count == 0
             assert node.balance_of("0") == account_initial + 5 + 7
 
-    def test_selective_voucher_withholding_cannot_wedge_a_stream(self, fast_network):
+    def test_selective_voucher_withholding_cannot_wedge_a_stream(self, make_system):
         """End to end: one source replica drops only its *first* voucher;
         every credit of the stream still settles."""
 
@@ -300,7 +328,7 @@ class TestOutOfOrderCertification:
                 self.send_limit += 1  # re-arm: only the first send is lost
                 return outgoing
 
-        system = _system(fast_network)
+        system = make_system()
         system.settlement.set_voucher_behavior(0, 3, DropFirstVoucher(send_limit=0))
         a = _user_on_shard(system.router, 0)
         b = _user_on_shard(system.router, 1)
@@ -319,11 +347,11 @@ class TestOutOfOrderCertification:
 
 
 class TestUncertifiedMints:
-    def test_a_mint_without_a_certificate_fails_the_audit(self, fast_network):
+    def test_a_mint_without_a_certificate_fails_the_audit(self, make_system):
         """A Byzantine destination replica minting out of thin air is caught:
         its provision account has no certificate backing, so the per-shard
         checker flags the unbacked debit (C2)."""
-        system = _system(fast_network)
+        system = make_system()
         system.start()
         rogue_mint = mint_transfer(_claim(system, amount=777))
         system.shards[1].nodes[2].mint_certified_credit(rogue_mint)

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.eval.experiments import (
+    ClusterExperimentConfig,
     ExperimentConfig,
+    backend_comparison_experiment,
     batching_ablation,
     broadcast_ablation,
     compare_systems,
@@ -13,6 +15,7 @@ from repro.eval.experiments import (
 from repro.eval.metrics import LatencyStats, summarize_result
 from repro.eval.reporting import (
     format_ablation_table,
+    format_backend_table,
     format_comparison_table,
     format_latency_table,
     format_run_summary,
@@ -99,3 +102,27 @@ class TestExperimentHarness:
         rows = batching_ablation(process_count=4, batch_sizes=(1, 4), config=small_config(fast_network))
         assert [row.label for row in rows] == ["batch=1", "batch=4"]
         assert all(row.summary.committed == 8 for row in rows)
+
+    def test_backend_comparison_experiment(self, fast_network):
+        config = ClusterExperimentConfig(
+            user_count=200,
+            aggregate_rate=2_000.0,
+            duration=0.02,
+            cross_shard_fraction=0.5,
+            network=fast_network,
+            seed=7,
+        )
+        rows = backend_comparison_experiment(
+            shard_count=2, batch_size=4, backends=("serial", "process"), config=config
+        )
+        assert [row.backend for row in rows] == ["serial", "process"]
+        # One workload, two engines: identical audited results, measured time.
+        assert len({row.fingerprint for row in rows}) == 1
+        for row in rows:
+            assert row.wall_clock_s > 0
+            assert row.row.check.ok
+            assert row.row.conservation_ok
+            assert row.throughput == rows[0].throughput
+        table = format_backend_table(rows)
+        assert "speedup" in table and "fingerprint" in table
+        assert rows[0].fingerprint[:12] in table
