@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-props test-backends bench-smoke bench example clean
+.PHONY: test test-props test-backends bench-smoke bench soak example clean
 
 ## Narrows the benchmark's execution-backend sweep, e.g.:
 ##   make bench BACKEND=process
@@ -31,6 +31,12 @@ bench-smoke:
 ## The full benchmark suite (slow; regenerates BENCH_cluster.json).
 bench:
 	REPRO_BENCH_BACKEND=$(BACKEND) $(PYTHON) -m pytest benchmarks -q
+
+## Settlement-lifecycle soak smoke: a long-horizon small-shard run asserting
+## bounded resident settlement records (compaction) and the fixed-vs-adaptive
+## epoch-policy trade.  The full-horizon version runs under `make bench`.
+soak:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_settlement_soak.py -q
 
 ## The cluster quickstart example.
 example:

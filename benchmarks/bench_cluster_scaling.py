@@ -94,6 +94,9 @@ def _row_payload(row, fraction=None) -> dict:
         "settled_amount": row.settled_amount,
         "in_flight_amount": row.in_flight_amount,
         "settlement_messages": row.settlement_messages,
+        "resident_settlement_records": row.resident_settlement_records,
+        "retired_records": row.retired_records,
+        "retired_amount": row.retired_amount,
         # Per-shard Definition 1 alone; the conservation identity is its own
         # field so trajectory tracking can tell the two audits apart.
         "definition_1_ok": all(r.ok for r in row.check.shard_reports.values()),
@@ -158,10 +161,15 @@ def test_cluster_scaling_grid(benchmark):
             f"batch={row.batch_size}: {row.check.conservation}"
         )
         # Cross-shard money must actually move: whenever the workload crossed
-        # a shard boundary, the settlement relay minted it at the destination.
+        # a shard boundary, the settlement relay minted it at the destination
+        # — and by quiescence the full lifecycle retired every outbound
+        # record, so the ledgers carry no settlement history.
         if row.cross_shard_submissions > 0:
             assert row.settled_amount > 0
+            assert row.retired_records > 0
+            assert row.retired_amount == row.settled_amount
         assert row.in_flight_amount == 0
+        assert row.resident_settlement_records == 0
 
     # Horizontal scaling: committed throughput rises monotonically from
     # 1 -> 4 shards while the protocol is the bottleneck (batch 1 and 8;
@@ -209,10 +217,13 @@ def test_cross_shard_settlement_configs(benchmark):
             f"cluster conservation violated at {label}: {row.check.conservation}"
         )
         # The knob must bite: a steered mix produces cross-shard submissions
-        # (all of them at fraction 1.0) and every settled coin is accounted.
+        # (all of them at fraction 1.0), every settled coin is accounted, and
+        # the lifecycle compacts every outbound record by quiescence.
         assert row.cross_shard_submissions > 0
         assert row.settled_amount > 0
         assert row.in_flight_amount == 0
+        assert row.retired_amount == row.settled_amount
+        assert row.resident_settlement_records == 0
         if fraction == 1.0:
             assert row.cross_shard_submissions == row.summary.committed
 
@@ -269,17 +280,29 @@ def test_backend_wall_clock(benchmark):
         + ", ".join(f"{row.backend}={row.fingerprint[:12]}" for row in rows)
     )
 
+    # The >= 1.5x process-vs-serial bound is only meaningful where cores
+    # exist to parallelise onto.  The gate's outcome is recorded explicitly
+    # in the JSON — "passed" where it ran, a named skip reason where it could
+    # not — and a skipped gate surfaces as an honest pytest skip below, never
+    # as a silent pass or a failure dressed up as documentation.
     speedup = None
-    if "serial" in by_backend and "process" in by_backend:
+    speedup_gate = {"required": 1.5, "cpu_count": CPU_COUNT}
+    if "serial" not in by_backend or "process" not in by_backend:
+        speedup_gate["status"] = "skipped_backend_subset"
+    else:
         speedup = (
             by_backend["serial"].wall_clock_s / by_backend["process"].wall_clock_s
         )
         benchmark.extra_info["process_speedup"] = round(speedup, 2)
-        if not SMOKE and CPU_COUNT >= 2:
-            assert speedup >= 1.5, (
-                f"ProcessPoolBackend only {speedup:.2f}x faster than serial at "
-                f"{BACKEND_SHARDS} shards on {CPU_COUNT} CPUs"
-            )
+        speedup_gate["measured"] = round(speedup, 2)
+        if SMOKE:
+            speedup_gate["status"] = "skipped_smoke_grid"
+        elif CPU_COUNT < 2:
+            speedup_gate["status"] = "skipped_single_core_host"
+        else:
+            # Evaluate *before* the JSON write: a multi-core host that misses
+            # the bound must journal "failed", not a premature "passed".
+            speedup_gate["status"] = "passed" if speedup >= 1.5 else "failed"
 
     _update_json(
         "backend_rows",
@@ -310,7 +333,19 @@ def test_backend_wall_clock(benchmark):
             "batch_size": BACKEND_BATCH,
             "cross_shard_fraction": 0.25,
             "fingerprints_identical": len({row.fingerprint for row in rows}) == 1,
+            "speedup_gate": speedup_gate,
         },
     )
     print()
     print(format_backend_table(rows))
+    if speedup_gate["status"] in ("passed", "failed"):
+        assert speedup >= 1.5, (
+            f"ProcessPoolBackend only {speedup:.2f}x faster than serial at "
+            f"{BACKEND_SHARDS} shards on {CPU_COUNT} CPUs"
+        )
+    elif speedup_gate["status"] == "skipped_single_core_host":
+        pytest.skip(
+            f"process-vs-serial speedup gate needs >= 2 CPUs, host has "
+            f"{CPU_COUNT}; measured {speedup:.2f}x recorded in "
+            f"{_OUTPUT_NAME} under backend_rows.speedup_gate"
+        )

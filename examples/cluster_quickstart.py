@@ -7,7 +7,9 @@ account with no cross-shard coordination.  This example:
 
 1. walks one cross-shard payment round trip — Alice (shard 0) pays Bob
    (shard 1), the settlement relay quorum-certifies and mints the credit,
-   and Bob *spends the received money* onwards and back across the boundary,
+   Bob *spends the received money* onwards and back across the boundary, and
+   the acknowledgement leg then *retires* the outbound records: the resident
+   settlement-record count is printed mid-flight and after compaction,
 2. generates a heavy, Zipf-skewed, Poisson-arrival workload from 100 000
    simulated users,
 3. replays it against 1, 2 and 4 shards (identical offered load), plain and
@@ -59,6 +61,11 @@ def cross_shard_round_trip() -> None:
             ClusterSubmission(time=0.09, source_user=bob, destination_user=alice, amount=3),
         ]
     )
+    # Pause mid-flight: the payments have validated but the acknowledgement
+    # leg has not finished retiring their outbound records yet.
+    system.run(until=0.095)
+    mid_resident = system.resident_settlement_records()
+    mid_retired = system.retired_records()
     result = system.run()
     balance = lambda user: (
         system.shards[router.shard_of(user)].nodes[0].balance_of(router.local_account_of(user))
@@ -71,6 +78,10 @@ def cross_shard_round_trip() -> None:
     print(f"  -> audit: local {audit.local} + in-flight {audit.in_flight} "
           f"= initial {audit.initial_supply}; Definition 1 "
           f"{'OK' if report.ok else 'VIOLATED'}, fully settled: {audit.fully_settled}")
+    print(f"  -> compaction: resident outbound records {mid_resident} mid-flight "
+          f"(retired {mid_retired}) -> {system.resident_settlement_records()} after the "
+          f"acknowledgement quorums retired all {system.retired_records()} "
+          f"(ledgers keep the in-flight window, not the history)")
 
 
 def backend_speedup() -> None:
@@ -146,9 +157,13 @@ def main() -> None:
     print("certificates; batching multiplies it again by amortising the")
     print("signature/quorum cost of each secure-broadcast instance over up to 8")
     print("transfers ('tx/broadcast').  'settled' is the cross-shard money minted")
-    print("spendable at its destination shard; 'conserved' is the cross-ledger")
-    print("supply audit identity (local + in-flight == initial supply; at")
-    print("quiescence every run above also settles fully, in-flight == 0).")
+    print("spendable at its destination shard; 'resident'/'retired' are the")
+    print("settlement lifecycle's record counts (every outbound x{d}:a record is")
+    print("retired once a 2f+1 destination acknowledgement quorum confirms its")
+    print("mint — at quiescence 'resident' is 0 and the ledgers are compact);")
+    print("'conserved' is the cross-ledger supply audit identity (local +")
+    print("in-flight == initial supply; at quiescence every run above also")
+    print("settles fully, in-flight == 0).")
 
 
 if __name__ == "__main__":

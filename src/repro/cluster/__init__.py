@@ -12,16 +12,22 @@ This package deploys that observation:
   one secure-broadcast instance, amortising signature and quorum cost.
 * :mod:`repro.cluster.shard` — :class:`Shard`, one independent Figure 4
   replica group on the shared simulator clock.
-* :mod:`repro.cluster.settlement` — the cross-shard settlement fabric:
+* :mod:`repro.cluster.settlement` — the cross-shard settlement *lifecycle*
+  (voucher -> certificate -> mint -> acknowledgement -> retirement):
   :class:`SettlementRelay` per shard pair assembles ``2f+1`` source-replica
   voucher signatures into a certificate; :class:`SettlementInbox` per
   destination replica verifies and mints the credit exactly once, making
-  cross-shard money *spendable* at its destination.
+  cross-shard money *spendable* at its destination, then acknowledges the
+  stream watermark; the relay's return leg assembles ``2f+1`` acks into a
+  :class:`RetirementCertificate` and the per-source-shard
+  :class:`CompactionGate` retires the fully-acknowledged outbound records,
+  keeping long-running ledgers compact.
 * :mod:`repro.cluster.backends` — the parallel execution backends:
   :class:`SerialBackend`, :class:`ThreadBackend` and
   :class:`ProcessPoolBackend` advance per-shard simulators between the
-  :class:`EpochScheduler`'s deterministic settlement barriers, with
-  bit-identical results across all three.
+  :class:`EpochScheduler`'s deterministic settlement barriers — spaced by an
+  :class:`EpochPolicy` (fixed grid or volume-adaptive) — with bit-identical
+  results across all three.
 * :mod:`repro.cluster.system` — :class:`ClusterSystem`, the façade that
   routes, drives, settles and audits the whole cluster.
 * :mod:`repro.cluster.result` — :class:`ClusterResult` /
@@ -35,6 +41,10 @@ from repro.cluster.batching import BatchAnnouncement, BatchingTransferNode
 from repro.cluster.result import ClusterCheckReport, ClusterResult, SupplyAudit
 from repro.cluster.routing import Route, ShardRouter, parse_external_account, stable_hash
 from repro.cluster.settlement import (
+    CompactionGate,
+    RetirementCertificate,
+    SettlementAck,
+    SettlementAckClaim,
     SettlementCertificate,
     SettlementClaim,
     SettlementConfig,
@@ -48,8 +58,11 @@ from repro.cluster.settlement import (
 from repro.cluster.shard import AdvanceReport, Shard, ShardSnapshot, ShardSpec, ValidationEvent
 from repro.cluster.backends import (
     BACKEND_NAMES,
+    AdaptiveEpochPolicy,
+    EpochPolicy,
     EpochScheduler,
     ExecutionBackend,
+    FixedEpochPolicy,
     ProcessPoolBackend,
     SerialBackend,
     ThreadBackend,
@@ -58,6 +71,7 @@ from repro.cluster.backends import (
 from repro.cluster.system import ClusterSystem
 
 __all__ = [
+    "AdaptiveEpochPolicy",
     "AdvanceReport",
     "BACKEND_NAMES",
     "BatchAnnouncement",
@@ -65,9 +79,13 @@ __all__ = [
     "ClusterCheckReport",
     "ClusterResult",
     "ClusterSystem",
+    "CompactionGate",
+    "EpochPolicy",
     "EpochScheduler",
     "ExecutionBackend",
+    "FixedEpochPolicy",
     "ProcessPoolBackend",
+    "RetirementCertificate",
     "SerialBackend",
     "ShardSnapshot",
     "ShardSpec",
@@ -75,6 +93,8 @@ __all__ = [
     "ValidationEvent",
     "make_backend",
     "Route",
+    "SettlementAck",
+    "SettlementAckClaim",
     "SettlementCertificate",
     "SettlementClaim",
     "SettlementConfig",

@@ -54,7 +54,13 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.cluster.settlement import SettlementCertificate, SettlementRelay, SettlementVoucher
+from repro.cluster.settlement import (
+    RetirementCertificate,
+    SettlementAck,
+    SettlementCertificate,
+    SettlementRelay,
+    SettlementVoucher,
+)
 from repro.cluster.shard import AdvanceReport, Shard, ShardSnapshot, ShardSpec
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.types import ProcessId, Transfer
@@ -62,6 +68,108 @@ from repro.network.simulator import Simulator
 from repro.workloads.cluster_driver import RoutedSubmission
 
 BACKEND_NAMES = ("serial", "thread", "process")
+
+
+# -- the epoch-policy seam --------------------------------------------------------------------
+
+
+class EpochPolicy(abc.ABC):
+    """Decides the width of the next settlement epoch, barrier by barrier.
+
+    The scheduler consults the policy after every *taken* barrier, passing
+    the barrier's observed settlement volume (vouchers, certificates, acks
+    and retirement certificates exchanged at it).  Policies must be
+    **deterministic and stateless**: the scheduler may re-evaluate the same
+    decision after a pause/resume, and the same inputs must yield the same
+    width on every backend — that is what keeps barrier schedules (and hence
+    :meth:`~repro.cluster.result.ClusterResult.fingerprint` equality) intact
+    across Serial/Thread/Process.
+    """
+
+    @abc.abstractmethod
+    def initial_epoch(self) -> float:
+        """The width of the first epoch."""
+
+    def next_epoch(self, barrier_index: int, epoch: float, settlement_volume: int) -> float:
+        """The width of the epoch following barrier ``barrier_index``.
+
+        ``epoch`` is the width just used; ``settlement_volume`` is what the
+        barrier exchanged.  The default keeps the width constant.
+        """
+        return epoch
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class FixedEpochPolicy(EpochPolicy):
+    """Today's behaviour: a constant barrier grid of width ``epoch``."""
+
+    def __init__(self, epoch: float) -> None:
+        if epoch <= 0:
+            raise ConfigurationError("epoch must be positive")
+        self.epoch = epoch
+
+    def initial_epoch(self) -> float:
+        return self.epoch
+
+    def describe(self) -> str:
+        return f"fixed({self.epoch})"
+
+
+class AdaptiveEpochPolicy(EpochPolicy):
+    """Widens/narrows the barrier grid from observed settlement volume.
+
+    A barrier that exchanged at least ``narrow_above`` settlement items is a
+    sign cross-shard credits are queueing — the next epoch narrows by
+    ``factor`` (down to ``min_epoch``) to cut settlement latency.  A barrier
+    that exchanged at most ``widen_below`` items is mostly overhead — the
+    next epoch widens by ``factor`` (up to ``max_epoch``) to amortise the
+    barrier cost.  Everything in between keeps the current width.  The
+    decision is a pure function of ``(epoch, settlement_volume)``, computed
+    in the driver from barrier-exchange counts that are themselves
+    backend-invariant, so the adaptive grid is identical on every backend.
+    """
+
+    def __init__(
+        self,
+        initial_epoch: float = 0.005,
+        min_epoch: float = 0.00125,
+        max_epoch: float = 0.02,
+        widen_below: int = 2,
+        narrow_above: int = 16,
+        factor: float = 2.0,
+    ) -> None:
+        if min_epoch <= 0 or not (min_epoch <= initial_epoch <= max_epoch):
+            raise ConfigurationError(
+                "need 0 < min_epoch <= initial_epoch <= max_epoch"
+            )
+        if factor <= 1.0:
+            raise ConfigurationError("factor must exceed 1")
+        if widen_below < 0 or narrow_above <= widen_below:
+            raise ConfigurationError("need 0 <= widen_below < narrow_above")
+        self._initial = initial_epoch
+        self.min_epoch = min_epoch
+        self.max_epoch = max_epoch
+        self.widen_below = widen_below
+        self.narrow_above = narrow_above
+        self.factor = factor
+
+    def initial_epoch(self) -> float:
+        return self._initial
+
+    def next_epoch(self, barrier_index: int, epoch: float, settlement_volume: int) -> float:
+        if settlement_volume >= self.narrow_above:
+            return max(self.min_epoch, epoch / self.factor)
+        if settlement_volume <= self.widen_below:
+            return min(self.max_epoch, epoch * self.factor)
+        return epoch
+
+    def describe(self) -> str:
+        return (
+            f"adaptive({self._initial}, [{self.min_epoch}, {self.max_epoch}], "
+            f"volume {self.widen_below}..{self.narrow_above}, x{self.factor})"
+        )
 
 
 def _schedule_into(shard: Shard, submissions: List[RoutedSubmission]) -> None:
@@ -111,6 +219,11 @@ class ExecutionBackend(abc.ABC):
     ) -> None:
         """Schedule the barrier's certified mints onto the target shards."""
 
+    @abc.abstractmethod
+    def apply_retirements(self, time: float, retirements: Dict[int, List[Transfer]]) -> None:
+        """Schedule the barrier's quorum-acknowledged retirements onto the
+        source shards (the compaction leg of the settlement lifecycle)."""
+
     def finalize(self) -> None:
         """Synchronise driver-side shard state with the executed run."""
 
@@ -154,6 +267,10 @@ class SerialBackend(ExecutionBackend):
     ) -> None:
         for index in sorted(mints):
             self._shards[index].apply_mints(time, mints[index])
+
+    def apply_retirements(self, time: float, retirements: Dict[int, List[Transfer]]) -> None:
+        for index in sorted(retirements):
+            self._shards[index].apply_retirements(time, retirements[index])
 
 
 class ThreadBackend(SerialBackend):
@@ -243,6 +360,11 @@ def _worker_main(
                 _, time, per_shard = command
                 for index, mints in per_shard:
                     shards[index].apply_mints(time, mints)
+                connection.send(("ok", None))
+            elif kind == "retire":
+                _, time, per_shard = command
+                for index, transfers in per_shard:
+                    shards[index].apply_retirements(time, transfers)
                 connection.send(("ok", None))
             elif kind == "snapshot":
                 connection.send(
@@ -353,6 +475,17 @@ class ProcessPoolBackend(ExecutionBackend):
         for slot in sorted(per_slot):
             self._collect(slot)
 
+    def apply_retirements(self, time: float, retirements: Dict[int, List[Transfer]]) -> None:
+        per_slot: Dict[int, List[Tuple[int, List[Transfer]]]] = {}
+        for index in sorted(retirements):
+            per_slot.setdefault(self._assignment[index], []).append(
+                (index, retirements[index])
+            )
+        for slot, payload in sorted(per_slot.items()):
+            self._request(slot, ("retire", time, payload))
+        for slot in sorted(per_slot):
+            self._collect(slot)
+
     def finalize(self) -> None:
         for slot in range(len(self._workers)):
             self._request(slot, ("snapshot",))
@@ -404,8 +537,12 @@ def make_backend(name: str, max_workers: Optional[int] = None) -> ExecutionBacke
 class EpochScheduler:
     """Drives independent shard simulators to quiescence, barrier by barrier.
 
-    Barriers live on the grid ``k * epoch``.  Between barriers, shards run
-    free on their own clocks; *at* a barrier the scheduler
+    Barrier spacing is the :class:`EpochPolicy`'s call: consecutive barriers
+    sit ``epoch`` apart, where ``epoch`` starts at the policy's initial width
+    and is re-decided after every taken barrier from that barrier's observed
+    settlement volume (:class:`FixedEpochPolicy` reproduces the classic
+    ``k * epoch`` grid).  Between barriers, shards run free on their own
+    clocks; *at* a barrier the scheduler
 
     1. replays the epoch's collected validation events — sorted by
        ``(time, shard, sequence)`` — through the settlement fabric, which
@@ -414,30 +551,52 @@ class EpochScheduler:
     2. feeds every matured voucher to its relay (assembled certificates queue
        with maturity ``barrier + delivery_delay``),
     3. delivers every matured certificate to the destination replicas'
-       inboxes, whose accept/replay/buffer decisions emit mint commands, and
-    4. ships the mint commands to the destination shards, scheduled at the
-       barrier time, in deterministic order.
+       inboxes, whose accept/replay/buffer decisions emit mint commands and
+       signed settlement acks (queued with maturity ``barrier + ack_delay``),
+    4. feeds every matured ack to its relay's return leg (assembled
+       retirement certificates queue with maturity ``barrier +
+       delivery_delay``) and delivers matured retirement certificates to the
+       source shards' compaction gates, whose watermark decisions emit
+       retirement commands, and
+    5. ships the mint and retirement commands to their shards, scheduled at
+       the barrier time, in deterministic order.
 
     Empty stretches are skipped: the next barrier is the first grid point at
     or after the earliest thing that can happen (an event on some shard, a
-    maturing voucher or certificate, or a just-applied mint).  All of this is
-    computed in the driver process from backend-reported values, so the
-    barrier sequence — and with it every shard's event sequence — is
-    identical whichever backend executes the epochs.
+    maturing voucher/certificate/ack, or a just-applied mint or retirement).
+    All of this is computed in the driver process from backend-reported
+    values, so the barrier sequence — and with it every shard's event
+    sequence — is identical whichever backend executes the epochs.
     """
 
-    def __init__(self, epoch: float) -> None:
-        if epoch <= 0:
+    def __init__(
+        self, epoch: Optional[float] = None, policy: Optional[EpochPolicy] = None
+    ) -> None:
+        if policy is None:
+            if epoch is None:
+                raise ConfigurationError("need an epoch width or an EpochPolicy")
+            policy = FixedEpochPolicy(epoch)
+        self.policy = policy
+        # The *current* epoch width; FixedEpochPolicy keeps it constant.
+        self.epoch = policy.initial_epoch()
+        if self.epoch <= 0:
             raise ConfigurationError("epoch must be positive")
-        self.epoch = epoch
         self.now = 0.0
         self.barriers = 0
-        self._barrier_index = 0
-        self._pending_index = 0
+        # Settlement items exchanged since the last taken barrier.  Feeds the
+        # policy; accumulated (never reset) across the re-entrant exchanges a
+        # pause/resume causes, so the resumed decision equals the
+        # uninterrupted one.
+        self._volume_since_barrier = 0
         self._order = itertools.count()
         self._vouchers: List[Tuple[float, int, SettlementRelay, SettlementVoucher]] = []
         self._certificates: List[Tuple[float, int, SettlementRelay, SettlementCertificate]] = []
+        self._acks: List[Tuple[float, int, SettlementRelay, SettlementAck]] = []
+        self._retirement_certificates: List[
+            Tuple[float, int, SettlementRelay, RetirementCertificate]
+        ] = []
         self._mints: List[Tuple[int, ProcessId, Transfer]] = []
+        self._retirements: List[Tuple[int, Transfer]] = []
         self._reports: Optional[Dict[int, AdvanceReport]] = None
 
     # -- queues fed by the settlement fabric ---------------------------------------------------
@@ -453,13 +612,34 @@ class EpochScheduler:
         ready = self.now + relay.config.delivery_delay
         self._certificates.append((ready, next(self._order), relay, certificate))
 
+    def enqueue_ack(self, ready: float, relay: SettlementRelay, ack: SettlementAck) -> None:
+        self._acks.append((ready, next(self._order), relay, ack))
+
+    def enqueue_retirement_certificate(
+        self, relay: SettlementRelay, certificate: RetirementCertificate
+    ) -> None:
+        ready = self.now + relay.config.delivery_delay
+        self._retirement_certificates.append(
+            (ready, next(self._order), relay, certificate)
+        )
+
     def enqueue_mint(self, shard: int, replica: ProcessId, transfer: Transfer) -> None:
         self._mints.append((shard, replica, transfer))
 
+    def enqueue_retirement(self, shard: int, transfer: Transfer) -> None:
+        self._retirements.append((shard, transfer))
+
     @property
     def in_flight(self) -> int:
-        """Vouchers and certificates queued between barriers (plus mints)."""
-        return len(self._vouchers) + len(self._certificates) + len(self._mints)
+        """Settlement traffic queued between barriers (all lifecycle legs)."""
+        return (
+            len(self._vouchers)
+            + len(self._certificates)
+            + len(self._acks)
+            + len(self._retirement_certificates)
+            + len(self._mints)
+            + len(self._retirements)
+        )
 
     # -- the drive loop ------------------------------------------------------------------------
 
@@ -476,19 +656,52 @@ class EpochScheduler:
             self._reports = backend.advance(self.now, max_events)
             self._check_budget(max_events)
         while True:
-            minted = self._exchange(backend, fabric)
+            applied = self._exchange(backend, fabric)
             reports = self._reports
             pending = any(report.pending_events for report in reports.values())
-            if not (pending or minted or self._vouchers or self._certificates):
+            queued = (
+                self._vouchers
+                or self._certificates
+                or self._acks
+                or self._retirement_certificates
+            )
+            if not (pending or applied or queued):
                 break
-            target = self._next_target(minted)
-            horizon = self._next_barrier(target)
+            # The width of the epoch about to run is the policy's call, based
+            # on everything exchanged since the last taken barrier.  The
+            # policy is stateless, and ``_volume_since_barrier`` survives an
+            # ``until`` pause, so a resumed run recomputes the same width.
+            width = self.policy.next_epoch(
+                self.barriers, self.epoch, self._volume_since_barrier
+            )
+            if width <= 0:
+                raise ConfigurationError(
+                    f"epoch policy {self.policy.describe()} returned a "
+                    f"non-positive width {width}"
+                )
+            target = self._next_target(applied)
+            horizon = self._next_barrier(target, width)
             if until is not None and horizon > until:
                 # Pause *on the grid*: the run stops at the last barrier not
                 # exceeding ``until`` and a later run() resumes with exactly
                 # the barrier sequence an uninterrupted run would have used.
+                # If this barrier's exchange applied mint/retirement commands,
+                # they are sitting as events at time ``now`` on the shard
+                # simulators while ``self._reports`` predates them — breaking
+                # on those stale reports would let the resumed run's
+                # quiescence check miss the pending work and strand the
+                # commands forever.  Execute them here (still at ``now``, so
+                # the pause contract holds) and refresh the reports; event
+                # times and exchange ordering are unchanged against the
+                # continuous run, which executes the same events at the same
+                # simulated times during its next epoch.
+                if applied:
+                    budget = self._remaining_budget(max_events)
+                    self._reports = backend.advance(self.now, budget)
+                    self._check_budget(max_events)
                 break
-            self._barrier_index = self._pending_index
+            self.epoch = width
+            self._volume_since_barrier = 0
             budget = self._remaining_budget(max_events)
             self._reports = backend.advance(horizon, budget)
             self._check_budget(max_events)
@@ -497,7 +710,7 @@ class EpochScheduler:
         return self._reports
 
     def _exchange(self, backend: ExecutionBackend, fabric) -> int:
-        """Run one barrier's settlement exchange; returns mints applied."""
+        """Run one barrier's settlement exchange; returns commands applied."""
         reports = self._reports or {}
         events = sorted(
             (event for report in reports.values() for event in report.events),
@@ -514,45 +727,61 @@ class EpochScheduler:
                 fabric.observe_validation(
                     event.shard, event.replica, event.transfer, at=event.time
                 )
-        # Vouchers can assemble certificates and (when delivery_delay is 0)
-        # certificates can mature within the same barrier, so drain to a
-        # fixed point.
+        # Vouchers can assemble certificates, certificates can trigger acks,
+        # and (when delays are 0) any of them can mature within the same
+        # barrier, so drain all four queues to a fixed point.
         progressed = True
         while progressed:
             progressed = False
-            ready_vouchers = sorted(
-                (entry for entry in self._vouchers if entry[0] <= self.now),
-                key=lambda entry: (entry[0], entry[1]),
+            progressed |= self._drain_matured(
+                "_vouchers", lambda relay, voucher: relay.submit_voucher(voucher)
             )
-            if ready_vouchers:
-                progressed = True
-                matured = set(id(entry) for entry in ready_vouchers)
-                self._vouchers = [e for e in self._vouchers if id(e) not in matured]
-                for _, _, relay, voucher in ready_vouchers:
-                    relay.submit_voucher(voucher)
-            ready_certificates = sorted(
-                (entry for entry in self._certificates if entry[0] <= self.now),
-                key=lambda entry: (entry[0], entry[1]),
+            progressed |= self._drain_matured(
+                "_certificates", lambda relay, certificate: relay.deliver(certificate)
             )
-            if ready_certificates:
-                progressed = True
-                matured = set(id(entry) for entry in ready_certificates)
-                self._certificates = [
-                    e for e in self._certificates if id(e) not in matured
-                ]
-                for _, _, relay, certificate in ready_certificates:
-                    relay.deliver(certificate)
-        if not self._mints:
-            return 0
-        grouped: Dict[int, List[Tuple[ProcessId, Transfer]]] = {}
-        for shard, replica, transfer in self._mints:
-            grouped.setdefault(shard, []).append((replica, transfer))
-        applied = len(self._mints)
-        self._mints = []
-        backend.apply_mints(self.now, grouped)
+            progressed |= self._drain_matured(
+                "_acks", lambda relay, ack: relay.submit_ack(ack)
+            )
+            progressed |= self._drain_matured(
+                "_retirement_certificates",
+                lambda relay, certificate: relay.deliver_retirement(certificate),
+            )
+        applied = 0
+        if self._mints:
+            grouped: Dict[int, List[Tuple[ProcessId, Transfer]]] = {}
+            for shard, replica, transfer in self._mints:
+                grouped.setdefault(shard, []).append((replica, transfer))
+            applied += len(self._mints)
+            self._mints = []
+            backend.apply_mints(self.now, grouped)
+        if self._retirements:
+            retire_grouped: Dict[int, List[Transfer]] = {}
+            for shard, transfer in self._retirements:
+                retire_grouped.setdefault(shard, []).append(transfer)
+            applied += len(self._retirements)
+            self._retirements = []
+            backend.apply_retirements(self.now, retire_grouped)
         return applied
 
-    def _next_target(self, minted: int) -> float:
+    def _drain_matured(self, queue_name: str, deliver) -> bool:
+        """Deliver every queue entry matured by ``self.now``, in maturity
+        order; returns whether anything matured (the fixed-point signal).
+        The exchanged count feeds the epoch policy's volume observation."""
+        queue = getattr(self, queue_name)
+        ready = sorted(
+            (entry for entry in queue if entry[0] <= self.now),
+            key=lambda entry: (entry[0], entry[1]),
+        )
+        if not ready:
+            return False
+        matured = set(id(entry) for entry in ready)
+        setattr(self, queue_name, [e for e in queue if id(e) not in matured])
+        for _, _, relay, payload in ready:
+            deliver(relay, payload)
+        self._volume_since_barrier += len(ready)
+        return True
+
+    def _next_target(self, applied: int) -> float:
         """The earliest instant at which anything can happen next."""
         candidates: List[float] = []
         for report in (self._reports or {}).values():
@@ -560,24 +789,25 @@ class EpochScheduler:
                 candidates.append(report.next_event_time)
         candidates.extend(entry[0] for entry in self._vouchers)
         candidates.extend(entry[0] for entry in self._certificates)
-        if minted:
+        candidates.extend(entry[0] for entry in self._acks)
+        candidates.extend(entry[0] for entry in self._retirement_certificates)
+        if applied:
             candidates.append(self.now)
         return min(candidates) if candidates else self.now
 
-    def _next_barrier(self, target: float) -> float:
-        """First grid point after the current barrier, at or after ``target``.
+    def _next_barrier(self, target: float, width: float) -> float:
+        """First barrier strictly after ``self.now``, at or after ``target``.
 
-        ``ceil`` may land one grid slot past ``target`` under floating-point
-        division — that only costs an empty barrier — and if rounding ever
-        left the grid point *short* of the target event, the event simply
-        matures at the following barrier: the grid always advances by at
-        least one ``epoch``, so the loop cannot stall.  The index is staged
-        in ``_pending_index`` and only committed once the caller decides the
-        barrier is actually taken (an ``until`` pause must not burn it).
+        Barriers step from the current barrier in multiples of the epoch
+        width (``ceil`` may land one slot past ``target`` under
+        floating-point division — that only costs an empty barrier), and the
+        grid always advances by at least one ``width``, so the loop cannot
+        stall.  Nothing is committed here: an ``until`` pause simply breaks,
+        and the resumed run recomputes the identical horizon from the same
+        ``now``/width/volume state.
         """
-        index = max(self._barrier_index + 1, math.ceil(target / self.epoch))
-        self._pending_index = index
-        return index * self.epoch
+        steps = max(1, math.ceil((target - self.now) / width))
+        return self.now + steps * width
 
     def _remaining_budget(self, max_events: Optional[int]) -> Optional[int]:
         """Events each shard may still execute in the coming epoch.

@@ -102,7 +102,7 @@ class BatchingTransferNode(ConsensuslessTransferNode):
         submitted_at = self.now
         own_history = set(self.hist.get(self.account, set())) | self.deps
         balance = balance_from_transfers(
-            self.account, self._initial_balances.get(self.account, 0), own_history
+            self.account, self._base_balance(self.account), own_history
         )
         sequence = self.seq.get(self.node_id, 0)
         announcements: List[TransferAnnouncement] = []

@@ -42,8 +42,15 @@ class ClusterResult:
     balances: Optional[Dict[str, Dict[str, Dict[str, Amount]]]] = None
     committed_stream: Optional[List[tuple]] = None
     settlement_stream: Optional[List[tuple]] = None
+    retirement_stream: Optional[List[tuple]] = None
     audit: Optional[Dict[str, object]] = None
     per_shard_events: Optional[List[int]] = None
+    # Settlement-lifecycle counters: outbound records retired behind the
+    # compaction watermarks, and those still resident in the ledgers.  Part
+    # of the fingerprint, so a backend that compacted differently can never
+    # fingerprint equal.
+    retired_records: Optional[int] = None
+    resident_settlement_records: Optional[int] = None
 
     # -- SystemResult-compatible surface ------------------------------------------------------
 
@@ -133,6 +140,7 @@ class ClusterResult:
             "balances": self.balances,
             "committed": [list(entry) for entry in self.committed_stream],
             "settlement": [list(entry) for entry in self.settlement_stream or []],
+            "retirements": [list(entry) for entry in self.retirement_stream or []],
             "audit": self.audit,
             "duration": self.duration,
             "events_processed": self.events_processed,
@@ -140,6 +148,8 @@ class ClusterResult:
             "messages_sent": self.messages_sent,
             "committed_count": self.committed_count,
             "rejected_count": len(self.rejected),
+            "retired_records": self.retired_records,
+            "resident_settlement_records": self.resident_settlement_records,
         }
 
     def fingerprint(self) -> str:
@@ -162,19 +172,28 @@ class SupplyAudit:
     """The cluster-level conservation audit across both ledger views.
 
     Cross-shard money is recorded twice: the source shard's ledger keeps the
-    cumulative *outbound* credit in ``x{d}:a`` accounts, and the destination
-    shard's ledger keeps the cumulative *inbound* mint as a negative balance
-    on ``settle:{s}:{p}`` provision accounts.  Netting the two yields the
-    accounting identity the audit asserts:
+    *unretired* outbound credit in ``x{d}:a`` accounts (the settlement
+    lifecycle compacts fully-acknowledged records behind the watermark and
+    reports them as ``retired``), and the destination shard's ledger keeps
+    the cumulative *inbound* mint as a negative balance on ``settle:{s}:{p}``
+    provision accounts.  Netting the views yields the accounting identity the
+    audit asserts:
 
-    ``local + outbound - minted == initial_supply``  (at every instant)
+    ``local + outbound - (minted - retired) == initial_supply``  (at every
+    instant)
 
-    because every shard-local application — a transfer, a cross-shard debit
-    into ``x{d}:a``, or a mint from ``settle:{s}:{p}`` — conserves the sum of
-    *all* accounts in its own ledger.  ``in_flight = outbound - minted`` is
-    money certified at the source but not yet (or never, under faults) minted
-    at the destination; at quiescence with correct replicas it is zero and
-    the local balances alone carry the whole supply.
+    i.e. the unretired outbound records net against the unretired mints —
+    because every shard-local application (a transfer, a cross-shard debit
+    into ``x{d}:a``, a mint from ``settle:{s}:{p}``, or a retirement, which
+    removes an outbound credit *and* folds its debit into the source
+    account's baseline) conserves the identity in its own ledger.
+    ``in_flight = outbound - (minted - retired)`` is money certified at the
+    source but not yet (or never, under faults) minted at the destination;
+    at quiescence with correct replicas it is zero and the local balances
+    alone carry the whole supply.  ``retired`` can never exceed ``minted``
+    (:attr:`retirement_backed`): retirement requires a destination ack
+    quorum, and any quorum contains a correct replica that only acknowledges
+    what it actually minted.
     """
 
     initial_supply: Amount
@@ -182,11 +201,17 @@ class SupplyAudit:
     outbound: Amount
     minted: Amount
     relay_delivered: Amount
+    retired: Amount = 0
 
     @property
     def in_flight(self) -> Amount:
-        """Outbound credits not yet minted at their destination shard."""
-        return self.outbound - self.minted
+        """Outbound credits not yet minted at their destination shard.
+
+        ``outbound`` only holds the unretired records, so the cumulative
+        outbound is ``outbound + retired`` and in-flight money is that minus
+        everything minted.
+        """
+        return self.outbound + self.retired - self.minted
 
     @property
     def total(self) -> Amount:
@@ -203,13 +228,23 @@ class SupplyAudit:
         return self.minted == self.relay_delivered
 
     @property
+    def retirement_backed(self) -> bool:
+        """No unsettled record was ever retired (``retired <= minted``)."""
+        return 0 <= self.retired <= self.minted
+
+    @property
     def fully_settled(self) -> bool:
         """True once every outbound credit has been minted (quiescence)."""
         return self.in_flight == 0
 
     @property
+    def fully_retired(self) -> bool:
+        """True once every minted credit's outbound record is compacted."""
+        return self.retired == self.minted and self.outbound == 0
+
+    @property
     def ok(self) -> bool:
-        return self.conserved and self.ledger_matches_relay
+        return self.conserved and self.ledger_matches_relay and self.retirement_backed
 
     @property
     def violations(self) -> List[str]:
@@ -223,6 +258,11 @@ class SupplyAudit:
             problems.append(
                 f"mint mismatch: ledgers minted {self.minted} but relays "
                 f"delivered certificates for {self.relay_delivered}"
+            )
+        if not self.retirement_backed:
+            problems.append(
+                f"retirement overran settlement: retired {self.retired} "
+                f"exceeds minted {self.minted}"
             )
         return problems
 

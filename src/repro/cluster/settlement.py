@@ -1,12 +1,16 @@
-"""Cross-shard settlement: quorum-certified credit transfer between shards.
+"""Cross-shard settlement: the full lifecycle of a quorum-certified credit.
 
 PR 1 left cross-shard payments parked: a transfer from shard *s* to shard *d*
 debits the source account and credits an external settlement account
 ``x{d}:a`` inside the *source* shard's ledger — conserved and auditable, but
-not spendable at the destination.  This module closes the loop.  Because
-single-owner asset transfer has consensus number 1, settlement needs no
-cross-shard consensus, only *reliable transfer of a quorum-certified credit*
-(the set-constrained delivery substrate of arXiv:1706.05267):
+not spendable at the destination.  This module closes the loop *and then
+closes the books*.  Because single-owner asset transfer has consensus
+number 1, settlement needs no cross-shard consensus, only *reliable transfer
+of a quorum-certified credit* (the set-constrained delivery substrate of
+arXiv:1706.05267).  Each per-``(source, destination, issuer)`` stream walks
+an explicit state machine::
+
+    vouchered -> certified -> minted -> acknowledged -> retired
 
 1. When a source-shard replica validates a cross-shard transfer, it signs a
    :class:`SettlementClaim` — ``(source shard, destination shard, issuer,
@@ -24,20 +28,38 @@ cross-shard consensus, only *reliable transfer of a quorum-certified credit*
    certificate against the source shard's key directory and mints the credit
    into the real account **exactly once**: certificates must arrive in
    per-stream sequence order, so replays and gaps are rejected cold.
+4. Every mint makes the destination replica sign a :class:`SettlementAck`
+   over the stream's new watermark.  The relay's return leg assembles
+   ``2f+1`` *destination*-replica ack signatures into a
+   :class:`RetirementCertificate` and hands it to the source shard's
+   :class:`CompactionGate`.
+5. The gate — the source-side trust boundary, mirror image of the inbox —
+   verifies the ack quorum against the destination shard's key directory,
+   enforces per-stream watermark monotonicity, and only then lets the source
+   replicas *retire* the fully-acknowledged ``x{d}:a`` records behind the
+   compaction watermark.  Any ack quorum contains a correct destination
+   replica, which only acknowledges what it actually minted, so an
+   acknowledged watermark can never run ahead of the minted one: **no
+   unsettled record is ever retired**, whatever ``f`` Byzantine replicas do.
 
 The mint is applied through
 :meth:`~repro.mp.consensusless_transfer.ConsensuslessTransferNode.mint_certified_credit`
 as a transfer from the provision account ``settle:{s}:{p}``, which makes the
 credit spendable (it enters the owner's dependency set) and keeps the
-two-ledger accounting identity exact: outbound ``x{d}:a`` credits in source
-ledgers and negative ``settle:{s}:{p}`` provisions in destination ledgers
-cancel, so the cluster-wide sum over *all* accounts equals the initial supply
-at every instant (see :meth:`repro.cluster.system.ClusterSystem.supply_audit`).
+two-ledger accounting identity exact: unretired outbound ``x{d}:a`` credits
+in source ledgers and negative ``settle:{s}:{p}`` provisions in destination
+ledgers net against the retired amount, so ``local + unretired outbound -
+(minted - retired)`` equals the initial supply at every instant (see
+:meth:`repro.cluster.system.ClusterSystem.supply_audit`).  Retirement is what
+keeps long-running ledgers compact: without it the outbound record set grows
+with every cross-shard payment ever made; with it the resident records are
+bounded by the settlement in-flight window.
 
 Fault injection for tests rides the generic transport behaviours of
-:mod:`repro.byzantine.behaviors`: a voucher behaviour installed per source
-replica can silence, delay or substitute its vouchers, which is how the
-adversarial settlement suite models withheld and equivocated vouchers.
+:mod:`repro.byzantine.behaviors`: a voucher (or ack) behaviour installed per
+replica can silence, delay or substitute its vouchers/acks, which is how the
+adversarial settlement suite models withheld and equivocated participants on
+both legs of the lifecycle.
 """
 
 from __future__ import annotations
@@ -97,20 +119,71 @@ class SettlementCertificate:
     certificate: QuorumCertificate
 
 
+@dataclass(frozen=True)
+class SettlementAckClaim:
+    """What a destination replica signs after minting: a stream watermark.
+
+    ``sequence`` is cumulative: acknowledging it asserts that every claim of
+    the ``(source_shard, destination_shard, issuer)`` stream up to and
+    including ``sequence`` has been minted.  Inboxes mint strictly in stream
+    order, so the watermark is exactly the last minted sequence and all
+    correct destination replicas sign byte-identical ack claims.
+    """
+
+    source_shard: int
+    destination_shard: int
+    issuer: ProcessId
+    sequence: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ack[s{self.source_shard}->s{self.destination_shard} "
+            f"p{self.issuer}<={self.sequence}]"
+        )
+
+
+@dataclass(frozen=True)
+class SettlementAck:
+    """One destination replica's signature over a stream watermark."""
+
+    claim: SettlementAckClaim
+    signature: Signature
+
+
+@dataclass(frozen=True)
+class RetirementCertificate:
+    """An ack claim plus a quorum certificate of destination signatures.
+
+    The source-side licence to compact: ``2f+1`` destination replicas
+    asserting the stream is minted through ``claim.sequence``.  Quorum
+    intersection puts a correct replica in every certificate, so the
+    watermark can never exceed what was genuinely minted.
+    """
+
+    claim: SettlementAckClaim
+    certificate: QuorumCertificate
+
+
 @dataclass
 class SettlementConfig:
-    """Timing of the settlement fabric (fixed delays keep runs deterministic).
+    """Timing and lifecycle knobs of the settlement fabric.
 
     ``voucher_delay`` models the replica-to-relay link, ``delivery_delay``
     the relay-to-destination-shard link; both are slower than the intra-shard
-    defaults because settlement crosses shard boundaries.
+    defaults because settlement crosses shard boundaries.  ``ack_delay``
+    models the return leg (destination replica back to the relay).
+    ``compaction`` switches the acknowledgement/retirement lifecycle; with it
+    off, outbound ``x{d}:a`` records accumulate forever (the pre-lifecycle
+    behaviour, kept for negative controls and growth measurements).
     """
 
     voucher_delay: float = 0.001
     delivery_delay: float = 0.002
+    ack_delay: float = 0.001
+    compaction: bool = True
 
     def validate(self) -> None:
-        if self.voucher_delay < 0 or self.delivery_delay < 0:
+        if self.voucher_delay < 0 or self.delivery_delay < 0 or self.ack_delay < 0:
             raise ConfigurationError("settlement delays must be non-negative")
 
 
@@ -170,6 +243,19 @@ class SettlementRelay:
     ``2f+1`` quorum, so fabrication costs table memory, not money (and
     :attr:`pending_claims` counts genuine withheld settlement and attacker
     junk alike).
+
+    The relay also runs the lifecycle's *return leg*: destination replicas
+    submit signed :class:`SettlementAck` watermarks after minting, and a
+    ``2f+1`` quorum of them (``ack_quorum_size`` signatures from
+    ``ack_allowed_signers``, verified against the destination shard's key
+    directory) assembles into a :class:`RetirementCertificate` delivered back
+    to the source shard's :class:`CompactionGate`.  The same trust argument
+    applies in reverse: the relay can at worst withhold acknowledgements
+    (records stay resident — a liveness loss for *compaction* only, never for
+    settlement), it can never retire an unsettled record.  The ack table is
+    self-compacting: assembling watermark ``w`` drops every pending ack entry
+    of that stream at or below ``w``, so relay memory tracks the in-flight
+    window, not history.
     """
 
     def __init__(
@@ -182,6 +268,10 @@ class SettlementRelay:
         allowed_signers: frozenset,
         config: Optional[SettlementConfig] = None,
         dispatch: Optional[Callable[["SettlementCertificate"], None]] = None,
+        ack_scheme=None,
+        ack_quorum_size: int = 0,
+        ack_allowed_signers: frozenset = frozenset(),
+        retirement_dispatch: Optional[Callable[["RetirementCertificate"], None]] = None,
     ) -> None:
         if quorum_size <= 0:
             raise ConfigurationError("quorum_size must be positive")
@@ -199,6 +289,7 @@ class SettlementRelay:
         # barrier scheduler delivers it — via ``deliver`` below — at the next
         # settlement barrier instead.
         self._dispatch = dispatch
+        self._retirement_dispatch = retirement_dispatch
         self._pending: Dict[SettlementClaim, Dict[ProcessId, Signature]] = {}
         self._assembled: Set[SettlementClaim] = set()
         self._subscribers: List[Callable[[SettlementCertificate], None]] = []
@@ -206,10 +297,30 @@ class SettlementRelay:
         self.delivered: List[SettlementCertificate] = []
         self.vouchers_accepted = 0
         self.vouchers_rejected = 0
+        # The ack return leg: verification parameters of the *destination*
+        # shard (its replicas sign the acks), pending signatures per ack
+        # claim, and the per-stream watermark already certified (ack claims
+        # at or below it are absorbed as no-ops).
+        self.ack_scheme = ack_scheme if ack_scheme is not None else scheme
+        self.ack_quorum_size = ack_quorum_size or quorum_size
+        self.ack_allowed_signers = ack_allowed_signers or allowed_signers
+        self._ack_pending: Dict[SettlementAckClaim, Dict[ProcessId, Signature]] = {}
+        self._ack_certified: Dict[ProcessId, int] = {}
+        self._retirement_subscribers: List[Callable[[RetirementCertificate], None]] = []
+        self.retirement_certificates: List[RetirementCertificate] = []
+        self.retirements_delivered: List[RetirementCertificate] = []
+        self.acks_accepted = 0
+        self.acks_rejected = 0
 
     def subscribe(self, deliver: Callable[[SettlementCertificate], None]) -> None:
         """Register one destination replica's inbox for certificate delivery."""
         self._subscribers.append(deliver)
+
+    def subscribe_retirement(
+        self, deliver: Callable[[RetirementCertificate], None]
+    ) -> None:
+        """Register the source shard's compaction gate for the return leg."""
+        self._retirement_subscribers.append(deliver)
 
     def submit_voucher(self, voucher: SettlementVoucher) -> bool:
         """Accept one voucher; assemble and ship a certificate at quorum."""
@@ -263,15 +374,92 @@ class SettlementRelay:
         for deliver in self._subscribers:
             deliver(certificate)
 
+    # -- the acknowledgement return leg --------------------------------------------------------
+
+    def submit_ack(self, ack: SettlementAck) -> bool:
+        """Accept one destination-replica ack; certify retirement at quorum.
+
+        Acks are verified against the *destination* shard's key directory —
+        only the replicas that actually mint can acknowledge.  An ack at or
+        below the stream's already-certified watermark is absorbed as a no-op
+        (late and replayed acks are indistinguishable and equally harmless);
+        anything forged, misrouted or signed outside the destination replica
+        set is rejected.
+        """
+        claim = ack.claim
+        if (
+            claim.source_shard != self.source_shard
+            or claim.destination_shard != self.destination_shard
+            or claim.sequence <= 0
+            or ack.signature.signer not in self.ack_allowed_signers
+            or not self.ack_scheme.verify(claim, ack.signature)
+        ):
+            self.acks_rejected += 1
+            return False
+        self.acks_accepted += 1
+        if claim.sequence <= self._ack_certified.get(claim.issuer, 0):
+            return True  # late ack for an already-certified watermark
+        signatures = self._ack_pending.setdefault(claim, {})
+        signatures[ack.signature.signer] = ack.signature
+        if len(signatures) >= self.ack_quorum_size:
+            self._assemble_retirement(claim)
+        return True
+
+    def _assemble_retirement(self, claim: SettlementAckClaim) -> None:
+        signatures = self._ack_pending.pop(claim)
+        ordered = tuple(signature for _, signature in sorted(signatures.items()))
+        certificate = RetirementCertificate(
+            claim=claim, certificate=self.ack_scheme.make_certificate(claim, ordered)
+        )
+        self._ack_certified[claim.issuer] = claim.sequence
+        # Self-compaction: pending acks the new watermark subsumes are dead.
+        self._ack_pending = {
+            pending: signatures
+            for pending, signatures in self._ack_pending.items()
+            if pending.issuer != claim.issuer or pending.sequence > claim.sequence
+        }
+        self.retirement_certificates.append(certificate)
+        if self._retirement_dispatch is not None:
+            self._retirement_dispatch(certificate)
+            return
+        self.simulator.schedule(
+            self.config.delivery_delay,
+            lambda: self._deliver_retirement(certificate),
+            label=f"retire s{self.destination_shard}->s{self.source_shard}",
+        )
+
+    def deliver_retirement(self, certificate: RetirementCertificate) -> None:
+        """Deliver one retirement certificate to the source's compaction gate.
+
+        Called by the simulator-scheduled hop in the classic mode and by the
+        epoch barrier in backend mode, mirroring :meth:`deliver`.
+        """
+        self._deliver_retirement(certificate)
+
+    def _deliver_retirement(self, certificate: RetirementCertificate) -> None:
+        self.retirements_delivered.append(certificate)
+        for deliver in self._retirement_subscribers:
+            deliver(certificate)
+
     @property
     def pending_claims(self) -> int:
         """Claims with some vouchers but no quorum yet (withheld settlement)."""
         return len(self._pending)
 
+    @property
+    def pending_acks(self) -> int:
+        """Ack watermarks with some signatures but no quorum yet."""
+        return len(self._ack_pending)
+
+    def certified_watermark(self, issuer: ProcessId) -> int:
+        """The highest retirement watermark certified for ``issuer``'s stream."""
+        return self._ack_certified.get(issuer, 0)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SettlementRelay(s{self.source_shard}->s{self.destination_shard}, "
-            f"delivered={len(self.delivered)}, pending={self.pending_claims})"
+            f"delivered={len(self.delivered)}, pending={self.pending_claims}, "
+            f"retired={len(self.retirements_delivered)})"
         )
 
 
@@ -307,6 +495,7 @@ class SettlementInbox:
         node,
         verify: Callable[[SettlementClaim, QuorumCertificate], bool],
         mint_sink: Optional[Callable[[Transfer], None]] = None,
+        on_minted: Optional[Callable[[SettlementClaim], None]] = None,
     ) -> None:
         self.shard_index = shard_index
         self.node = node
@@ -316,6 +505,9 @@ class SettlementInbox:
         # replay/buffer *decisions* always happen right here, so adversarial
         # tests poke one and the same trust boundary on every backend.
         self._mint_sink = mint_sink
+        # Lifecycle hook: fired once per accepted mint, in stream order, so
+        # the fabric can emit this replica's signed acknowledgement.
+        self._on_minted = on_minted
         self._verify = verify
         self._next_sequence: Dict[Tuple[int, ProcessId], int] = {}
         self._buffered: Dict[Tuple[int, ProcessId], Dict[int, SettlementCertificate]] = {}
@@ -354,6 +546,8 @@ class SettlementInbox:
             self._mint_sink(transfer)
         else:
             self.node.mint_certified_credit(transfer)
+        if self._on_minted is not None:
+            self._on_minted(certificate.claim)
 
     def _reject(self, certificate: SettlementCertificate, reason: str) -> bool:
         self.rejected.append((certificate, reason))
@@ -366,6 +560,80 @@ class SettlementInbox:
 
     def minted_amount(self) -> Amount:
         return sum(certificate.claim.amount for certificate in self.accepted)
+
+
+# -- the source-side compaction gate ----------------------------------------------------------
+
+
+class CompactionGate:
+    """Per-source-shard verification of retirement certificates.
+
+    The mirror image of :class:`SettlementInbox`: everything upstream — the
+    acks, the relay's assembly, the certificate itself — is treated as
+    adversarial input, and a record is only retired once a valid
+    ``2f+1``-destination-replica quorum certificate advances the stream's
+    watermark.  Monotonicity makes replays no-ops; the quorum-intersection
+    argument (a correct destination replica only acknowledges what it
+    minted) makes it impossible for any certificate accepted here to cover
+    an unsettled record.  Withheld or under-quorum acks merely leave records
+    resident: compaction loses liveness per stream, settlement and every
+    other stream continue untouched.
+    """
+
+    def __init__(
+        self,
+        shard_index: int,
+        verify: Callable[[SettlementAckClaim, QuorumCertificate], bool],
+        lookup: Callable[[SettlementAckClaim, int], Optional[List[Transfer]]],
+        retire_sink: Callable[[List[Transfer]], None],
+    ) -> None:
+        self.shard_index = shard_index
+        self._verify = verify
+        # Resolves an accepted watermark advance to the recorded outbound
+        # transfers it retires (and prunes them from the fabric's stream
+        # tables); returns None when records are missing, which a genuine
+        # quorum can never cause (minted implies vouchered implies recorded).
+        self._lookup = lookup
+        self._retire_sink = retire_sink
+        self._watermarks: Dict[Tuple[int, ProcessId], int] = {}
+        self.accepted: List[RetirementCertificate] = []
+        self.rejected: List[Tuple[RetirementCertificate, str]] = []
+        self.retired_amount: Amount = 0
+        self.retired_claims = 0
+
+    def receive(self, certificate: RetirementCertificate) -> bool:
+        claim = certificate.claim
+        if claim.source_shard != self.shard_index:
+            return self._reject(certificate, "misrouted retirement certificate")
+        stream = (claim.destination_shard, claim.issuer)
+        watermark = self._watermarks.get(stream, 0)
+        if claim.sequence <= watermark:
+            return self._reject(certificate, "stale retirement watermark")
+        if not self._verify(claim, certificate.certificate):
+            return self._reject(certificate, "invalid ack quorum certificate")
+        transfers = self._lookup(claim, watermark + 1)
+        if transfers is None:
+            return self._reject(certificate, "unknown settlement records")
+        self._watermarks[stream] = claim.sequence
+        self.accepted.append(certificate)
+        self.retired_claims += len(transfers)
+        self.retired_amount += sum(transfer.amount for transfer in transfers)
+        self._retire_sink(transfers)
+        return True
+
+    def watermark(self, destination_shard: int, issuer: ProcessId) -> int:
+        """The stream's retirement watermark (0 = nothing retired yet)."""
+        return self._watermarks.get((destination_shard, issuer), 0)
+
+    def _reject(self, certificate: RetirementCertificate, reason: str) -> bool:
+        self.rejected.append((certificate, reason))
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompactionGate(s{self.shard_index}, retired={self.retired_claims}, "
+            f"amount={self.retired_amount})"
+        )
 
 
 # -- the fabric -------------------------------------------------------------------------------
@@ -406,16 +674,48 @@ class SettlementFabric:
         self._out_sequences: Dict[Tuple[int, ProcessId], Dict[Tuple[int, ProcessId], int]] = {}
         self._keypairs: Dict[Tuple[int, ProcessId], KeyPair] = {}
         self._behaviors: Dict[Tuple[int, ProcessId], Behavior] = {}
+        self._ack_behaviors: Dict[Tuple[int, ProcessId], Behavior] = {}
         self.inboxes: Dict[Tuple[int, ProcessId], SettlementInbox] = {}
+        # Canonical per-stream record of outbound transfers keyed by their
+        # settlement sequence: ``(source, destination, issuer) -> sequence ->
+        # (transfer, validated_at)``.  Written once per claim (every source
+        # replica derives the same stream sequence), read and *pruned* by the
+        # compaction gates — driver-side memory therefore tracks the
+        # in-flight window, not the run's history, exactly like the ledgers.
+        self._stream_records: Dict[
+            Tuple[int, int, ProcessId], Dict[int, Tuple[Transfer, float]]
+        ] = {}
+        self.gates: Dict[int, CompactionGate] = {
+            shard.index: CompactionGate(
+                shard.index,
+                self._verify_ack_certificate,
+                self._take_stream_records,
+                self._retire_sink(shard.index),
+            )
+            for shard in shards
+        }
         self.vouchers_dispatched = 0
+        self.acks_dispatched = 0
+        # Settlement-latency aggregate (validation at the source to inbox
+        # accept at the destination), one sample per mint decision.
+        self._latency_count = 0
+        self._latency_total = 0.0
+        self._latency_max = 0.0
         for shard in shards:
             for pid in sorted(shard.nodes):
                 node = shard.nodes[pid]
                 mint_sink = None
                 if scheduler is not None:
                     mint_sink = self._mint_sink(shard.index, pid)
+                on_minted = (
+                    self._ack_emitter(shard.index, pid) if self.config.compaction else None
+                )
                 self.inboxes[(shard.index, pid)] = SettlementInbox(
-                    shard.index, node, self._verify_certificate, mint_sink=mint_sink
+                    shard.index,
+                    node,
+                    self._verify_certificate,
+                    mint_sink=mint_sink,
+                    on_minted=on_minted,
                 )
                 if scheduler is None:
                     node.on_validated = self._observer(shard.index, pid)
@@ -426,11 +726,33 @@ class SettlementFabric:
 
         return sink
 
+    def _retire_sink(self, shard_index: int) -> Callable[[List[Transfer]], None]:
+        """How an accepted retirement reaches the source shard's replicas.
+
+        Classic mode applies it synchronously (we are inside the scheduled
+        delivery event, so the retirement lands at the certificate's delivery
+        time); the epoch backends queue it for the barrier, which ships it to
+        wherever the shard executes — same split as the mint sink.
+        """
+
+        def sink(transfers: List[Transfer]) -> None:
+            if self.scheduler is not None:
+                for transfer in transfers:
+                    self.scheduler.enqueue_retirement(shard_index, transfer)
+                return
+            self._shards[shard_index].retire_settled(transfers)
+
+        return sink
+
     # -- fault injection ----------------------------------------------------------------------
 
     def set_voucher_behavior(self, shard: int, replica: ProcessId, behavior: Behavior) -> None:
         """Route ``(shard, replica)``'s outgoing vouchers through ``behavior``."""
         self._behaviors[(shard, replica)] = behavior
+
+    def set_ack_behavior(self, shard: int, replica: ProcessId, behavior: Behavior) -> None:
+        """Route ``(shard, replica)``'s outgoing settlement acks through ``behavior``."""
+        self._ack_behaviors[(shard, replica)] = behavior
 
     # -- voucher emission ---------------------------------------------------------------------
 
@@ -475,6 +797,12 @@ class SettlementFabric:
         )
         voucher = SettlementVoucher(claim=claim, signature=self._keypair(shard_index, replica).sign(claim))
         emitted_at = at if at is not None else self.simulator.now
+        # Record the outbound ledger record behind its stream sequence (all
+        # replicas derive the same sequence, so the first observer wins); the
+        # compaction gate consumes these when the ack quorum retires them.
+        self._stream_records.setdefault(
+            (shard_index, destination_shard, transfer.issuer), {}
+        ).setdefault(sequence, (transfer, emitted_at))
         self._dispatch(shard_index, replica, destination_shard, voucher, emitted_at)
 
     def _dispatch(
@@ -515,6 +843,87 @@ class SettlementFabric:
             self._keypairs[(shard_index, replica)] = keypair
         return keypair
 
+    # -- acknowledgement emission -------------------------------------------------------------
+
+    def _ack_emitter(
+        self, shard_index: int, replica: ProcessId
+    ) -> Callable[[SettlementClaim], None]:
+        """The inbox's post-mint hook: sign and dispatch this replica's ack.
+
+        Fired at the inbox's accept decision — the authoritative point of the
+        mint on every backend — so acknowledgement timing is identical
+        whether the ledger application runs in-process or in a worker.
+        """
+
+        def emit(claim: SettlementClaim) -> None:
+            ack_claim = SettlementAckClaim(
+                source_shard=claim.source_shard,
+                destination_shard=claim.destination_shard,
+                issuer=claim.issuer,
+                sequence=claim.sequence,
+            )
+            ack = SettlementAck(
+                claim=ack_claim,
+                signature=self._keypair(shard_index, replica).sign(ack_claim),
+            )
+            emitted_at = (
+                self.scheduler.now if self.scheduler is not None else self.simulator.now
+            )
+            self._record_latency(claim, emitted_at)
+            self._dispatch_ack(shard_index, replica, ack, emitted_at)
+
+        return emit
+
+    def _record_latency(self, claim: SettlementClaim, accepted_at: float) -> None:
+        records = self._stream_records.get(
+            (claim.source_shard, claim.destination_shard, claim.issuer), {}
+        )
+        entry = records.get(claim.sequence)
+        if entry is None:
+            return
+        latency = max(0.0, accepted_at - entry[1])
+        self._latency_count += 1
+        self._latency_total += latency
+        self._latency_max = max(self._latency_max, latency)
+
+    def _dispatch_ack(
+        self,
+        shard_index: int,
+        replica: ProcessId,
+        ack: SettlementAck,
+        emitted_at: float,
+    ) -> None:
+        behavior = self._ack_behaviors.get((shard_index, replica))
+        if behavior is None:
+            outgoing = [OutgoingMessage(recipient=ack.claim.source_shard, message=ack)]
+        else:
+            outgoing = behavior.transform(replica, ack.claim.source_shard, ack)
+        for out in outgoing:
+            claim = out.message.claim
+            # Acks ride their stream's own relay pair; anything aimed at a
+            # nonexistent pair (or claiming a same-shard stream) is dropped
+            # on the floor, like misaddressed network traffic.
+            if (
+                claim.source_shard == claim.destination_shard
+                or claim.source_shard not in self._shards
+                or claim.destination_shard not in self._shards
+            ):
+                continue
+            relay = self.relay(claim.source_shard, claim.destination_shard)
+            self.acks_dispatched += 1
+            if self.scheduler is not None:
+                self.scheduler.enqueue_ack(
+                    emitted_at + self.config.ack_delay + out.extra_delay,
+                    relay,
+                    out.message,
+                )
+                continue
+            self.simulator.schedule(
+                self.config.ack_delay + out.extra_delay,
+                lambda message=out.message, target=relay: target.submit_ack(message),
+                label=f"settle ack s{shard_index}/p{replica}",
+            )
+
     # -- relays and verification --------------------------------------------------------------
 
     def relay(self, source_shard: int, destination_shard: int) -> SettlementRelay:
@@ -523,12 +932,19 @@ class SettlementFabric:
         relay = self._relays.get(key)
         if relay is None:
             source = self._shards[source_shard]
+            destination = self._shards[destination_shard]
             dispatch = None
+            retirement_dispatch = None
             if self.scheduler is not None:
                 scheduler = self.scheduler
 
                 def dispatch(certificate, _pair=key):
                     scheduler.enqueue_certificate(self._relays[_pair], certificate)
+
+                def retirement_dispatch(certificate, _pair=key):
+                    scheduler.enqueue_retirement_certificate(
+                        self._relays[_pair], certificate
+                    )
 
             relay = SettlementRelay(
                 source_shard=source_shard,
@@ -539,9 +955,14 @@ class SettlementFabric:
                 allowed_signers=frozenset(range(source.replicas)),
                 config=self.config,
                 dispatch=dispatch,
+                ack_scheme=destination.scheme,
+                ack_quorum_size=destination.quorum_size,
+                ack_allowed_signers=frozenset(range(destination.replicas)),
+                retirement_dispatch=retirement_dispatch,
             )
             for pid in sorted(self._shards[destination_shard].nodes):
                 relay.subscribe(self.inboxes[(destination_shard, pid)].receive)
+            relay.subscribe_retirement(self.gates[source_shard].receive)
             self._relays[key] = relay
         return relay
 
@@ -555,6 +976,38 @@ class SettlementFabric:
             quorum_size=source.quorum_size,
             allowed_signers=frozenset(range(source.replicas)),
         )
+
+    def _verify_ack_certificate(
+        self, claim: SettlementAckClaim, certificate: QuorumCertificate
+    ) -> bool:
+        """Retirement certificates carry *destination*-shard signatures."""
+        destination = self._shards.get(claim.destination_shard)
+        if destination is None:
+            return False
+        return destination.scheme.verify_certificate(
+            claim,
+            certificate,
+            quorum_size=destination.quorum_size,
+            allowed_signers=frozenset(range(destination.replicas)),
+        )
+
+    def _take_stream_records(
+        self, claim: SettlementAckClaim, first_sequence: int
+    ) -> Optional[List[Transfer]]:
+        """Pop the recorded transfers a watermark advance retires, in order.
+
+        Returns ``None`` (and consumes nothing) if any sequence in
+        ``[first_sequence, claim.sequence]`` was never recorded — impossible
+        for a genuinely quorum-backed watermark, since minting presupposes
+        vouchering, which is what records the stream entry.
+        """
+        records = self._stream_records.get(
+            (claim.source_shard, claim.destination_shard, claim.issuer), {}
+        )
+        span = range(first_sequence, claim.sequence + 1)
+        if any(sequence not in records for sequence in span):
+            return None
+        return [records.pop(sequence)[0] for sequence in span]
 
     # -- audit views --------------------------------------------------------------------------
 
@@ -594,13 +1047,41 @@ class SettlementFabric:
         """Claims stuck below quorum across all relays (withheld vouchers)."""
         return sum(relay.pending_claims for relay in self.relays)
 
+    def pending_acks(self) -> int:
+        """Ack watermarks stuck below quorum across all relays."""
+        return sum(relay.pending_acks for relay in self.relays)
+
+    def retired_amount(self) -> Amount:
+        """Money whose outbound records the gates have retired."""
+        return sum(gate.retired_amount for gate in self.gates.values())
+
+    def retired_claims(self) -> int:
+        """Outbound records retired behind the compaction watermarks."""
+        return sum(gate.retired_claims for gate in self.gates.values())
+
+    def settlement_latency(self) -> Tuple[int, float, float]:
+        """``(samples, average, max)`` source-validation-to-mint latency.
+
+        One sample per inbox accept decision; the figure the epoch policies
+        trade against barrier overhead (wider epochs batch more exchanges
+        per barrier but hold vouchers and certificates longer).
+        """
+        if self._latency_count == 0:
+            return (0, 0.0, 0.0)
+        return (
+            self._latency_count,
+            self._latency_total / self._latency_count,
+            self._latency_max,
+        )
+
     def settlement_messages(self) -> int:
-        """Vouchers dispatched plus per-replica certificate deliveries."""
+        """Vouchers and acks dispatched plus certificate deliveries."""
         deliveries = sum(
             len(relay.delivered) * len(self._shards[relay.destination_shard].nodes)
             for relay in self.relays
         )
-        return self.vouchers_dispatched + deliveries
+        retirements = sum(len(relay.retirements_delivered) for relay in self.relays)
+        return self.vouchers_dispatched + deliveries + self.acks_dispatched + retirements
 
     def settlement_signature(self) -> List[tuple]:
         """Deterministic fingerprint of the delivered-certificate sequence."""
@@ -620,8 +1101,30 @@ class SettlementFabric:
                 )
         return signature
 
+    def retirement_signature(self) -> List[tuple]:
+        """Deterministic fingerprint of the delivered retirement watermarks.
+
+        Asserted by the equivalence harness next to
+        :meth:`settlement_signature`: same seed, same compaction decisions,
+        same order — on every backend.
+        """
+        signature = []
+        for key in sorted(self._relays):
+            for certificate in self._relays[key].retirements_delivered:
+                claim = certificate.claim
+                signature.append(
+                    (
+                        claim.source_shard,
+                        claim.destination_shard,
+                        claim.issuer,
+                        claim.sequence,
+                    )
+                )
+        return signature
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SettlementFabric(shards={len(self._shards)}, "
-            f"relays={len(self._relays)}, delivered={self.certificates_delivered()})"
+            f"relays={len(self._relays)}, delivered={self.certificates_delivered()}, "
+            f"retired={self.retired_claims()})"
         )

@@ -106,7 +106,14 @@ class AdvanceReport:
 
 @dataclass
 class NodeSnapshot:
-    """The picklable final state of one replica (inspection-relevant fields)."""
+    """The picklable final state of one replica (inspection-relevant fields).
+
+    Carries the compaction state of the settlement lifecycle alongside the
+    Figure 4 state: the per-account baseline offsets and retired-outbound
+    totals behind the watermark, the retirement commands still waiting for
+    their record to validate, and the retired-record counter — so a
+    rehydrated driver-side twin audits exactly like the worker's shard.
+    """
 
     seq: Dict[ProcessId, int]
     rec: Dict[ProcessId, int]
@@ -117,6 +124,10 @@ class NodeSnapshot:
     completed: List[TransferRecord]
     failed_immediately: List[TransferRecord]
     stats: NodeStats
+    retired_offsets: Dict[AccountId, Amount] = field(default_factory=dict)
+    retired_outbound: Dict[AccountId, Amount] = field(default_factory=dict)
+    pending_retirements: set = field(default_factory=set)
+    retired_records: int = 0
 
 
 @dataclass
@@ -327,6 +338,48 @@ class Shard:
                 label=f"settle mint s{self.index}/p{replica}",
             )
 
+    def retire_settled(self, transfers: List[Tuple]) -> None:
+        """Apply one retirement batch to every replica, in replica order.
+
+        Retirement is uniform across the replica group (the compaction gate
+        verified one quorum certificate for all of them); applying it in
+        sorted replica order keeps the per-replica outcomes deterministic.
+        """
+        for pid in sorted(self.nodes):
+            self.nodes[pid].retire_settled(list(transfers))
+
+    def apply_retirements(self, time: float, transfers: List[Tuple]) -> None:
+        """Schedule a retirement batch onto this shard's clock (epoch mode).
+
+        The barrier hands over the transfers a verified ack quorum retired;
+        one event at the barrier time compacts them out of every replica,
+        ordered against the shard's own events exactly like mints are.
+        """
+        self.simulator.schedule_at(
+            time,
+            lambda batch=list(transfers): self.retire_settled(batch),
+            label=f"settle retire s{self.index}",
+        )
+
+    def resident_settlement_records(self) -> int:
+        """Outbound ``x{d}:a`` records still resident at replica 0.
+
+        The figure the compaction lifecycle bounds: without retirement it
+        grows with every cross-shard payment ever validated; with it, it
+        tracks the settlement in-flight window.  Classified here (not on the
+        node) because external-account naming is a cluster-layer convention
+        the per-shard protocol knows nothing about.
+        """
+        return sum(
+            len(records)
+            for account, records in self.nodes[0].hist.items()
+            if parse_external_account(account) is not None
+        )
+
+    def retired_record_count(self) -> int:
+        """Outbound records retired behind the watermark at replica 0."""
+        return self.nodes[0].retired_records
+
     def snapshot(self) -> ShardSnapshot:
         """Capture the inspection-relevant final state as picklable data."""
         nodes = {}
@@ -342,6 +395,10 @@ class Shard:
                 completed=list(node.completed),
                 failed_immediately=list(node.failed_immediately),
                 stats=node.stats,
+                retired_offsets=dict(node._retired_offsets),
+                retired_outbound=dict(node._retired_outbound),
+                pending_retirements=set(node._pending_retirements),
+                retired_records=node.retired_records,
             )
         return ShardSnapshot(
             index=self.index,
@@ -378,6 +435,10 @@ class Shard:
             node.completed = list(node_snapshot.completed)
             node.failed_immediately = list(node_snapshot.failed_immediately)
             node.stats = node_snapshot.stats
+            node._retired_offsets = dict(node_snapshot.retired_offsets)
+            node._retired_outbound = dict(node_snapshot.retired_outbound)
+            node._pending_retirements = set(node_snapshot.pending_retirements)
+            node.retired_records = node_snapshot.retired_records
         self.result.committed = list(snapshot.committed)
         self.result.rejected = list(snapshot.rejected)
         self.network.messages_sent = snapshot.messages_sent

@@ -30,7 +30,13 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import Amount
-from repro.cluster.backends import BACKEND_NAMES, EpochScheduler, make_backend
+from repro.cluster.backends import (
+    BACKEND_NAMES,
+    EpochPolicy,
+    EpochScheduler,
+    FixedEpochPolicy,
+    make_backend,
+)
 from repro.cluster.result import ClusterCheckReport, ClusterResult, SupplyAudit
 from repro.cluster.routing import ShardRouter, parse_external_account
 from repro.cluster.settlement import (
@@ -80,7 +86,15 @@ class ClusterSystem:
         bit-identical :class:`ClusterResult` fingerprints.
     epoch:
         Barrier spacing of the backend mode, in simulated seconds (also the
-        granularity of cross-shard settlement latency).
+        granularity of cross-shard settlement latency).  Shorthand for
+        ``epoch_policy=FixedEpochPolicy(epoch)``.
+    epoch_policy:
+        An :class:`~repro.cluster.backends.EpochPolicy` deciding the barrier
+        grid.  :class:`~repro.cluster.backends.FixedEpochPolicy` is today's
+        constant grid; :class:`~repro.cluster.backends.AdaptiveEpochPolicy`
+        widens/narrows the grid from observed per-barrier settlement volume.
+        Policies run in the driver from backend-invariant observations, so
+        fingerprint equality across backends holds for any policy.
     max_workers:
         Thread/process pool size for the concurrent backends (defaults to
         ``min(shard_count, cpu_count)``).  Worker count never affects
@@ -102,6 +116,7 @@ class ClusterSystem:
         settlement_config: Optional[SettlementConfig] = None,
         backend: Optional[str] = None,
         epoch: float = 0.005,
+        epoch_policy: Optional[EpochPolicy] = None,
         max_workers: Optional[int] = None,
         seed: int = 0,
     ) -> None:
@@ -137,8 +152,11 @@ class ClusterSystem:
             )
             for index in range(shard_count)
         ]
+        self.epoch_policy: Optional[EpochPolicy] = (
+            (epoch_policy or FixedEpochPolicy(epoch)) if self._epoch_mode else None
+        )
         self.scheduler: Optional[EpochScheduler] = (
-            EpochScheduler(epoch) if self._epoch_mode else None
+            EpochScheduler(policy=self.epoch_policy) if self._epoch_mode else None
         )
         self._backend = make_backend(self.backend_name, max_workers) if self._epoch_mode else None
         self._session_open = False
@@ -279,16 +297,21 @@ class ClusterSystem:
         }
         self._result.committed_stream = self.committed_signature()
         self._result.settlement_stream = self.settlement_signature()
+        self._result.retirement_stream = self.retirement_signature()
+        self._result.retired_records = self.retired_records()
+        self._result.resident_settlement_records = self.resident_settlement_records()
         audit = self.supply_audit()
         self._result.audit = {
             "initial_supply": audit.initial_supply,
             "local": audit.local,
             "outbound": audit.outbound,
             "minted": audit.minted,
+            "retired": audit.retired,
             "relay_delivered": audit.relay_delivered,
             "conserved": audit.conserved,
             "fully_settled": audit.fully_settled,
             "ledger_matches_relay": audit.ledger_matches_relay,
+            "retirement_backed": audit.retirement_backed,
         }
 
     # -- inspection ---------------------------------------------------------------------------
@@ -321,21 +344,26 @@ class ClusterSystem:
         """Classify every balance in every shard ledger (replica-0 views).
 
         Local accounts carry spendable money; ``x{d}:a`` accounts carry the
-        cumulative outbound record in source ledgers; ``settle:{s}:{p}``
-        provision accounts run negative in destination ledgers by exactly the
-        minted amount.  See :class:`SupplyAudit` for the identity this nets.
+        *unretired* outbound record in source ledgers (compaction removes
+        fully-acknowledged records behind the watermark and the audit adds
+        the retired amount back in); ``settle:{s}:{p}`` provision accounts
+        run negative in destination ledgers by exactly the minted amount.
+        See :class:`SupplyAudit` for the identity this nets.
         """
         local: Amount = 0
         outbound: Amount = 0
         minted: Amount = 0
+        retired: Amount = 0
         for shard in self.shards:
-            for account, balance in shard.nodes[0].all_known_balances().items():
+            node = shard.nodes[0]
+            for account, balance in node.all_known_balances().items():
                 if parse_external_account(account) is not None:
                     outbound += balance
                 elif is_settlement_account(account):
                     minted += -balance
                 else:
                     local += balance
+            retired += node.retired_outbound_total()
         initial = sum(sum(shard.initial_balances().values()) for shard in self.shards)
         delivered = self.settlement.delivered_amount() if self.settlement else 0
         return SupplyAudit(
@@ -344,6 +372,7 @@ class ClusterSystem:
             outbound=outbound,
             minted=minted,
             relay_delivered=delivered,
+            retired=retired,
         )
 
     def total_supply(self) -> Amount:
@@ -403,6 +432,24 @@ class ClusterSystem:
         if self.settlement is None:
             return []
         return self.settlement.settlement_signature()
+
+    def retirement_signature(self) -> List[tuple]:
+        """Deterministic fingerprint of the delivered retirement watermarks."""
+        if self.settlement is None:
+            return []
+        return self.settlement.retirement_signature()
+
+    def resident_settlement_records(self) -> int:
+        """Outbound ``x{d}:a`` records still resident across shard ledgers.
+
+        The quantity the compaction lifecycle bounds: with compaction on it
+        tracks the settlement in-flight window instead of the run's history.
+        """
+        return sum(shard.resident_settlement_records() for shard in self.shards)
+
+    def retired_records(self) -> int:
+        """Outbound records retired behind compaction watermarks, cluster-wide."""
+        return sum(shard.retired_record_count() for shard in self.shards)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -488,6 +488,9 @@ class ClusterExperimentConfig:
     # time is not.
     backend: Optional[str] = None
     epoch: float = 0.005
+    # An EpochPolicy instance overriding the fixed `epoch` grid (e.g.
+    # AdaptiveEpochPolicy); only meaningful in backend mode.
+    epoch_policy: Optional[object] = None
     max_workers: Optional[int] = None
     seed: int = 7
     network: NetworkConfig = field(default_factory=NetworkConfig)
@@ -525,6 +528,12 @@ class ClusterScalingRow:
     settled_amount: int = 0
     in_flight_amount: int = 0
     settlement_messages: int = 0
+    # Settlement-lifecycle figures: outbound records retired behind the
+    # compaction watermarks (and the money they carried) versus those still
+    # resident in the ledgers — the quantity compaction bounds.
+    resident_settlement_records: int = 0
+    retired_records: int = 0
+    retired_amount: int = 0
 
     @property
     def amortisation(self) -> float:
@@ -574,6 +583,7 @@ def run_cluster(
         network_config=config.network_copy(),
         backend=config.backend,
         epoch=config.epoch,
+        epoch_policy=config.epoch_policy,
         max_workers=config.max_workers,
         seed=config.seed,
     )
@@ -602,6 +612,9 @@ def run_cluster(
         settlement_messages=(
             system.settlement.settlement_messages() if system.settlement else 0
         ),
+        resident_settlement_records=system.resident_settlement_records(),
+        retired_records=system.retired_records(),
+        retired_amount=audit.retired if audit is not None else 0,
     )
     return row, system
 
@@ -663,6 +676,222 @@ class BackendComparisonRow:
     @property
     def throughput(self) -> float:
         return self.row.summary.throughput
+
+
+@dataclass(frozen=True)
+class SoakSample:
+    """One checkpoint of a long-horizon settlement soak."""
+
+    time: float
+    committed: int
+    resident_settlement_records: int
+    retired_records: int
+    retired_amount: int
+    minted_amount: int
+    in_flight_amount: int
+    conserved: bool
+    retirement_backed: bool
+
+
+@dataclass(frozen=True)
+class SoakReport:
+    """The soak's verdict: compaction keeps resident records bounded.
+
+    ``peak_resident`` is the largest resident ``x{d}:a`` record count seen
+    at any checkpoint; ``cumulative_records`` is how many outbound records
+    the run produced in total (resident + retired at the end).  A working
+    lifecycle keeps the peak well below the cumulative count — the in-flight
+    window, not the history — and retires everything by quiescence.
+    """
+
+    samples: List[SoakSample]
+    peak_resident: int
+    cumulative_records: int
+    final_check_ok: bool
+    violations: List[str]
+
+    @property
+    def bounded(self) -> bool:
+        """Resident records never covered the full history (compaction bit)."""
+        return (
+            self.cumulative_records > 0
+            and self.peak_resident < self.cumulative_records
+        )
+
+    @property
+    def fully_retired(self) -> bool:
+        final = self.samples[-1] if self.samples else None
+        return final is not None and final.resident_settlement_records == 0
+
+
+def settlement_soak_experiment(
+    shard_count: int = 2,
+    batch_size: int = 4,
+    checkpoints: int = 8,
+    config: Optional[ClusterExperimentConfig] = None,
+) -> SoakReport:
+    """Long-horizon soak: does the settlement lifecycle bound resident state?
+
+    Runs one fraction-steered workload in epoch-backend mode, pausing at
+    evenly spaced checkpoints to sample the audit identity and the resident/
+    retired record counts *mid-flight* — the regime where unbounded growth
+    would show — then drains to quiescence.  The extended supply identity
+    (``local + outbound - (minted - retired) == initial``) must hold at every
+    single checkpoint, not just at the end.
+    """
+    config = config or ClusterExperimentConfig(
+        duration=0.2, aggregate_rate=4_000.0, user_count=2_000, cross_shard_fraction=0.5
+    )
+    backend = config.backend or "serial"
+    system = ClusterSystem(
+        shard_count=shard_count,
+        replicas_per_shard=config.replicas_per_shard,
+        batch_size=batch_size,
+        broadcast=config.broadcast,
+        initial_balance=config.initial_balance,
+        network_config=config.network_copy(),
+        backend=backend,
+        epoch=config.epoch,
+        epoch_policy=config.epoch_policy,
+        max_workers=config.max_workers,
+        seed=config.seed,
+    )
+    fraction = config.cross_shard_fraction
+    workload = config.workload(system.router if fraction is not None else None)
+    system.schedule_submissions(workload)
+
+    initial_supply = (
+        shard_count * config.replicas_per_shard * config.initial_balance
+    )
+    samples: List[SoakSample] = []
+    violations: List[str] = []
+
+    def sample(result) -> None:
+        audit = system.supply_audit()
+        samples.append(
+            SoakSample(
+                time=result.duration,
+                committed=result.committed_count,
+                resident_settlement_records=system.resident_settlement_records(),
+                retired_records=system.retired_records(),
+                retired_amount=audit.retired,
+                minted_amount=audit.minted,
+                in_flight_amount=audit.in_flight,
+                conserved=audit.conserved,
+                retirement_backed=audit.retirement_backed,
+            )
+        )
+        if audit.total != initial_supply:
+            violations.append(
+                f"identity broken at t={result.duration:.4f}: "
+                f"total {audit.total} != initial {initial_supply}"
+            )
+        if not audit.retirement_backed:
+            violations.append(
+                f"retirement overran settlement at t={result.duration:.4f}"
+            )
+
+    horizon = config.duration
+    for checkpoint in range(1, checkpoints + 1):
+        result = system.run(
+            until=horizon * checkpoint / checkpoints, max_events=config.max_events
+        )
+        sample(result)
+    result = system.run(max_events=config.max_events)
+    sample(result)
+    report = system.check_definition1()
+    if not report.ok:
+        violations.extend(report.violations[:3])
+    system.close()
+
+    peak = max(s.resident_settlement_records for s in samples)
+    final = samples[-1]
+    return SoakReport(
+        samples=samples,
+        peak_resident=peak,
+        cumulative_records=final.resident_settlement_records + final.retired_records,
+        final_check_ok=report.ok,
+        violations=violations,
+    )
+
+
+@dataclass(frozen=True)
+class EpochPolicyRow:
+    """One epoch policy's audited run of the same cluster workload.
+
+    ``barriers`` is the scheduler's barrier count (the overhead the policy
+    spends); the settlement-latency columns are the cross-shard delay it
+    buys down.  Together they are the trade the adaptive policy automates.
+    """
+
+    policy: str
+    barriers: int
+    final_epoch: float
+    settlement_samples: int
+    avg_settlement_latency: float
+    max_settlement_latency: float
+    committed: int
+    check_ok: bool
+    fingerprint: str
+
+
+def epoch_policy_experiment(
+    policies: Sequence[Tuple[str, object]],
+    shard_count: int = 2,
+    batch_size: int = 4,
+    backend: str = "serial",
+    config: Optional[ClusterExperimentConfig] = None,
+) -> List[EpochPolicyRow]:
+    """Drive one workload through each epoch policy and compare the trade.
+
+    Policies change *when* settlement traffic crosses shard boundaries, so
+    rows legitimately differ in fingerprints and latency — what every row
+    must share is a clean audit (Definition 1, conservation, full settlement
+    and retirement at quiescence).
+    """
+    config = config or ClusterExperimentConfig(
+        duration=0.05, aggregate_rate=8_000.0, user_count=2_000, cross_shard_fraction=0.5
+    )
+    fraction = config.cross_shard_fraction
+    router = (
+        ShardRouter(shard_count, config.replicas_per_shard, salt=config.seed)
+        if fraction is not None
+        else None
+    )
+    workload = config.workload(router)
+    rows: List[EpochPolicyRow] = []
+    for label, policy in policies:
+        system = ClusterSystem(
+            shard_count=shard_count,
+            replicas_per_shard=config.replicas_per_shard,
+            batch_size=batch_size,
+            broadcast=config.broadcast,
+            initial_balance=config.initial_balance,
+            network_config=config.network_copy(),
+            backend=backend,
+            epoch=config.epoch,
+            epoch_policy=policy,
+            max_workers=config.max_workers,
+            seed=config.seed,
+        )
+        system.schedule_submissions(workload)
+        result = system.run(max_events=config.max_events)
+        samples, average, worst = system.settlement.settlement_latency()
+        rows.append(
+            EpochPolicyRow(
+                policy=label,
+                barriers=system.scheduler.barriers,
+                final_epoch=system.scheduler.epoch,
+                settlement_samples=samples,
+                avg_settlement_latency=average,
+                max_settlement_latency=worst,
+                committed=result.committed_count,
+                check_ok=system.check_definition1().ok,
+                fingerprint=result.fingerprint(),
+            )
+        )
+        system.close()
+    return rows
 
 
 def backend_comparison_experiment(

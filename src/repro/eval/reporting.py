@@ -15,7 +15,9 @@ from repro.eval.experiments import (
     BackendComparisonRow,
     ClusterScalingRow,
     ComparisonRow,
+    EpochPolicyRow,
     LatencyRow,
+    SoakReport,
 )
 from repro.eval.metrics import RunSummary
 
@@ -113,10 +115,13 @@ def format_cluster_table(rows: Sequence[ClusterScalingRow]) -> str:
 
     ``x-shard`` counts the submissions that crossed a shard boundary,
     ``settled`` is the amount the settlement relays certified and the
-    destination shards minted, and ``conserved`` is the cross-ledger supply
-    audit's identity verdict (money neither created nor lost; settlement
-    *completeness* is a separate property — ``ClusterScalingRow.fully_settled``
-    / ``in_flight_amount == 0``).
+    destination shards minted, ``resident``/``retired`` are the settlement
+    lifecycle's record counts (outbound ``x{d}:a`` records still resident in
+    the ledgers versus compacted behind the acknowledgement watermark — a
+    healthy run retires everything by quiescence), and ``conserved`` is the
+    cross-ledger supply audit's identity verdict (money neither created nor
+    lost; settlement *completeness* is a separate property —
+    ``ClusterScalingRow.fully_settled`` / ``in_flight_amount == 0``).
     """
     headers = [
         "shards",
@@ -128,6 +133,8 @@ def format_cluster_table(rows: Sequence[ClusterScalingRow]) -> str:
         "imbalance",
         "x-shard",
         "settled",
+        "resident",
+        "retired",
         "def-1",
         "conserved",
     ]
@@ -142,8 +149,66 @@ def format_cluster_table(rows: Sequence[ClusterScalingRow]) -> str:
             f"{row.load_imbalance:.2f}",
             str(row.cross_shard_submissions),
             str(row.settled_amount),
+            str(row.resident_settlement_records),
+            str(row.retired_records),
             "OK" if row.check.ok else "VIOLATED",
             "OK" if row.conservation_ok else "VIOLATED",
+        ]
+        for row in rows
+    ]
+    return _format_table(headers, body)
+
+
+def format_soak_table(report: SoakReport) -> str:
+    """The settlement soak: resident vs retired records, checkpoint by
+    checkpoint.  ``resident`` staying flat while ``retired`` climbs is the
+    compaction lifecycle working; the last row (quiescence) retires all."""
+    headers = [
+        "t (sim s)",
+        "committed",
+        "resident",
+        "retired",
+        "retired amt",
+        "minted amt",
+        "in flight",
+        "identity",
+    ]
+    body = [
+        [
+            f"{sample.time:.3f}",
+            str(sample.committed),
+            str(sample.resident_settlement_records),
+            str(sample.retired_records),
+            str(sample.retired_amount),
+            str(sample.minted_amount),
+            str(sample.in_flight_amount),
+            "OK" if sample.conserved and sample.retirement_backed else "VIOLATED",
+        ]
+        for sample in report.samples
+    ]
+    return _format_table(headers, body)
+
+
+def format_epoch_policy_table(rows: Sequence[EpochPolicyRow]) -> str:
+    """The epoch-policy trade: barrier overhead vs cross-shard latency."""
+    headers = [
+        "policy",
+        "barriers",
+        "final epoch ms",
+        "avg settle ms",
+        "max settle ms",
+        "committed",
+        "audits",
+    ]
+    body = [
+        [
+            row.policy,
+            str(row.barriers),
+            f"{row.final_epoch * 1000:.2f}",
+            f"{row.avg_settlement_latency * 1000:.2f}",
+            f"{row.max_settlement_latency * 1000:.2f}",
+            str(row.committed),
+            "OK" if row.check_ok else "VIOLATED",
         ]
         for row in rows
     ]

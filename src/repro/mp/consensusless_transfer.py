@@ -106,6 +106,18 @@ class ConsensuslessTransferNode(Node):
         self.deps: Set[Transfer] = set()
         self.to_validate: List[Tuple[ProcessId, TransferAnnouncement]] = []
 
+        # Ledger-compaction state (the cluster settlement lifecycle).  A
+        # retired transfer leaves ``hist`` entirely; its debit is folded into
+        # ``_retired_offsets`` so every balance except the retired outbound
+        # credit reads unchanged, and ``_retired_outbound`` keeps the audit's
+        # cumulative view of what was compacted away per ``x{d}:a`` account.
+        # Retirement commands for transfers this replica has not validated
+        # yet wait in ``_pending_retirements`` and apply on validation.
+        self._retired_offsets: Dict[AccountId, Amount] = {}
+        self._retired_outbound: Dict[AccountId, Amount] = {}
+        self._pending_retirements: Set[Transfer] = set()
+        self.retired_records = 0
+
         # Client bookkeeping.
         self._pending: Optional[PendingTransfer] = None
         self._submit_queue: List[Tuple[AccountId, Amount]] = []
@@ -181,9 +193,7 @@ class ConsensuslessTransferNode(Node):
         relevant = set(self.hist.get(target, set()))
         if target == self.account:
             relevant |= self.deps
-        balance = balance_from_transfers(
-            target, self._initial_balances.get(target, 0), relevant
-        )
+        balance = balance_from_transfers(target, self._base_balance(target), relevant)
         self._client_operations.append(
             ClientOperation(
                 process=self.node_id,
@@ -206,7 +216,7 @@ class ConsensuslessTransferNode(Node):
         submitted_at = self.now
         own_history = set(self.hist.get(self.account, set())) | self.deps
         balance = balance_from_transfers(
-            self.account, self._initial_balances.get(self.account, 0), own_history
+            self.account, self._base_balance(self.account), own_history
         )
         sequence = self.seq.get(self.node_id, 0) + 1
         transfer = Transfer(
@@ -301,7 +311,7 @@ class ConsensuslessTransferNode(Node):
             return False
         source_history = self.hist.get(source, set())
         balance = balance_from_transfers(
-            source, self._initial_balances.get(source, 0), source_history | set(announcement.dependencies)
+            source, self._base_balance(source), source_history | set(announcement.dependencies)
         )
         if balance < transfer.amount:                                       # line 25
             return False
@@ -336,6 +346,11 @@ class ConsensuslessTransferNode(Node):
             self.deps.add(transfer)
         if self.on_validated is not None:
             self.on_validated(transfer)
+        if self._pending_retirements and transfer in self._pending_retirements:
+            # The retirement certificate outran this replica's validation of
+            # the record; now that the record exists locally, compact it.
+            self._pending_retirements.discard(transfer)
+            self._retire_now(transfer)
         if issuer == self.node_id:                                           # lines 19-20
             self._complete_pending(success=True)
 
@@ -373,6 +388,55 @@ class ConsensuslessTransferNode(Node):
         # the credited balance.
         self._validation_pass()
 
+    # -- settlement-lifecycle compaction ----------------------------------------------------------
+
+    def retire_settled(self, transfers: List[Transfer]) -> None:
+        """Drop fully-acknowledged outbound records behind the watermark.
+
+        The caller (a :class:`repro.cluster.settlement.CompactionGate`) has
+        verified a ``2f+1`` destination-replica acknowledgement quorum for
+        each of these transfers, so the money provably exists — spendable —
+        at its destination shard and the local ``x{d}:a`` record is pure
+        history.  Retiring removes the record from ``hist`` under both
+        accounts and folds its debit into a per-account baseline offset, so
+        every other balance this replica reports is unchanged while the
+        outbound account shrinks by exactly the retired amount.  A record
+        this replica has not validated yet is parked and retired the moment
+        its validation lands, keeping slow replicas consistent.
+        """
+        for transfer in transfers:
+            if transfer in self.hist.get(transfer.source, set()):
+                self._retire_now(transfer)
+            else:
+                self._pending_retirements.add(transfer)
+
+    def _retire_now(self, transfer: Transfer) -> None:
+        for account in (transfer.source, transfer.destination):
+            records = self.hist.get(account)
+            if records is not None:
+                records.discard(transfer)
+                if not records:
+                    del self.hist[account]
+        # Keep the source account's debit: the offset replaces the removed
+        # record's contribution to every balance except the retired credit.
+        self._retired_offsets[transfer.source] = (
+            self._retired_offsets.get(transfer.source, 0) - transfer.amount
+        )
+        self._retired_outbound[transfer.destination] = (
+            self._retired_outbound.get(transfer.destination, 0) + transfer.amount
+        )
+        self.retired_records += 1
+
+    def _base_balance(self, account: AccountId) -> Amount:
+        """Initial balance plus the compacted-away baseline of ``account``."""
+        return self._initial_balances.get(account, 0) + self._retired_offsets.get(
+            account, 0
+        )
+
+    def retired_outbound_total(self) -> Amount:
+        """Outbound settlement money compacted out of this replica's ledger."""
+        return sum(self._retired_outbound.values())
+
     def _complete_pending(self, success: bool) -> None:
         if self._pending is None:
             return
@@ -406,7 +470,7 @@ class ConsensuslessTransferNode(Node):
         relevant = set(self.hist.get(account, set()))
         if account == self.account:
             relevant |= self.deps
-        return balance_from_transfers(account, self._initial_balances.get(account, 0), relevant)
+        return balance_from_transfers(account, self._base_balance(account), relevant)
 
     def all_known_balances(self) -> Dict[AccountId, Amount]:
         """Balances of every account this node knows about."""

@@ -55,7 +55,16 @@ GRID = [
 ]
 
 
-def _run(fast_network, backend, seed, shards, batch, fraction, max_workers=None):
+def _run(
+    fast_network,
+    backend,
+    seed,
+    shards,
+    batch,
+    fraction,
+    max_workers=None,
+    epoch_policy=None,
+):
     system = ClusterSystem(
         shard_count=shards,
         replicas_per_shard=4,
@@ -64,6 +73,7 @@ def _run(fast_network, backend, seed, shards, batch, fraction, max_workers=None)
         initial_balance=500,
         network_config=fast_network,
         backend=backend,
+        epoch_policy=epoch_policy,
         max_workers=max_workers,
         seed=seed,
     )
@@ -113,15 +123,56 @@ class TestBackendEquivalence:
 
     def test_settlement_actually_exercised_by_the_grid(self, fast_network):
         """The equivalence grid must not vacuously pass on settlement-free
-        runs: every configuration produces cross-shard traffic and mints."""
+        runs: every configuration produces cross-shard traffic, mints — and,
+        with the lifecycle on by default, acknowledged retirements."""
         for seed, shards, batch, fraction in GRID:
             system, result = _run(fast_network, "serial", seed, shards, batch, fraction)
             try:
                 assert system.cross_shard_submissions > 0
                 assert result.settlement_stream
                 assert result.audit["minted"] > 0
+                assert result.retirement_stream
+                assert result.retired_records > 0
             finally:
                 system.close()
+
+    def test_adaptive_epoch_with_compaction_fingerprints_identical(
+        self, fast_network
+    ):
+        """The acceptance configuration: an AdaptiveEpochPolicy grid with the
+        compaction lifecycle active, fingerprint-identical (retirement
+        counters included) across all three backends."""
+        from repro.cluster import AdaptiveEpochPolicy
+
+        def policy():
+            # A fresh instance per run: equality must come from determinism,
+            # never from shared mutable state (the policy is stateless, this
+            # proves nothing leaks through it either way).
+            return AdaptiveEpochPolicy(
+                initial_epoch=0.005, min_epoch=0.00125, max_epoch=0.02,
+                widen_below=2, narrow_above=12,
+            )
+
+        payloads = {}
+        fingerprints = {}
+        for backend in BACKEND_NAMES:
+            system, result = _run(
+                fast_network, backend, 11, 3, 4, 1.0, epoch_policy=policy()
+            )
+            try:
+                payloads[backend] = result.fingerprint_payload()
+                fingerprints[backend] = result.fingerprint()
+                assert result.retired_records > 0
+                assert result.resident_settlement_records == 0
+                assert result.audit["fully_settled"]
+                assert result.audit["retirement_backed"]
+                report = system.check_definition1()
+                assert report.ok, (backend, report.violations)
+            finally:
+                system.close()
+        assert payloads["serial"] == payloads["thread"]
+        assert payloads["serial"] == payloads["process"]
+        assert fingerprints["serial"] == fingerprints["thread"] == fingerprints["process"]
 
     def test_two_worker_process_pool_matches_serial(self, fast_network):
         """Worker assignment affects only where a shard's deterministic event

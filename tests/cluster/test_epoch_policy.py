@@ -1,0 +1,194 @@
+"""The EpochPolicy seam: fixed and adaptive barrier grids.
+
+Policy units (clamping, widening/narrowing thresholds, validation), the
+scheduler integration (adaptive grids change the barrier schedule but never
+the audited outcome), determinism (same seed, same adaptive barrier
+sequence) and pause/resume equality under an adaptive grid.
+"""
+
+import pytest
+
+from repro.cluster import AdaptiveEpochPolicy, ClusterSystem, FixedEpochPolicy
+from repro.cluster.backends import EpochScheduler
+from repro.common.errors import ConfigurationError
+from repro.workloads.cluster_driver import (
+    ClusterWorkloadConfig,
+    cluster_open_loop_workload,
+)
+
+
+def _build(fast_network, policy=None, seed=3, **kwargs):
+    system = ClusterSystem(
+        shard_count=2,
+        replicas_per_shard=4,
+        initial_balance=500,
+        network_config=fast_network,
+        backend="serial",
+        epoch_policy=policy,
+        seed=seed,
+        **kwargs,
+    )
+    workload = cluster_open_loop_workload(
+        ClusterWorkloadConfig(
+            user_count=60,
+            aggregate_rate=1_500.0,
+            duration=0.02,
+            cross_shard_fraction=1.0,
+            router=system.router,
+            seed=seed,
+        )
+    )
+    system.schedule_submissions(workload)
+    return system
+
+
+class TestFixedEpochPolicy:
+    def test_constant_width(self):
+        policy = FixedEpochPolicy(0.005)
+        assert policy.initial_epoch() == 0.005
+        assert policy.next_epoch(0, 0.005, 0) == 0.005
+        assert policy.next_epoch(7, 0.005, 1_000) == 0.005
+
+    def test_rejects_non_positive_widths(self):
+        for width in (0.0, -1.0):
+            with pytest.raises(ConfigurationError):
+                FixedEpochPolicy(width)
+
+    def test_describes_itself(self):
+        assert "0.005" in FixedEpochPolicy(0.005).describe()
+
+
+class TestAdaptiveEpochPolicy:
+    def _policy(self, **kwargs):
+        defaults = dict(
+            initial_epoch=0.004,
+            min_epoch=0.001,
+            max_epoch=0.016,
+            widen_below=2,
+            narrow_above=16,
+            factor=2.0,
+        )
+        defaults.update(kwargs)
+        return AdaptiveEpochPolicy(**defaults)
+
+    def test_narrows_under_heavy_settlement_volume(self):
+        policy = self._policy()
+        assert policy.next_epoch(0, 0.004, 16) == 0.002
+        assert policy.next_epoch(0, 0.004, 500) == 0.002
+
+    def test_widens_when_barriers_run_empty(self):
+        policy = self._policy()
+        assert policy.next_epoch(0, 0.004, 0) == 0.008
+        assert policy.next_epoch(0, 0.004, 2) == 0.008
+
+    def test_keeps_the_width_in_the_dead_band(self):
+        policy = self._policy()
+        for volume in (3, 8, 15):
+            assert policy.next_epoch(0, 0.004, volume) == 0.004
+
+    def test_clamps_at_both_ends(self):
+        policy = self._policy()
+        assert policy.next_epoch(0, 0.001, 100) == 0.001  # already at min
+        assert policy.next_epoch(0, 0.016, 0) == 0.016  # already at max
+        assert policy.next_epoch(0, 0.0015, 100) == 0.001  # clamped down
+        assert policy.next_epoch(0, 0.012, 0) == 0.016  # clamped up
+
+    def test_is_a_pure_function_of_its_inputs(self):
+        """Statelessness is what makes pause/resume re-evaluation safe."""
+        policy = self._policy()
+        for _ in range(3):
+            assert policy.next_epoch(5, 0.004, 20) == policy.next_epoch(5, 0.004, 20)
+
+    def test_rejects_degenerate_configurations(self):
+        with pytest.raises(ConfigurationError):
+            self._policy(min_epoch=0.0)
+        with pytest.raises(ConfigurationError):
+            self._policy(initial_epoch=0.05)  # above max
+        with pytest.raises(ConfigurationError):
+            self._policy(factor=1.0)
+        with pytest.raises(ConfigurationError):
+            self._policy(widen_below=16, narrow_above=16)
+        with pytest.raises(ConfigurationError):
+            self._policy(widen_below=-1)
+
+
+class TestSchedulerPolicyIntegration:
+    def test_scheduler_needs_an_epoch_or_a_policy(self):
+        with pytest.raises(ConfigurationError):
+            EpochScheduler()
+        assert EpochScheduler(epoch=0.005).epoch == 0.005
+        assert EpochScheduler(policy=FixedEpochPolicy(0.01)).epoch == 0.01
+
+    def test_adaptive_grid_changes_the_barrier_schedule_not_the_outcome(
+        self, fast_network
+    ):
+        fixed = _build(fast_network, policy=FixedEpochPolicy(0.005))
+        fixed_result = fixed.run()
+        adaptive = _build(
+            fast_network,
+            policy=AdaptiveEpochPolicy(
+                initial_epoch=0.005, min_epoch=0.00125, max_epoch=0.02
+            ),
+        )
+        adaptive_result = adaptive.run()
+        try:
+            assert adaptive.scheduler.barriers != fixed.scheduler.barriers
+            # The protocol outcome is identical: same commits, same audits —
+            # only settlement *timing* (and with it the streams' delivery
+            # times) moves with the grid.
+            assert adaptive_result.committed_count == fixed_result.committed_count
+            for system in (fixed, adaptive):
+                report = system.check_definition1()
+                assert report.ok, report.violations
+                audit = system.supply_audit()
+                assert audit.fully_settled and audit.fully_retired
+        finally:
+            fixed.close()
+            adaptive.close()
+
+    def test_adaptive_runs_are_deterministic_per_seed(self, fast_network):
+        def run_once():
+            system = _build(
+                fast_network, policy=AdaptiveEpochPolicy(initial_epoch=0.005)
+            )
+            result = system.run()
+            barriers = system.scheduler.barriers
+            system.close()
+            return result.fingerprint(), barriers
+
+        first, second = run_once(), run_once()
+        assert first == second
+
+    def test_pause_resume_equals_continuous_under_adaptive_grid(self, fast_network):
+        """The policy re-evaluates its width decision on resume from the
+        same accumulated volume, so the barrier sequence is unchanged."""
+        policy = AdaptiveEpochPolicy(initial_epoch=0.005)
+        paused = _build(fast_network, policy=policy)
+        paused.run(until=0.007)
+        paused.run(until=0.013)
+        resumed = paused.run()
+        continuous_system = _build(
+            fast_network, policy=AdaptiveEpochPolicy(initial_epoch=0.005)
+        )
+        continuous = continuous_system.run()
+        try:
+            assert resumed.fingerprint_payload() == continuous.fingerprint_payload()
+            assert resumed.fingerprint() == continuous.fingerprint()
+            assert paused.scheduler.barriers == continuous_system.scheduler.barriers
+        finally:
+            paused.close()
+            continuous_system.close()
+
+    def test_epoch_keyword_still_builds_a_fixed_grid(self, fast_network):
+        system = ClusterSystem(
+            shard_count=2, network_config=fast_network, backend="serial", epoch=0.01
+        )
+        assert isinstance(system.epoch_policy, FixedEpochPolicy)
+        assert system.scheduler.epoch == 0.01
+        system.close()
+
+    def test_shared_clock_mode_has_no_policy(self, fast_network):
+        system = ClusterSystem(shard_count=2, network_config=fast_network)
+        assert system.epoch_policy is None
+        assert system.scheduler is None
+        system.close()

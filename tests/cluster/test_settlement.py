@@ -177,12 +177,15 @@ class TestSettlementEndToEnd:
         initial = system.shards[1].initial_balances()[b_account]
         for node in system.shards[1].nodes.values():
             assert node.balance_of(b_account) == initial + 9
-        # The outbound record stays in the source ledger; the provision
-        # account runs negative at the destination by the same amount.
+        # The provision account runs negative at the destination by the
+        # minted amount; the source's outbound record, fully acknowledged by
+        # quiescence, has been retired behind the compaction watermark.
         audit = system.supply_audit()
-        assert audit.outbound == 9
         assert audit.minted == 9
+        assert audit.retired == 9
+        assert audit.outbound == 0
         assert audit.fully_settled
+        assert audit.fully_retired
 
     def test_minted_funds_are_spendable_beyond_initial_balance(self, fast_network):
         system = _system(fast_network, initial_balance=10, seed=3)
@@ -227,12 +230,12 @@ class TestSettlementEndToEnd:
 class TestSupplyAccountingIdentity:
     """The two-ledger accounting identity, asserted rather than prosed.
 
-    ``local + outbound - minted == initial_supply`` at every instant:
-    mid-flight (outbound credits validated, certificates not yet delivered),
-    at quiescence (everything minted, in-flight zero), and with settlement
-    disabled (nothing ever minted).  ``ClusterSystem.total_supply`` sums the
-    same ledgers directly, so it must agree with the audit's total at all
-    three points.
+    ``local + outbound - (minted - retired) == initial_supply`` at every
+    instant: mid-flight (outbound credits validated, certificates not yet
+    delivered), at quiescence (everything minted, acknowledged and retired,
+    in-flight zero), and with settlement disabled (nothing ever minted).
+    ``ClusterSystem.total_supply`` sums the same ledgers directly, so it must
+    agree with the audit's total at all three points.
     """
 
     def test_identity_holds_mid_flight_and_at_quiescence(self, fast_network):
@@ -252,10 +255,18 @@ class TestSupplyAccountingIdentity:
         audit = system.supply_audit()
         assert audit.total == expected
         assert audit.conserved and audit.ledger_matches_relay
+        assert audit.retirement_backed
         assert audit.fully_settled
         assert audit.local == expected  # all money is spendable again
-        assert audit.outbound == audit.minted == audit.relay_delivered
-        assert audit.outbound > 0  # the workload did cross shards
+        # The full lifecycle completed: everything minted was acknowledged
+        # and its outbound record retired, so the ledgers carry no
+        # settlement history at all.
+        assert audit.minted == audit.relay_delivered == audit.retired
+        assert audit.minted > 0  # the workload did cross shards
+        assert audit.outbound == 0
+        assert audit.fully_retired
+        assert system.resident_settlement_records() == 0
+        assert system.retired_records() > 0
         assert system.total_supply() == expected
 
     def test_audit_matches_relay_bookkeeping(self, fast_network):

@@ -21,8 +21,12 @@ import pytest
 from repro.byzantine.behaviors import CrashBehavior, EquivocationPlan, ScriptedBehavior
 from repro.cluster import ClusterSystem
 from repro.cluster.settlement import (
+    RetirementCertificate,
+    SettlementAck,
+    SettlementAckClaim,
     SettlementCertificate,
     SettlementClaim,
+    SettlementConfig,
     SettlementVoucher,
     mint_transfer,
 )
@@ -358,3 +362,160 @@ class TestUncertifiedMints:
         report = system.check_definition1()
         assert not report.ok
         assert any("C2" in violation for violation in report.violations)
+
+
+def _run_one_settled_payment(system, amount=9):
+    a = _user_on_shard(system.router, 0)
+    b = _user_on_shard(system.router, 1)
+    system.schedule_submissions(
+        [ClusterSubmission(time=0.001, source_user=a, destination_user=b, amount=amount)]
+    )
+    system.run()
+    return system.supply_audit()
+
+
+class TestByzantineAcks:
+    """The retirement leg under attack: forged, under-quorum, replayed and
+    withheld acknowledgements must never retire an unsettled record — and
+    must never wedge settlement or the other streams' compaction either."""
+
+    def test_forged_acks_retire_nothing(self, make_system):
+        """Acks signed outside the destination replica set (including by the
+        *source* shard's own keys) are rejected at the relay and can never
+        assemble a retirement certificate."""
+        system = make_system(settlement_config=SettlementConfig(compaction=False))
+        system.start()
+        relay = system.settlement.relay(0, 1)
+        claim = SettlementAckClaim(
+            source_shard=0, destination_shard=1, issuer=0, sequence=1
+        )
+        rogue = SignatureScheme(seed=999)
+        source_scheme = system.shards[0].scheme
+        for scheme in (rogue, source_scheme):
+            for signer in range(4):
+                ack = SettlementAck(
+                    claim=claim, signature=scheme.keypair_for(signer).sign(claim)
+                )
+                assert not relay.submit_ack(ack)
+        assert relay.pending_acks == 0
+        assert not relay.retirement_certificates
+        assert system.retired_records() == 0
+
+    def test_forged_retirement_certificates_never_reach_the_ledger(self, make_system):
+        """Even a certificate injected straight at the compaction gate (as if
+        the relay were compromised) is re-verified and rejected."""
+        system = make_system()
+        audit = _run_one_settled_payment(system)
+        assert audit.fully_retired  # the honest lifecycle completed
+        retired_before = system.retired_records()
+        claim = SettlementAckClaim(
+            source_shard=0, destination_shard=1, issuer=0, sequence=50
+        )
+        rogue = SignatureScheme(seed=999)
+        forged = RetirementCertificate(
+            claim=claim,
+            certificate=rogue.make_certificate(
+                claim, tuple(rogue.keypair_for(pid).sign(claim) for pid in range(3))
+            ),
+        )
+        gate = system.settlement.gates[0]
+        assert not gate.receive(forged)
+        assert gate.rejected[-1][1] == "invalid ack quorum certificate"
+        assert system.retired_records() == retired_before
+        assert system.check_definition1().ok
+
+    def test_under_quorum_acks_never_retire(self, make_system):
+        """With 2 of 4 destination replicas withholding acks, the 2 remaining
+        signatures are below the 2f+1 = 3 quorum: the record stays resident,
+        settlement itself is untouched, and every audit stays clean."""
+        system = make_system()
+        for replica in (2, 3):
+            system.settlement.set_ack_behavior(1, replica, CrashBehavior(send_limit=0))
+        audit = _run_one_settled_payment(system)
+        assert audit.minted == 9  # settlement completed regardless
+        assert audit.fully_settled
+        assert audit.retired == 0  # but nothing could retire
+        assert not audit.fully_retired
+        assert system.resident_settlement_records() > 0
+        assert system.settlement.pending_acks() > 0
+        assert audit.conserved and audit.retirement_backed
+        assert system.check_definition1().ok
+
+    def test_f_withheld_acks_cannot_block_compaction(self, make_system):
+        """One silent destination replica (f = 1) leaves 3 ackers — exactly a
+        quorum — so compaction completes as if everyone were honest."""
+        system = make_system()
+        system.settlement.set_ack_behavior(1, 3, CrashBehavior(send_limit=0))
+        audit = _run_one_settled_payment(system)
+        assert audit.minted == 9
+        assert audit.fully_retired
+        assert system.resident_settlement_records() == 0
+        assert system.check_definition1().ok
+
+    def test_replayed_retirement_certificates_are_stale_noops(self, make_system):
+        system = make_system()
+        audit = _run_one_settled_payment(system)
+        assert audit.fully_retired
+        relay = system.settlement.relay(0, 1)
+        assert len(relay.retirement_certificates) == 1
+        genuine = relay.retirement_certificates[0]
+        gate = system.settlement.gates[0]
+        retired_before = system.retired_records()
+        assert not gate.receive(genuine)  # byte-identical replay
+        assert gate.rejected[-1][1] == "stale retirement watermark"
+        assert system.retired_records() == retired_before
+        assert system.supply_audit().retirement_backed
+        assert system.check_definition1().ok
+
+    def test_inflated_ack_watermarks_cannot_outrun_settlement(self, make_system):
+        """A Byzantine destination replica acknowledging a *future* sequence
+        gets its bogus claim parked below quorum forever: the honest
+        replicas only acknowledge what they minted."""
+        system = make_system()
+        bogus = SettlementAckClaim(
+            source_shard=0, destination_shard=1, issuer=0, sequence=40
+        )
+        keypair = system.shards[1].scheme.keypair_for(3)
+        bogus_ack = SettlementAck(claim=bogus, signature=keypair.sign(bogus))
+        # Acks travel back towards the source shard, so the substitution is
+        # keyed by recipient shard 0.
+        system.settlement.set_ack_behavior(
+            1, 3, ScriptedBehavior(substitutions={0: bogus_ack})
+        )
+        audit = _run_one_settled_payment(system)
+        assert audit.minted == 9
+        # The honest watermark (sequence 1) still certified with 3 honest
+        # acks; the inflated claim is starved below quorum.
+        assert audit.fully_retired
+        assert system.settlement.pending_acks() == 1
+        issuer = system.router.local_process_of(_user_on_shard(system.router, 0))
+        assert system.settlement.gates[0].watermark(1, issuer) == 1
+        assert audit.retirement_backed
+        assert system.check_definition1().ok
+
+    def test_withheld_acks_wedge_only_their_own_stream(self, make_system):
+        """Compaction is per stream: a destination shard that never acks one
+        source's stream does not stop the reverse direction's lifecycle."""
+        system = make_system()
+        # Shard 1 never acks (all four replicas silent on the ack leg)...
+        for replica in range(4):
+            system.settlement.set_ack_behavior(1, replica, CrashBehavior(send_limit=0))
+        a = _user_on_shard(system.router, 0)
+        b = _user_on_shard(system.router, 1)
+        system.schedule_submissions(
+            [
+                # ... so A -> B stays resident at shard 0 ...
+                ClusterSubmission(time=0.001, source_user=a, destination_user=b, amount=9),
+                # ... while B -> A retires normally at shard 1.
+                ClusterSubmission(time=0.03, source_user=b, destination_user=a, amount=3),
+            ]
+        )
+        system.run()
+        audit = system.supply_audit()
+        assert audit.minted == 12
+        assert audit.fully_settled
+        assert audit.retired == 3  # only the acked stream compacted
+        assert system.shards[0].resident_settlement_records() == 1
+        assert system.shards[1].resident_settlement_records() == 0
+        assert audit.conserved and audit.retirement_backed
+        assert system.check_definition1().ok

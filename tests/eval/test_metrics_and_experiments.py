@@ -9,16 +9,22 @@ from repro.eval.experiments import (
     batching_ablation,
     broadcast_ablation,
     compare_systems,
+    epoch_policy_experiment,
     latency_experiment,
     message_complexity_experiment,
+    run_cluster,
+    settlement_soak_experiment,
 )
 from repro.eval.metrics import LatencyStats, summarize_result
 from repro.eval.reporting import (
     format_ablation_table,
     format_backend_table,
+    format_cluster_table,
     format_comparison_table,
+    format_epoch_policy_table,
     format_latency_table,
     format_run_summary,
+    format_soak_table,
 )
 from repro.mp.consensusless_transfer import TransferRecord
 from repro.mp.system import SystemResult
@@ -126,3 +132,63 @@ class TestExperimentHarness:
         table = format_backend_table(rows)
         assert "speedup" in table and "fingerprint" in table
         assert rows[0].fingerprint[:12] in table
+
+
+class TestSettlementLifecycleExperiments:
+    def _config(self, fast_network, duration=0.04):
+        return ClusterExperimentConfig(
+            user_count=300,
+            aggregate_rate=3_000.0,
+            duration=duration,
+            cross_shard_fraction=0.5,
+            network=fast_network,
+            seed=7,
+        )
+
+    def test_cluster_rows_surface_compaction(self, fast_network):
+        row, system = run_cluster(2, 4, self._config(fast_network))
+        system.close()
+        # Quiescence under the lifecycle: everything retired, nothing resident.
+        assert row.retired_records > 0
+        assert row.resident_settlement_records == 0
+        assert row.retired_amount == row.settled_amount > 0
+        table = format_cluster_table([row])
+        assert "resident" in table and "retired" in table
+        assert str(row.retired_records) in table
+
+    def test_settlement_soak_reports_bounded_residency(self, fast_network):
+        report = settlement_soak_experiment(
+            shard_count=2,
+            batch_size=4,
+            checkpoints=4,
+            config=self._config(fast_network, duration=0.06),
+        )
+        assert not report.violations, report.violations
+        assert report.final_check_ok
+        assert report.bounded
+        assert report.fully_retired
+        assert len(report.samples) == 5  # checkpoints + quiescence
+        table = format_soak_table(report)
+        assert "resident" in table and "retired" in table
+
+    def test_epoch_policy_experiment_compares_the_trade(self, fast_network):
+        from repro.cluster import AdaptiveEpochPolicy, FixedEpochPolicy
+
+        rows = epoch_policy_experiment(
+            [
+                ("fixed", FixedEpochPolicy(0.005)),
+                ("adaptive", AdaptiveEpochPolicy(initial_epoch=0.005)),
+            ],
+            config=self._config(fast_network),
+        )
+        assert [row.policy for row in rows] == ["fixed", "adaptive"]
+        for row in rows:
+            assert row.check_ok
+            assert row.barriers > 0
+            assert row.settlement_samples > 0
+            assert row.avg_settlement_latency > 0
+        # Same workload and protocol outcome; only the barrier grid differs.
+        assert rows[0].committed == rows[1].committed
+        assert rows[0].barriers != rows[1].barriers
+        table = format_epoch_policy_table(rows)
+        assert "barriers" in table and "avg settle ms" in table

@@ -79,17 +79,25 @@ class TestClusterConservationProperties:
         initial_supply = shards * REPLICAS * INITIAL_BALANCE
 
         audit = system.supply_audit()
-        # The identity: local + in-flight (outbound minus minted) == initial.
+        # The identity: local + in-flight (unretired outbound minus unretired
+        # mints) == initial.
         assert audit.total == initial_supply
         assert system.total_supply() == initial_supply
-        # Quiescence: everything certified, delivered, minted — exactly once.
+        # Quiescence: everything certified, delivered, minted — exactly once
+        # — then acknowledged and retired, leaving the ledgers compact.
         assert audit.fully_settled
         assert audit.local == initial_supply
         assert audit.ledger_matches_relay
+        assert audit.retirement_backed
+        assert audit.fully_retired
+        assert audit.outbound == 0
+        assert system.resident_settlement_records() == 0
         # Every cross-shard payment carries at least min_amount = 1 coin, so
-        # any cross-shard traffic must have minted something by quiescence.
+        # any cross-shard traffic must have minted something by quiescence —
+        # and the full lifecycle must have retired its outbound records.
         if system.cross_shard_submissions:
             assert audit.minted > 0
+            assert system.retired_records() > 0
 
         report = system.check_definition1()
         assert report.ok, report.violations
@@ -125,5 +133,9 @@ class TestClusterConservationProperties:
         assert settled_audit.total == parked_audit.total == initial_supply
         assert settled_audit.fully_settled
         assert parked_audit.minted == 0
-        assert parked_audit.outbound == settled_audit.outbound
+        assert parked_audit.retired == 0
+        # The parked world keeps every outbound record; the settled world has
+        # retired them all, so its *cumulative* outbound (unretired resident
+        # records plus the retired amount) matches the parked ledger.
+        assert parked_audit.outbound == settled_audit.outbound + settled_audit.retired
         assert parked_audit.in_flight == settled_audit.minted
