@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-props test-backends bench-smoke bench soak example clean
+.PHONY: test test-props test-backends test-migration bench-smoke bench soak example clean
 
 ## Narrows the benchmark's execution-backend sweep, e.g.:
 ##   make bench BACKEND=process
@@ -23,6 +23,12 @@ test-props:
 ## The cross-backend equivalence harness and backend determinism sweep alone.
 test-backends:
 	$(PYTHON) -m pytest tests/cluster/test_backend_equivalence.py tests/properties/test_backend_determinism.py -q
+
+## The migration equivalence suite alone: placement invariance across
+## {static, manual plan, threshold policy} x {serial, thread, process},
+## plus the arbitrary-barrier ShardSnapshot round trips migration rests on.
+test-migration:
+	$(PYTHON) -m pytest tests/cluster/test_migration.py tests/cluster/test_shard_snapshot.py -q
 
 ## A fast sanity pass over the cluster benchmark (shrunken grid and load).
 bench-smoke:

@@ -30,13 +30,19 @@ from pathlib import Path
 
 import pytest
 
+from repro.cluster import MigrationPlan, ThresholdMigrationPolicy
 from repro.eval.experiments import (
     ClusterExperimentConfig,
     backend_comparison_experiment,
     cluster_scaling_experiment,
     cross_shard_settlement_experiment,
+    migration_rebalancing_experiment,
 )
-from repro.eval.reporting import format_backend_table, format_cluster_table
+from repro.eval.reporting import (
+    format_backend_table,
+    format_cluster_table,
+    format_migration_table,
+)
 from repro.network.node import NetworkConfig
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
@@ -54,6 +60,11 @@ BACKENDS = tuple(
 ) or ("serial", "thread", "process")
 BACKEND_SHARDS = 2 if SMOKE else 8
 BACKEND_BATCH = 8
+# The migration sweep: a shifting-hotspot workload on MIGRATION_SHARDS
+# shards over two logical workers, under static/manual/threshold schedules.
+MIGRATION_SHARDS = 4
+MIGRATION_WORKERS = 2
+MIGRATION_DURATION = 0.03 if SMOKE else 0.06
 # The process pool can only beat the serial reference when the machine has
 # cores to run shards on; on a single-CPU runner the sweep still proves
 # result equivalence and records honest timings, but the speedup assertion
@@ -234,6 +245,114 @@ def test_cross_shard_settlement_configs(benchmark):
     )
     print()
     print(format_cluster_table([row for _, row in rows]))
+
+
+def test_migration_rebalancing(benchmark):
+    """Live shard migration under a shifting hotspot: moves, bytes, stall.
+
+    One hotspot workload (the focus shard rotates every third of the run)
+    replays under three migration schedules — static assignment, a manual
+    plan following the hotspot, and the threshold policy reacting to the
+    observed load.  Hard assertions: every schedule's run audits clean and
+    produces the *identical* canonical fingerprint (placement invariance —
+    migration may move where shards compute, never what they compute), and
+    the non-static schedules execute real moves.  Per-schedule rows with
+    moves, snapshotted bytes and wall-clock stall per move land in
+    ``BENCH_cluster.json`` under ``migration_rows``.
+    """
+    from repro.workloads.cluster_driver import HotspotProfile
+
+    config = ClusterExperimentConfig(
+        user_count=2_000,
+        aggregate_rate=6_000.0,
+        duration=MIGRATION_DURATION,
+        zipf_skew=1.0,
+        cross_shard_fraction=0.4,
+        hotspot=HotspotProfile(
+            period=MIGRATION_DURATION / 3, intensity=0.7, width=8
+        ),
+        network=NetworkConfig(seed=7),
+        seed=7,
+    )
+    third = MIGRATION_DURATION / 3
+    schedules = [
+        ("static", None),
+        # The manual plan chases the hotspot by hand: the focus shard's
+        # worker sheds one shard at each phase boundary.
+        ("manual", MigrationPlan([(third, 0, 1), (2 * third, 1, 0)])),
+        (
+            "threshold",
+            ThresholdMigrationPolicy(
+                imbalance_threshold=1.1, every=2, cooldown=2, max_moves=1
+            ),
+        ),
+    ]
+
+    def run():
+        return migration_rebalancing_experiment(
+            schedules,
+            shard_count=MIGRATION_SHARDS,
+            batch_size=BACKEND_BATCH,
+            backend="serial",
+            max_workers=MIGRATION_WORKERS,
+            config=config,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    by_schedule = {row.schedule: row for row in rows}
+    for row in rows:
+        benchmark.extra_info[f"{row.schedule}_moves"] = row.moves
+        assert row.check_ok, f"audit violated under schedule={row.schedule}"
+    # Placement invariance, asserted where the costs are measured: one
+    # fingerprint across all schedules.
+    assert len({row.fingerprint for row in rows}) == 1, (
+        "migration changed results: "
+        + ", ".join(f"{row.schedule}={row.fingerprint[:12]}" for row in rows)
+    )
+    # The sweep must not be vacuous: the manual plan moves by construction,
+    # the threshold policy must react to the hotspot skew.
+    assert by_schedule["static"].moves == 0
+    assert by_schedule["manual"].moves == 2
+    assert by_schedule["threshold"].moves > 0
+    for row in rows:
+        if row.moves:
+            assert row.snapshot_bytes > 0
+            assert row.stall_s >= 0.0
+
+    _update_json(
+        "migration_rows",
+        [
+            {
+                "schedule": row.schedule,
+                "backend": row.backend,
+                "moves": row.moves,
+                "snapshot_bytes": row.snapshot_bytes,
+                "stall_ms_total": round(row.stall_s * 1000, 3),
+                "stall_ms_per_move": (
+                    round(row.stall_s * 1000 / row.moves, 3) if row.moves else None
+                ),
+                "bytes_per_move": (
+                    row.snapshot_bytes // row.moves if row.moves else None
+                ),
+                "peak_worker_load": row.peak_worker_load,
+                "mean_worker_load": round(row.mean_worker_load, 1),
+                "committed": row.committed,
+                "audits_ok": row.check_ok,
+                "fingerprint": row.fingerprint,
+                "migration_stream": [list(entry) for entry in row.migration_stream],
+            }
+            for row in rows
+        ],
+        config,
+        extra={
+            "shard_count": MIGRATION_SHARDS,
+            "worker_count": MIGRATION_WORKERS,
+            "fingerprints_identical": len({row.fingerprint for row in rows}) == 1,
+        },
+    )
+    print()
+    print(format_migration_table(rows))
 
 
 def test_backend_wall_clock(benchmark):

@@ -15,9 +15,19 @@ every checkpoint, and asserts:
 * by quiescence everything is retired — the ledgers carry no settlement
   history at all.
 
-A second sweep runs the same workload under :class:`FixedEpochPolicy` and
-:class:`AdaptiveEpochPolicy`, recording the barrier-overhead versus
-cross-shard-latency trade the adaptive grid automates.
+The soak run is *migrated*: a manual :class:`MigrationPlan` moves shards
+between the two logical workers at one and two thirds of the horizon, so the
+checkpoint identities and the boundedness claims are proven under live
+placement changes, not just a static assignment.  Driver-side relay journal
+residency is asserted alongside the ledger residency: with compaction behind
+the retirement watermark, the relays hold the in-flight window plus one
+watermark certificate per stream — never the certificate history.
+
+A second sweep runs the same workload under :class:`FixedEpochPolicy`,
+:class:`AdaptiveEpochPolicy` and :class:`LatencyTargetEpochPolicy`,
+recording the barrier-overhead versus cross-shard-latency trade the adaptive
+grids automate (the latency-target policy drives the p95 column toward its
+goal directly).
 
 Results land in ``BENCH_cluster.json`` under the ``soak`` and
 ``epoch_policy_rows`` keys.  ``REPRO_BENCH_SMOKE=1`` (used by ``make soak``)
@@ -28,7 +38,12 @@ import json
 import os
 from pathlib import Path
 
-from repro.cluster import AdaptiveEpochPolicy, FixedEpochPolicy
+from repro.cluster import (
+    AdaptiveEpochPolicy,
+    FixedEpochPolicy,
+    LatencyTargetEpochPolicy,
+    MigrationPlan,
+)
 from repro.eval.experiments import (
     ClusterExperimentConfig,
     epoch_policy_experiment,
@@ -43,6 +58,9 @@ SOAK_DURATION = 0.12 if SMOKE else 0.4
 SOAK_CHECKPOINTS = 6 if SMOKE else 12
 SOAK_SHARDS = 2
 SOAK_BATCH = 4
+SOAK_WORKERS = 2
+# The latency-target policy's p95 settlement-latency goal (simulated s).
+LATENCY_TARGET_P95 = 0.006
 _OUTPUT_NAME = "BENCH_cluster_smoke.json" if SMOKE else "BENCH_cluster.json"
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / _OUTPUT_NAME
 
@@ -59,6 +77,18 @@ def _config(duration: float) -> ClusterExperimentConfig:
     )
 
 
+def _soak_migration(duration: float) -> MigrationPlan:
+    """Shuffle both shards across the two logical workers, twice."""
+    return MigrationPlan(
+        [
+            (duration / 3, 0, 1),
+            (duration / 3, 1, 0),
+            (2 * duration / 3, 0, 0),
+            (2 * duration / 3, 1, 1),
+        ]
+    )
+
+
 def _update_json(key: str, payload: dict) -> None:
     existing = {}
     if OUTPUT_PATH.exists():
@@ -70,8 +100,16 @@ def _update_json(key: str, payload: dict) -> None:
 
 
 def test_settlement_soak_bounded_resident_records(benchmark):
-    """Long horizon, sustained cross-shard load: resident records stay flat."""
-    config = _config(SOAK_DURATION)
+    """Long horizon, sustained cross-shard load, *live migration* mid-soak:
+    resident records and relay journals stay flat, identities hold at every
+    checkpoint, and the shards provably moved while it all held."""
+    import dataclasses
+
+    config = dataclasses.replace(
+        _config(SOAK_DURATION),
+        migration=_soak_migration(SOAK_DURATION),
+        max_workers=SOAK_WORKERS,
+    )
 
     def run():
         return settlement_soak_experiment(
@@ -96,9 +134,27 @@ def test_settlement_soak_bounded_resident_records(benchmark):
     # Retirement was active well before the end, not a quiescence artefact.
     mid_run = report.samples[:-1]
     assert any(sample.retired_records > 0 for sample in mid_run)
+    # The soak really migrated: all four scheduled moves executed, and the
+    # identities above held at checkpoints sampled *between* the moves.
+    assert report.migrations == 4
+    # Driver-side relay journals track the in-flight window, not history:
+    # the peak stays below the cumulative certificate deliveries, and at
+    # quiescence only the per-stream retirement watermarks stay resident
+    # (two certificate objects per active stream: assembled + delivered).
+    assert report.journal_bounded, (
+        f"relay journals not bounded: peak {report.peak_journal} vs "
+        f"cumulative {report.journal_total}"
+    )
+    streams = SOAK_SHARDS * (SOAK_SHARDS - 1) * 4  # pairs x issuers
+    final = report.samples[-1]
+    assert final.resident_journal_records <= 2 * streams, (
+        f"{final.resident_journal_records} journal records resident at "
+        f"quiescence; expected at most the per-stream watermarks"
+    )
 
     benchmark.extra_info["peak_resident"] = report.peak_resident
     benchmark.extra_info["cumulative_records"] = report.cumulative_records
+    benchmark.extra_info["peak_journal"] = report.peak_journal
     _update_json(
         "soak",
         {
@@ -106,16 +162,22 @@ def test_settlement_soak_bounded_resident_records(benchmark):
             "shard_count": SOAK_SHARDS,
             "batch_size": SOAK_BATCH,
             "checkpoints": SOAK_CHECKPOINTS,
+            "migrations": report.migrations,
             "peak_resident": report.peak_resident,
             "cumulative_records": report.cumulative_records,
             "bounded": report.bounded,
             "fully_retired": report.fully_retired,
+            "peak_journal": report.peak_journal,
+            "journal_total": report.journal_total,
+            "journal_bounded": report.journal_bounded,
             "samples": [
                 {
                     "time": round(sample.time, 4),
                     "committed": sample.committed,
                     "resident": sample.resident_settlement_records,
                     "retired": sample.retired_records,
+                    "journal": sample.resident_journal_records,
+                    "migrations": sample.migrations,
                     "retired_amount": sample.retired_amount,
                     "minted_amount": sample.minted_amount,
                     "in_flight_amount": sample.in_flight_amount,
@@ -130,11 +192,21 @@ def test_settlement_soak_bounded_resident_records(benchmark):
 
 
 def test_epoch_policy_trade(benchmark):
-    """Fixed vs adaptive barrier grids: overhead against settlement latency."""
+    """Fixed vs adaptive vs latency-target grids: overhead vs settlement
+    latency, with the latency-target policy judged against its p95 goal."""
     config = _config(0.05 if SMOKE else 0.1)
     policies = [
         ("fixed", FixedEpochPolicy(config.epoch)),
         ("adaptive", AdaptiveEpochPolicy(initial_epoch=config.epoch)),
+        (
+            "latency-target",
+            LatencyTargetEpochPolicy(
+                target_p95=LATENCY_TARGET_P95,
+                initial_epoch=config.epoch,
+                min_epoch=config.epoch / 8,
+                max_epoch=config.epoch * 4,
+            ),
+        ),
     ]
 
     def run():
@@ -151,10 +223,28 @@ def test_epoch_policy_trade(benchmark):
     # Same workload, same committed outcome — the policy only moves *when*
     # settlement crosses, never what commits.
     assert by_policy["fixed"].committed == by_policy["adaptive"].committed
+    assert by_policy["fixed"].committed == by_policy["latency-target"].committed
     # The adaptive grid actually adapted: its barrier schedule diverged from
     # the fixed grid's (the width can transit back through the initial value,
     # so the barrier count is the robust signal).
     assert by_policy["adaptive"].barriers != by_policy["fixed"].barriers
+    # The latency-target policy either met its p95 goal or provably ran out
+    # of grid to narrow (an unreachable goal must end pinned at min_epoch,
+    # never silently drifting).
+    latency_row = by_policy["latency-target"]
+    assert (
+        latency_row.p95_settlement_latency <= LATENCY_TARGET_P95
+        or latency_row.final_epoch <= config.epoch / 8
+    ), (
+        f"latency-target ended at p95 "
+        f"{latency_row.p95_settlement_latency * 1000:.2f} ms with epoch "
+        f"{latency_row.final_epoch * 1000:.2f} ms"
+    )
+    # Narrowing toward the goal beats the fixed grid's p95.
+    assert (
+        latency_row.p95_settlement_latency
+        <= by_policy["fixed"].p95_settlement_latency
+    )
 
     _update_json(
         "epoch_policy_rows",
@@ -165,6 +255,7 @@ def test_epoch_policy_trade(benchmark):
                 "cross_shard_fraction": config.cross_shard_fraction,
                 "seed": config.seed,
             },
+            "latency_target_p95_ms": LATENCY_TARGET_P95 * 1000,
             "rows": [
                 {
                     "policy": row.policy,
@@ -172,6 +263,9 @@ def test_epoch_policy_trade(benchmark):
                     "final_epoch": row.final_epoch,
                     "avg_settlement_latency_ms": round(
                         row.avg_settlement_latency * 1000, 3
+                    ),
+                    "p95_settlement_latency_ms": round(
+                        row.p95_settlement_latency * 1000, 3
                     ),
                     "max_settlement_latency_ms": round(
                         row.max_settlement_latency * 1000, 3

@@ -56,6 +56,16 @@ from repro.cluster.settlement import (
     settlement_account,
 )
 from repro.cluster.shard import AdvanceReport, Shard, ShardSnapshot, ShardSpec, ValidationEvent
+from repro.cluster.migration import (
+    MigrationPlan,
+    MigrationPolicy,
+    MigrationRecord,
+    Move,
+    PlacementPlan,
+    ShardLoad,
+    ThresholdMigrationPolicy,
+    rebalance_moves,
+)
 from repro.cluster.backends import (
     BACKEND_NAMES,
     AdaptiveEpochPolicy,
@@ -63,6 +73,7 @@ from repro.cluster.backends import (
     EpochScheduler,
     ExecutionBackend,
     FixedEpochPolicy,
+    LatencyTargetEpochPolicy,
     ProcessPoolBackend,
     SerialBackend,
     ThreadBackend,
@@ -84,7 +95,16 @@ __all__ = [
     "EpochScheduler",
     "ExecutionBackend",
     "FixedEpochPolicy",
+    "LatencyTargetEpochPolicy",
+    "MigrationPlan",
+    "MigrationPolicy",
+    "MigrationRecord",
+    "Move",
+    "PlacementPlan",
     "ProcessPoolBackend",
+    "ShardLoad",
+    "ThresholdMigrationPolicy",
+    "rebalance_moves",
     "RetirementCertificate",
     "SerialBackend",
     "ShardSnapshot",

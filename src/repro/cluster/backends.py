@@ -48,18 +48,29 @@ import itertools
 import math
 import multiprocessing
 import os
+import pickle
+import time as _time
 import traceback
 import weakref
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.cluster.migration import (
+    MigrationPolicy,
+    MigrationRecord,
+    Move,
+    PlacementPlan,
+    ShardLoad,
+)
 from repro.cluster.settlement import (
     RetirementCertificate,
     SettlementAck,
     SettlementCertificate,
     SettlementRelay,
     SettlementVoucher,
+    p95,
 )
 from repro.cluster.shard import AdvanceReport, Shard, ShardSnapshot, ShardSpec
 from repro.common.errors import ConfigurationError, SimulationError
@@ -79,16 +90,24 @@ class EpochPolicy(abc.ABC):
     The scheduler consults the policy after every *taken* barrier, passing
     the barrier's observed settlement volume (vouchers, certificates, acks
     and retirement certificates exchanged at it).  Policies must be
-    **deterministic and stateless**: the scheduler may re-evaluate the same
-    decision after a pause/resume, and the same inputs must yield the same
-    width on every backend — that is what keeps barrier schedules (and hence
+    **deterministic**: the scheduler may re-evaluate the same decision after
+    a pause/resume, and the same inputs must yield the same width on every
+    backend — that is what keeps barrier schedules (and hence
     :meth:`~repro.cluster.result.ClusterResult.fingerprint` equality) intact
-    across Serial/Thread/Process.
+    across Serial/Thread/Process.  Policies are stateless in the decision
+    (:meth:`next_epoch` is re-evaluated freely) but may accumulate
+    observations through :meth:`observe_latency`, which the scheduler feeds
+    exactly once per exchanged settlement item from backend-invariant
+    barrier-time figures.
     """
 
     @abc.abstractmethod
     def initial_epoch(self) -> float:
         """The width of the first epoch."""
+
+    def observe_latency(self, samples: Sequence[float]) -> None:
+        """Settlement-latency samples (source validation to destination
+        mint) exchanged since the last feed.  Default: ignore them."""
 
     def next_epoch(self, barrier_index: int, epoch: float, settlement_volume: int) -> float:
         """The width of the epoch following barrier ``barrier_index``.
@@ -172,6 +191,88 @@ class AdaptiveEpochPolicy(EpochPolicy):
         )
 
 
+class LatencyTargetEpochPolicy(EpochPolicy):
+    """Narrows the barrier grid until a p95 settlement-latency goal is met.
+
+    The volume-driven :class:`AdaptiveEpochPolicy` reacts to *queueing*; this
+    policy drives the figure operators actually budget: the p95 of the
+    source-validation-to-destination-mint latency.  The scheduler feeds every
+    exchanged settlement-latency sample through :meth:`observe_latency`
+    (samples are differences of barrier times and shard-local validation
+    times, so they are identical on every backend); the policy keeps the most
+    recent ``window`` of them and, once at least ``min_samples`` are in hand:
+
+    * p95 above ``target_p95`` — barriers are spaced too far apart for the
+      goal; the next epoch narrows by ``factor`` (down to ``min_epoch``),
+    * p95 at or below ``target_p95 * slack`` — the goal is met with room to
+      spare; the next epoch widens by ``factor`` (up to ``max_epoch``) to
+      shed barrier overhead,
+    * in between — hold, the grid is on target.
+
+    Deterministic and backend-invariant like the other policies: the width
+    is a pure function of the observation stream, which the scheduler feeds
+    identically whatever backend executes the epochs.
+    """
+
+    def __init__(
+        self,
+        target_p95: float = 0.008,
+        initial_epoch: float = 0.005,
+        min_epoch: float = 0.00125,
+        max_epoch: float = 0.02,
+        factor: float = 2.0,
+        window: int = 64,
+        min_samples: int = 4,
+        slack: float = 0.5,
+    ) -> None:
+        if target_p95 <= 0:
+            raise ConfigurationError("target_p95 must be positive")
+        if min_epoch <= 0 or not (min_epoch <= initial_epoch <= max_epoch):
+            raise ConfigurationError(
+                "need 0 < min_epoch <= initial_epoch <= max_epoch"
+            )
+        if factor <= 1.0:
+            raise ConfigurationError("factor must exceed 1")
+        if window < 1 or min_samples < 1:
+            raise ConfigurationError("window and min_samples must be at least 1")
+        if not 0.0 < slack < 1.0:
+            raise ConfigurationError("slack must lie strictly between 0 and 1")
+        self.target_p95 = target_p95
+        self._initial = initial_epoch
+        self.min_epoch = min_epoch
+        self.max_epoch = max_epoch
+        self.factor = factor
+        self.min_samples = min_samples
+        self.slack = slack
+        self._samples: deque = deque(maxlen=window)
+
+    def initial_epoch(self) -> float:
+        return self._initial
+
+    def observe_latency(self, samples: Sequence[float]) -> None:
+        self._samples.extend(samples)
+
+    def observed_p95(self) -> float:
+        """The current windowed p95 (0.0 until any sample arrives)."""
+        return p95(list(self._samples))
+
+    def next_epoch(self, barrier_index: int, epoch: float, settlement_volume: int) -> float:
+        if len(self._samples) < self.min_samples:
+            return epoch
+        observed = self.observed_p95()
+        if observed > self.target_p95:
+            return max(self.min_epoch, epoch / self.factor)
+        if observed <= self.target_p95 * self.slack:
+            return min(self.max_epoch, epoch * self.factor)
+        return epoch
+
+    def describe(self) -> str:
+        return (
+            f"latency-target(p95<={self.target_p95}, "
+            f"[{self.min_epoch}, {self.max_epoch}], x{self.factor})"
+        )
+
+
 def _schedule_into(shard: Shard, submissions: List[RoutedSubmission]) -> None:
     """Schedule a shard's pre-partitioned arrivals, preserving list order."""
     for submission in submissions:
@@ -194,6 +295,15 @@ class ExecutionBackend(abc.ABC):
     only ever asks it to ``advance`` every shard to a barrier, to
     ``apply_mints`` the barrier produced, and finally to ``finalize`` so the
     driver-side shards reflect the run (a no-op for in-process backends).
+
+    ``placement`` is the cluster's shared :class:`PlacementPlan` — which
+    logical worker computes which shard.  The process pool maps the plan onto
+    real worker processes; the in-process backends keep it as bookkeeping, so
+    the same migration schedule runs (and records the same moves) on every
+    backend.  :meth:`migrate` executes placement changes at a quiescent
+    barrier: snapshot the shard, detach it from its old worker, rehydrate it
+    on the new one — results are placement-invariant, so migration may move
+    *where* a shard's event sequence is computed, never its content.
     """
 
     name: str = "abstract"
@@ -204,6 +314,8 @@ class ExecutionBackend(abc.ABC):
         shards: List[Shard],
         specs: List[ShardSpec],
         submissions: Dict[int, List[RoutedSubmission]],
+        placement: Optional[PlacementPlan] = None,
+        record_history: bool = False,
     ) -> None:
         """Start the session: install collectors, start shards, load arrivals."""
 
@@ -223,6 +335,22 @@ class ExecutionBackend(abc.ABC):
     def apply_retirements(self, time: float, retirements: Dict[int, List[Transfer]]) -> None:
         """Schedule the barrier's quorum-acknowledged retirements onto the
         source shards (the compaction leg of the settlement lifecycle)."""
+
+    def migrate(
+        self, barrier: int, time: float, moves: Sequence[Move]
+    ) -> List[MigrationRecord]:
+        """Execute placement moves at a quiescent barrier; returns records.
+
+        Callers guarantee every shard has executed all events at or before
+        ``time`` (the barrier contract), so the move is pure state transfer.
+        No-op moves (shard already on the target worker) are skipped without
+        a record.  Backends without a placement plan refuse: a migration
+        against an unplanned session is a wiring bug, not a policy decision.
+        """
+        raise ConfigurationError(
+            f"the {self.name} backend session has no placement plan; "
+            "open() it with one (ClusterSystem does when migration is enabled)"
+        )
 
     def finalize(self) -> None:
         """Synchronise driver-side shard state with the executed run."""
@@ -244,18 +372,59 @@ class SerialBackend(ExecutionBackend):
 
     def __init__(self) -> None:
         self._shards: List[Shard] = []
+        self._placement: Optional[PlacementPlan] = None
 
     def open(
         self,
         shards: List[Shard],
         specs: List[ShardSpec],
         submissions: Dict[int, List[RoutedSubmission]],
+        placement: Optional[PlacementPlan] = None,
+        record_history: bool = False,
     ) -> None:
         self._shards = list(shards)
+        self._placement = placement
         for shard in self._shards:
             shard.install_validation_collector()
             shard.start()
             _schedule_into(shard, submissions.get(shard.index, []))
+
+    def migrate(
+        self, barrier: int, time: float, moves: Sequence[Move]
+    ) -> List[MigrationRecord]:
+        """In-process backends migrate by bookkeeping alone.
+
+        The shard object stays exactly where it is (there is no other
+        process to move it to) — the move updates the shared placement plan
+        and records the same deterministic signature the process pool would,
+        so the equivalence harness can compare recorded migration streams
+        across all three backends.  ``snapshot_bytes`` is measured the same
+        way (a pickled :class:`ShardSnapshot`), making the benchmark's
+        bytes-per-move column comparable too.
+        """
+        if self._placement is None:
+            return super().migrate(barrier, time, moves)
+        records: List[MigrationRecord] = []
+        for move in moves:
+            self._placement.check_worker(move.worker)
+            source = self._placement.worker_of(move.shard)
+            if source == move.worker:
+                continue
+            started = _time.perf_counter()
+            snapshot_bytes = len(pickle.dumps(self._shards[move.shard].snapshot()))
+            self._placement.move(move.shard, move.worker)
+            records.append(
+                MigrationRecord(
+                    barrier=barrier,
+                    time=time,
+                    shard=move.shard,
+                    source_worker=source,
+                    target_worker=move.worker,
+                    snapshot_bytes=snapshot_bytes,
+                    stall_s=_time.perf_counter() - started,
+                )
+            )
+        return records
 
     def advance(
         self, horizon: Optional[float], max_events: Optional[int] = None
@@ -295,8 +464,10 @@ class ThreadBackend(SerialBackend):
         shards: List[Shard],
         specs: List[ShardSpec],
         submissions: Dict[int, List[RoutedSubmission]],
+        placement: Optional[PlacementPlan] = None,
+        record_history: bool = False,
     ) -> None:
-        super().open(shards, specs, submissions)
+        super().open(shards, specs, submissions, placement, record_history)
         workers = self._max_workers or min(len(shards), os.cpu_count() or 1) or 1
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, workers), thread_name_prefix="shard-backend"
@@ -321,6 +492,42 @@ class ThreadBackend(SerialBackend):
 # -- the process-pool backend -----------------------------------------------------------------
 
 
+def _replay_shard(
+    spec: ShardSpec,
+    submissions: List[RoutedSubmission],
+    history: List[Tuple[str, float, Any]],
+    horizon: float,
+) -> Shard:
+    """Rebuild a migrating shard on its adopting worker, bit-identically.
+
+    A shard is a deterministic function of its spec, its pre-partitioned
+    arrivals and the barrier commands (mints/retirements) the driver shipped
+    it — so the adopting worker *replays* that history rather than receiving
+    live simulator state (the event queue holds closures, which can never
+    cross a process boundary).  Replaying interleaves commands exactly as
+    the original timeline did — advance to each command's barrier time, then
+    apply — so event ``(time, sequence)`` ordering, and with it every
+    protocol decision, comes out identical; the driver verifies this by
+    comparing the adopted shard's snapshot against the evicted one.  The
+    replayed epochs' validation events were already consumed by the original
+    timeline's barriers, so their reports are dropped on the floor here.
+    """
+    shard = spec.build()
+    shard.install_validation_collector()
+    shard.start()
+    _schedule_into(shard, submissions)
+    for kind, at, payload in history:
+        shard.advance(at)
+        if kind == "mint":
+            shard.apply_mints(at, payload)
+        elif kind == "retire":
+            shard.apply_retirements(at, payload)
+        else:  # pragma: no cover - driver and worker ship the same constants
+            raise SimulationError(f"unknown replay command {kind!r}")
+    shard.advance(horizon)
+    return shard
+
+
 def _worker_main(
     connection,
     specs: List[ShardSpec],
@@ -332,8 +539,10 @@ def _worker_main(
     have done for these shards: build from spec (all randomness is seeded),
     install the validation collector, start, load the pre-partitioned
     arrivals, then alternate ``advance`` / ``mint`` commands until asked for
-    the final ``snapshot``.  Every payload crossing the pipe is plain
-    picklable data; exceptions travel back as formatted tracebacks.
+    the final ``snapshot``.  ``evict`` detaches a migrating shard (returning
+    its snapshot), ``adopt`` rehydrates one by deterministic replay.  Every
+    payload crossing the pipe is plain picklable data; exceptions travel
+    back as formatted tracebacks.
     """
     shards: Dict[int, Shard] = {}
     for spec in specs:
@@ -366,6 +575,18 @@ def _worker_main(
                 for index, transfers in per_shard:
                     shards[index].apply_retirements(time, transfers)
                 connection.send(("ok", None))
+            elif kind == "evict":
+                _, indices = command
+                evicted = {index: shards.pop(index).snapshot() for index in indices}
+                connection.send(("ok", evicted))
+            elif kind == "adopt":
+                _, arrivals = command
+                adopted = {}
+                for spec, routed, history, horizon in arrivals:
+                    shard = _replay_shard(spec, routed, history, horizon)
+                    shards[spec.index] = shard
+                    adopted[spec.index] = shard.snapshot()
+                connection.send(("ok", adopted))
             elif kind == "snapshot":
                 connection.send(
                     ("ok", {index: shards[index].snapshot() for index in sorted(shards)})
@@ -403,8 +624,15 @@ class ProcessPoolBackend(ExecutionBackend):
     def __init__(self, max_workers: Optional[int] = None) -> None:
         self._max_workers = max_workers
         self._workers: List[Tuple[Any, Any]] = []  # (process, connection)
-        self._assignment: Dict[int, int] = {}  # shard index -> worker slot
+        self._placement: Optional[PlacementPlan] = None
         self._shards: List[Shard] = []
+        self._specs: Dict[int, ShardSpec] = {}
+        self._submissions: Dict[int, List[RoutedSubmission]] = {}
+        # Per-shard barrier command log: what a migration replays on the
+        # adopting worker.  Recorded only when the session is opened
+        # migratable (record_history), so non-migrating runs keep the
+        # driver-side memory profile they had.
+        self._history: Optional[Dict[int, List[Tuple[str, float, Any]]]] = None
         self._finalizer = None
 
     def open(
@@ -412,22 +640,32 @@ class ProcessPoolBackend(ExecutionBackend):
         shards: List[Shard],
         specs: List[ShardSpec],
         submissions: Dict[int, List[RoutedSubmission]],
+        placement: Optional[PlacementPlan] = None,
+        record_history: bool = False,
     ) -> None:
         self._shards = list(shards)
-        worker_count = self._max_workers or min(len(shards), os.cpu_count() or 1) or 1
-        worker_count = max(1, min(worker_count, len(shards)))
+        self._specs = {spec.index: spec for spec in specs}
+        self._submissions = {
+            spec.index: submissions.get(spec.index, []) for spec in specs
+        }
+        if placement is None:
+            worker_count = self._max_workers or min(len(shards), os.cpu_count() or 1) or 1
+            worker_count = max(1, min(worker_count, len(shards)))
+            placement = PlacementPlan(len(shards), worker_count)
+        self._placement = placement
+        self._history = {spec.index: [] for spec in specs} if record_history else None
         context = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else None
         )
-        per_worker_specs: List[List[ShardSpec]] = [[] for _ in range(worker_count)]
-        for position, spec in enumerate(specs):
-            slot = position % worker_count
-            per_worker_specs[slot].append(spec)
-            self._assignment[spec.index] = slot
-        for slot in range(worker_count):
+        per_worker_specs: List[List[ShardSpec]] = [
+            [] for _ in range(placement.worker_count)
+        ]
+        for spec in specs:
+            per_worker_specs[placement.worker_of(spec.index)].append(spec)
+        for slot in range(placement.worker_count):
             parent, child = context.Pipe(duplex=True)
             worker_submissions = {
-                spec.index: submissions.get(spec.index, [])
+                spec.index: self._submissions[spec.index]
                 for spec in per_worker_specs[slot]
             }
             process = context.Process(
@@ -469,7 +707,11 @@ class ProcessPoolBackend(ExecutionBackend):
     ) -> None:
         per_slot: Dict[int, List[Tuple[int, List[Tuple[ProcessId, Transfer]]]]] = {}
         for index in sorted(mints):
-            per_slot.setdefault(self._assignment[index], []).append((index, mints[index]))
+            if self._history is not None:
+                self._history[index].append(("mint", time, mints[index]))
+            per_slot.setdefault(self._placement.worker_of(index), []).append(
+                (index, mints[index])
+            )
         for slot, payload in sorted(per_slot.items()):
             self._request(slot, ("mint", time, payload))
         for slot in sorted(per_slot):
@@ -478,13 +720,82 @@ class ProcessPoolBackend(ExecutionBackend):
     def apply_retirements(self, time: float, retirements: Dict[int, List[Transfer]]) -> None:
         per_slot: Dict[int, List[Tuple[int, List[Transfer]]]] = {}
         for index in sorted(retirements):
-            per_slot.setdefault(self._assignment[index], []).append(
+            if self._history is not None:
+                self._history[index].append(("retire", time, retirements[index]))
+            per_slot.setdefault(self._placement.worker_of(index), []).append(
                 (index, retirements[index])
             )
         for slot, payload in sorted(per_slot.items()):
             self._request(slot, ("retire", time, payload))
         for slot in sorted(per_slot):
             self._collect(slot)
+
+    def migrate(
+        self, barrier: int, time: float, moves: Sequence[Move]
+    ) -> List[MigrationRecord]:
+        """Evict the shard from its old worker, rehydrate it on the new one.
+
+        The shard is quiescent through ``time`` (the barrier contract), so
+        the transfer is: snapshot-and-detach on the source worker, then
+        deterministic replay (spec + arrivals + barrier command history) on
+        the target — see :func:`_replay_shard`.  The adopting worker's
+        snapshot must equal the evicted one byte for byte; a mismatch means
+        the replay diverged and the run aborts rather than silently forking
+        the shard's timeline.  Requires the session to have been opened with
+        ``record_history`` (ClusterSystem does whenever migration is on).
+        """
+        if self._placement is None:
+            return super().migrate(barrier, time, moves)
+        if self._history is None:
+            raise ConfigurationError(
+                "this process-pool session was opened without migration history; "
+                "enable migration on the ClusterSystem before the first run()"
+            )
+        records: List[MigrationRecord] = []
+        for move in moves:
+            # Validate the whole move *before* evicting: failing after the
+            # shard has left its old worker would strand it nowhere.
+            self._placement.check_worker(move.worker)
+            source = self._placement.worker_of(move.shard)
+            if source == move.worker:
+                continue
+            started = _time.perf_counter()
+            self._request(source, ("evict", [move.shard]))
+            evicted = self._collect(source)[move.shard]
+            self._request(
+                move.worker,
+                (
+                    "adopt",
+                    [
+                        (
+                            self._specs[move.shard],
+                            self._submissions.get(move.shard, []),
+                            self._history[move.shard],
+                            time,
+                        )
+                    ],
+                ),
+            )
+            adopted = self._collect(move.worker)[move.shard]
+            if adopted != evicted:
+                raise SimulationError(
+                    f"shard {move.shard} diverged while migrating from worker "
+                    f"{source} to {move.worker}: the adopting replay does not "
+                    "match the evicted snapshot"
+                )
+            self._placement.move(move.shard, move.worker)
+            records.append(
+                MigrationRecord(
+                    barrier=barrier,
+                    time=time,
+                    shard=move.shard,
+                    source_worker=source,
+                    target_worker=move.worker,
+                    snapshot_bytes=len(pickle.dumps(evicted)),
+                    stall_s=_time.perf_counter() - started,
+                )
+            )
+        return records
 
     def finalize(self) -> None:
         for slot in range(len(self._workers)):
@@ -570,7 +881,11 @@ class EpochScheduler:
     """
 
     def __init__(
-        self, epoch: Optional[float] = None, policy: Optional[EpochPolicy] = None
+        self,
+        epoch: Optional[float] = None,
+        policy: Optional[EpochPolicy] = None,
+        placement: Optional[PlacementPlan] = None,
+        migration: Optional[MigrationPolicy] = None,
     ) -> None:
         if policy is None:
             if epoch is None:
@@ -581,6 +896,19 @@ class EpochScheduler:
         self.epoch = policy.initial_epoch()
         if self.epoch <= 0:
             raise ConfigurationError("epoch must be positive")
+        # The shared shard -> worker plan and the (optional) policy deciding
+        # placement moves at barriers.  The migrate phase runs exactly once
+        # per taken barrier, at the loop top, when every shard is quiescent
+        # through ``now`` — the point where moving a shard is pure state
+        # transfer.
+        self.placement = placement
+        self.migration = migration
+        self.migration_log: List[MigrationRecord] = []
+        self._migrated_at_barrier = -1
+        # Cumulative per-shard settlement items (validations observed, mints
+        # and retirements applied): the traffic half of the load signals the
+        # migration policies weigh against raw simulator events.
+        self._settlement_load: Dict[int, int] = {}
         self.now = 0.0
         self.barriers = 0
         # Settlement items exchanged since the last taken barrier.  Feeds the
@@ -656,7 +984,17 @@ class EpochScheduler:
             self._reports = backend.advance(self.now, max_events)
             self._check_budget(max_events)
         while True:
+            # Migrate phase: every shard is quiescent through ``now`` here
+            # (its pending events are all strictly later), so a placement
+            # move is pure state transfer.  Guarded to run once per taken
+            # barrier — a pause/resume re-enters this loop at the same
+            # barrier and must not re-decide.
+            self._maybe_migrate(backend)
             applied = self._exchange(backend, fabric)
+            if fabric is not None:
+                samples = fabric.take_latency_samples()
+                if samples:
+                    self.policy.observe_latency(samples)
             reports = self._reports
             pending = any(report.pending_events for report in reports.values())
             queued = (
@@ -709,6 +1047,35 @@ class EpochScheduler:
             self.barriers += 1
         return self._reports
 
+    def _maybe_migrate(self, backend: ExecutionBackend) -> None:
+        """Consult the migration policy, once per taken barrier."""
+        if self.migration is None or self.placement is None:
+            return
+        if self.barriers <= self._migrated_at_barrier:
+            return
+        self._migrated_at_barrier = self.barriers
+        moves = self.migration.decide(
+            self.barriers, self.now, self.placement, self.current_loads()
+        )
+        if moves:
+            self.migration_log.extend(
+                backend.migrate(self.barriers, self.now, moves)
+            )
+
+    def current_loads(self) -> Dict[int, ShardLoad]:
+        """Cumulative, backend-invariant per-shard load signals."""
+        return {
+            shard: ShardLoad(
+                events=report.processed_events,
+                settlement=self._settlement_load.get(shard, 0),
+            )
+            for shard, report in (self._reports or {}).items()
+        }
+
+    def migration_signature(self) -> List[tuple]:
+        """Deterministic fingerprint of the executed migration schedule."""
+        return [record.signature() for record in self.migration_log]
+
     def _exchange(self, backend: ExecutionBackend, fabric) -> int:
         """Run one barrier's settlement exchange; returns commands applied."""
         reports = self._reports or {}
@@ -716,6 +1083,10 @@ class EpochScheduler:
             (event for report in reports.values() for event in report.events),
             key=lambda event: (event.time, event.shard, event.index),
         )
+        for event in events:
+            self._settlement_load[event.shard] = (
+                self._settlement_load.get(event.shard, 0) + 1
+            )
         # Consume exactly once: run() can be re-entered (pause/resume, drain
         # after a run) with the same final reports still in hand, and
         # replaying an epoch's validations would voucher — and mint — the
@@ -751,6 +1122,7 @@ class EpochScheduler:
             grouped: Dict[int, List[Tuple[ProcessId, Transfer]]] = {}
             for shard, replica, transfer in self._mints:
                 grouped.setdefault(shard, []).append((replica, transfer))
+                self._settlement_load[shard] = self._settlement_load.get(shard, 0) + 1
             applied += len(self._mints)
             self._mints = []
             backend.apply_mints(self.now, grouped)
@@ -758,6 +1130,7 @@ class EpochScheduler:
             retire_grouped: Dict[int, List[Transfer]] = {}
             for shard, transfer in self._retirements:
                 retire_grouped.setdefault(shard, []).append(transfer)
+                self._settlement_load[shard] = self._settlement_load.get(shard, 0) + 1
             applied += len(self._retirements)
             self._retirements = []
             backend.apply_retirements(self.now, retire_grouped)

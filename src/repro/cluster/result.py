@@ -43,6 +43,14 @@ class ClusterResult:
     committed_stream: Optional[List[tuple]] = None
     settlement_stream: Optional[List[tuple]] = None
     retirement_stream: Optional[List[tuple]] = None
+    # The executed migration schedule, one ``(barrier, time, shard,
+    # source_worker, target_worker)`` entry per move.  Carried in the
+    # fingerprint *payload* (payload-level comparisons pin migration
+    # decisions as backend-invariant) but excluded from the fingerprint
+    # *hash*: the hash's contract is placement invariance — any schedule,
+    # including none, must hash identically when the protocol did the same
+    # work.
+    migration_stream: Optional[List[tuple]] = None
     audit: Optional[Dict[str, object]] = None
     per_shard_events: Optional[List[int]] = None
     # Settlement-lifecycle counters: outbound records retired behind the
@@ -141,6 +149,7 @@ class ClusterResult:
             "committed": [list(entry) for entry in self.committed_stream],
             "settlement": [list(entry) for entry in self.settlement_stream or []],
             "retirements": [list(entry) for entry in self.retirement_stream or []],
+            "migrations": [list(entry) for entry in self.migration_stream or []],
             "audit": self.audit,
             "duration": self.duration,
             "events_processed": self.events_processed,
@@ -152,6 +161,13 @@ class ClusterResult:
             "resident_settlement_records": self.resident_settlement_records,
         }
 
+    # Payload sections that describe *where* the run was computed rather
+    # than *what* it computed.  The equivalence harness compares them at
+    # payload level (migration decisions must be backend-invariant), but the
+    # fingerprint hash excludes them: its contract is that placement — and
+    # any migration schedule whatsoever — never changes results.
+    PLACEMENT_SECTIONS = ("migrations",)
+
     def fingerprint(self) -> str:
         """SHA-256 over the canonical JSON encoding of the run.
 
@@ -159,11 +175,18 @@ class ClusterResult:
         replica, the committed and settlement streams (with completion
         times), the supply-audit verdicts and the event/message counts are
         byte-for-byte identical — the contract the execution backends must
-        uphold: parallelism may never change what the protocol did.
+        uphold: parallelism may never change what the protocol did.  The
+        payload's placement sections (:attr:`PLACEMENT_SECTIONS` — the
+        migration stream) are excluded from the hash: results are
+        placement-invariant, so a migrated run and the static run hash
+        identically while the payload still records how the shards moved.
         """
-        canonical = json.dumps(
-            self.fingerprint_payload(), sort_keys=True, separators=(",", ":")
-        )
+        payload = {
+            key: value
+            for key, value in self.fingerprint_payload().items()
+            if key not in self.PLACEMENT_SECTIONS
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 

@@ -64,8 +64,10 @@ both legs of the lifecycle.
 
 from __future__ import annotations
 
+import math
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.byzantine.behaviors import Behavior, OutgoingMessage
 from repro.cluster.routing import parse_external_account
@@ -73,6 +75,26 @@ from repro.common.errors import ConfigurationError
 from repro.common.types import AccountId, Amount, ProcessId, Transfer
 from repro.crypto.signatures import KeyPair, QuorumCertificate, Signature
 from repro.network.simulator import Simulator
+
+# Recency window of the fabric's p95 settlement-latency report; bounds the
+# only remaining per-mint memory in the driver to a constant.
+LATENCY_P95_WINDOW = 4096
+
+
+def p95(samples: Sequence[float]) -> float:
+    """The 95th-percentile sample (nearest-rank; deterministic).
+
+    The one definition both consumers share: the fabric's reported
+    settlement-latency p95 and the
+    :class:`~repro.cluster.backends.LatencyTargetEpochPolicy`'s control
+    signal — the benchmark judges the latter against the former, so they
+    must never diverge.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = max(0, math.ceil(0.95 * len(ordered)) - 1)
+    return ordered[index]
 
 
 # -- wire format ------------------------------------------------------------------------------
@@ -293,8 +315,24 @@ class SettlementRelay:
         self._pending: Dict[SettlementClaim, Dict[ProcessId, Signature]] = {}
         self._assembled: Set[SettlementClaim] = set()
         self._subscribers: List[Callable[[SettlementCertificate], None]] = []
+        # ``certificates``/``delivered`` are *journals* of resident
+        # certificate objects, not the run's history: once a stream's
+        # retirement watermark certifies, every entry at or below it is
+        # compacted away (see ``_compact_stream``) — like the ledgers, relay
+        # memory tracks the in-flight window.  Everything the audit and
+        # fingerprint surfaces need from the full history is accumulated
+        # incrementally below: per-account provision totals, delivered
+        # amounts/counts, and the deterministic signature streams.
         self.certificates: List[SettlementCertificate] = []
         self.delivered: List[SettlementCertificate] = []
+        self.certificates_total = 0
+        self.certified_amount_total: Amount = 0
+        self.delivered_total = 0
+        self.delivered_amount_total: Amount = 0
+        self.retirements_delivered_total = 0
+        self._provisions: Dict[AccountId, Amount] = {}
+        self._delivered_signature: List[tuple] = []
+        self._retirement_signature: List[tuple] = []
         self.vouchers_accepted = 0
         self.vouchers_rejected = 0
         # The ack return leg: verification parameters of the *destination*
@@ -334,6 +372,15 @@ class SettlementRelay:
             self.vouchers_rejected += 1
             return False
         self.vouchers_accepted += 1
+        if claim.sequence <= self._ack_certified.get(claim.issuer, 0):
+            # At or below the stream's certified retirement watermark: the
+            # claim was certified, minted, acknowledged and compacted out of
+            # ``_assembled`` long ago.  Absorb it like any late voucher —
+            # opening a ``_pending`` entry here would both re-grow memory
+            # with the run's history (a Byzantine re-signer could park one
+            # dead entry per retired claim) and misreport the dead claims as
+            # withheld settlement via ``pending_claims``.
+            return True
         if claim in self._assembled:
             return True  # late voucher for an already-certified claim
         signatures = self._pending.setdefault(claim, {})
@@ -350,6 +397,8 @@ class SettlementRelay:
         )
         self._assembled.add(claim)
         self.certificates.append(certificate)
+        self.certificates_total += 1
+        self.certified_amount_total += claim.amount
         if self._dispatch is not None:
             self._dispatch(certificate)
             return
@@ -370,7 +419,22 @@ class SettlementRelay:
         self._deliver(certificate)
 
     def _deliver(self, certificate: SettlementCertificate) -> None:
+        claim = certificate.claim
         self.delivered.append(certificate)
+        self.delivered_total += 1
+        self.delivered_amount_total += claim.amount
+        account = settlement_account(claim.source_shard, claim.issuer)
+        self._provisions[account] = self._provisions.get(account, 0) + claim.amount
+        self._delivered_signature.append(
+            (
+                claim.source_shard,
+                claim.destination_shard,
+                claim.issuer,
+                claim.sequence,
+                claim.account,
+                claim.amount,
+            )
+        )
         for deliver in self._subscribers:
             deliver(certificate)
 
@@ -418,6 +482,8 @@ class SettlementRelay:
             for pending, signatures in self._ack_pending.items()
             if pending.issuer != claim.issuer or pending.sequence > claim.sequence
         }
+        if self.config.compaction:
+            self._compact_stream(claim.issuer, claim.sequence)
         self.retirement_certificates.append(certificate)
         if self._retirement_dispatch is not None:
             self._retirement_dispatch(certificate)
@@ -437,9 +503,105 @@ class SettlementRelay:
         self._deliver_retirement(certificate)
 
     def _deliver_retirement(self, certificate: RetirementCertificate) -> None:
+        claim = certificate.claim
+        if self.config.compaction:
+            # A stream's watermarks deliver in assembly order, so this
+            # delivery subsumes every older one still journaled (several can
+            # assemble between barriers and deliver in a burst after the
+            # stream's last assembly — assembly-time compaction alone would
+            # strand them).
+            self.retirements_delivered = [
+                r
+                for r in self.retirements_delivered
+                if r.claim.issuer != claim.issuer or r.claim.sequence >= claim.sequence
+            ]
         self.retirements_delivered.append(certificate)
+        self.retirements_delivered_total += 1
+        self._retirement_signature.append(
+            (
+                claim.source_shard,
+                claim.destination_shard,
+                claim.issuer,
+                claim.sequence,
+            )
+        )
         for deliver in self._retirement_subscribers:
             deliver(certificate)
+
+    def _compact_stream(self, issuer: ProcessId, watermark: int) -> None:
+        """Drop journal entries the certified watermark subsumes.
+
+        Everything of ``issuer``'s stream at or below ``watermark`` is
+        settled *and acknowledged*: the outbound ledger records are about to
+        retire, so the matching driver-side certificate objects are pure
+        history and leave the ``certificates``/``delivered`` journals (their
+        amounts/provisions/signatures were folded into the cumulative
+        accumulators at assembly/delivery time).  Replay protection does not
+        regress: the inbox's per-stream sequence floor — the actual trust
+        boundary — still rejects any re-delivered certificate, and the
+        ``_assembled`` entries dropped here can never re-assemble, because
+        post-retirement at most ``f`` vouchers (stragglers plus Byzantine
+        re-signers) are still outstanding, short of the ``2f+1`` quorum.
+        Retirement certificates are watermarks, so only each stream's newest
+        one stays resident; journal memory is bounded by the in-flight
+        window plus one watermark per stream.
+        """
+        self.certificates = [
+            c
+            for c in self.certificates
+            if c.claim.issuer != issuer or c.claim.sequence > watermark
+        ]
+        self.delivered = [
+            c
+            for c in self.delivered
+            if c.claim.issuer != issuer or c.claim.sequence > watermark
+        ]
+        self._assembled = {
+            c for c in self._assembled if c.issuer != issuer or c.sequence > watermark
+        }
+        # Under-quorum pending entries below the watermark are dead too: a
+        # Byzantine variant claim (same stream slot, different content) can
+        # never quorum once the genuine claim is retired, and new vouchers
+        # for the slot are absorbed by submit_voucher's watermark guard —
+        # mirror of the ack-side self-compaction.
+        self._pending = {
+            claim: signatures
+            for claim, signatures in self._pending.items()
+            if claim.issuer != issuer or claim.sequence > watermark
+        }
+        self.retirement_certificates = [
+            r
+            for r in self.retirement_certificates
+            if r.claim.issuer != issuer or r.claim.sequence >= watermark
+        ]
+        self.retirements_delivered = [
+            r
+            for r in self.retirements_delivered
+            if r.claim.issuer != issuer or r.claim.sequence >= watermark
+        ]
+
+    def provisions(self) -> Dict[AccountId, Amount]:
+        """Cumulative provision totals per destination ``settle:{s}:{p}``
+        account — the full history, compaction notwithstanding."""
+        return dict(self._provisions)
+
+    def delivered_signature(self) -> List[tuple]:
+        """The full delivered-certificate signature stream (never compacted)."""
+        return list(self._delivered_signature)
+
+    def retirement_delivery_signature(self) -> List[tuple]:
+        """The full retirement-delivery signature stream (never compacted)."""
+        return list(self._retirement_signature)
+
+    @property
+    def resident_journal_records(self) -> int:
+        """Certificate objects still resident in this relay's journals."""
+        return (
+            len(self.certificates)
+            + len(self.delivered)
+            + len(self.retirement_certificates)
+            + len(self.retirements_delivered)
+        )
 
     @property
     def pending_claims(self) -> int:
@@ -696,11 +858,17 @@ class SettlementFabric:
         }
         self.vouchers_dispatched = 0
         self.acks_dispatched = 0
-        # Settlement-latency aggregate (validation at the source to inbox
-        # accept at the destination), one sample per mint decision.
+        # Settlement-latency accounting (validation at the source to inbox
+        # accept at the destination), one sample per mint decision — kept
+        # bounded like every other per-delivery structure in the fabric:
+        # O(1) aggregates for count/average/max, a bounded recency window
+        # for the p95 report, and a small buffer the epoch scheduler drains
+        # into latency-aware epoch policies once per barrier.
         self._latency_count = 0
         self._latency_total = 0.0
         self._latency_max = 0.0
+        self._latency_window: deque = deque(maxlen=LATENCY_P95_WINDOW)
+        self._latency_pending: List[float] = []
         for shard in shards:
             for pid in sorted(shard.nodes):
                 node = shard.nodes[pid]
@@ -885,6 +1053,13 @@ class SettlementFabric:
         self._latency_count += 1
         self._latency_total += latency
         self._latency_max = max(self._latency_max, latency)
+        self._latency_window.append(latency)
+        # The pending buffer exists for the epoch scheduler's once-per-
+        # barrier drain into latency-aware epoch policies; the shared clock
+        # has no scheduler (and nothing that would ever drain it), so buffer
+        # only when someone will collect.
+        if self.scheduler is not None:
+            self._latency_pending.append(latency)
 
     def _dispatch_ack(
         self,
@@ -1028,20 +1203,38 @@ class SettlementFabric:
         for relay in self.relays:
             if relay.destination_shard != destination_shard:
                 continue
-            for certificate in relay.delivered:
-                claim = certificate.claim
-                account = settlement_account(claim.source_shard, claim.issuer)
-                provisions[account] = provisions.get(account, 0) + claim.amount
+            for account, amount in relay.provisions().items():
+                provisions[account] = provisions.get(account, 0) + amount
         return provisions
 
     def certified_amount(self) -> Amount:
-        return sum(c.claim.amount for relay in self.relays for c in relay.certificates)
+        return sum(relay.certified_amount_total for relay in self.relays)
 
     def delivered_amount(self) -> Amount:
-        return sum(c.claim.amount for relay in self.relays for c in relay.delivered)
+        return sum(relay.delivered_amount_total for relay in self.relays)
 
     def certificates_delivered(self) -> int:
-        return sum(len(relay.delivered) for relay in self.relays)
+        return sum(relay.delivered_total for relay in self.relays)
+
+    def resident_journal_records(self) -> int:
+        """Certificate objects still resident across all relay journals.
+
+        The figure the relay-journal compaction bounds: without it this
+        grows with every certificate ever delivered (the pre-compaction
+        behaviour, preserved under ``compaction=False``); with it, it tracks
+        the settlement in-flight window plus one retirement watermark per
+        active stream.
+        """
+        return sum(relay.resident_journal_records for relay in self.relays)
+
+    def journal_records_total(self) -> int:
+        """Cumulative certificate deliveries (the history the journals shed)."""
+        return sum(
+            relay.certificates_total
+            + relay.delivered_total
+            + relay.retirements_delivered_total
+            for relay in self.relays
+        )
 
     def pending_claims(self) -> int:
         """Claims stuck below quorum across all relays (withheld vouchers)."""
@@ -1074,31 +1267,49 @@ class SettlementFabric:
             self._latency_max,
         )
 
+    def settlement_latency_p95(self) -> float:
+        """Nearest-rank p95 over the most recent latency samples (0.0 if
+        none; window of :data:`LATENCY_P95_WINDOW`).
+
+        The figure :class:`~repro.cluster.backends.LatencyTargetEpochPolicy`
+        drives toward its goal; reported next to the average/max so the
+        epoch-policy benchmark can show the trade.  Windowed rather than
+        whole-run so the fabric's memory stays bounded; for runs shorter
+        than the window the two coincide.
+        """
+        return p95(list(self._latency_window))
+
+    def take_latency_samples(self) -> List[float]:
+        """Drain the latency samples recorded since the last call.
+
+        The epoch scheduler feeds these to latency-aware epoch policies
+        exactly once each; the samples are differences of barrier times and
+        shard-local validation times, so the stream is identical on every
+        backend — which keeps latency-driven barrier grids fingerprint-safe.
+        """
+        fresh = self._latency_pending
+        self._latency_pending = []
+        return fresh
+
     def settlement_messages(self) -> int:
         """Vouchers and acks dispatched plus certificate deliveries."""
         deliveries = sum(
-            len(relay.delivered) * len(self._shards[relay.destination_shard].nodes)
+            relay.delivered_total * len(self._shards[relay.destination_shard].nodes)
             for relay in self.relays
         )
-        retirements = sum(len(relay.retirements_delivered) for relay in self.relays)
+        retirements = sum(relay.retirements_delivered_total for relay in self.relays)
         return self.vouchers_dispatched + deliveries + self.acks_dispatched + retirements
 
     def settlement_signature(self) -> List[tuple]:
-        """Deterministic fingerprint of the delivered-certificate sequence."""
+        """Deterministic fingerprint of the delivered-certificate sequence.
+
+        Read from the relays' incrementally accumulated signature streams,
+        which survive journal compaction — the fingerprint always covers the
+        full history, however compact the resident journals are.
+        """
         signature = []
         for relay in self.relays:
-            for certificate in relay.delivered:
-                claim = certificate.claim
-                signature.append(
-                    (
-                        claim.source_shard,
-                        claim.destination_shard,
-                        claim.issuer,
-                        claim.sequence,
-                        claim.account,
-                        claim.amount,
-                    )
-                )
+            signature.extend(relay.delivered_signature())
         return signature
 
     def retirement_signature(self) -> List[tuple]:
@@ -1110,16 +1321,7 @@ class SettlementFabric:
         """
         signature = []
         for key in sorted(self._relays):
-            for certificate in self._relays[key].retirements_delivered:
-                claim = certificate.claim
-                signature.append(
-                    (
-                        claim.source_shard,
-                        claim.destination_shard,
-                        claim.issuer,
-                        claim.sequence,
-                    )
-                )
+            signature.extend(self._relays[key].retirement_delivery_signature())
         return signature
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -26,7 +26,8 @@ settled cross-shard money is conserved end to end, not just per shard.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import Amount
@@ -36,6 +37,13 @@ from repro.cluster.backends import (
     EpochScheduler,
     FixedEpochPolicy,
     make_backend,
+)
+from repro.cluster.migration import (
+    MigrationRecord,
+    Move,
+    PlacementPlan,
+    normalize_migration,
+    rebalance_moves,
 )
 from repro.cluster.result import ClusterCheckReport, ClusterResult, SupplyAudit
 from repro.cluster.routing import ShardRouter, parse_external_account
@@ -98,7 +106,21 @@ class ClusterSystem:
     max_workers:
         Thread/process pool size for the concurrent backends (defaults to
         ``min(shard_count, cpu_count)``).  Worker count never affects
-        results, only wall-clock time.
+        results, only wall-clock time.  In epoch mode this is also the
+        logical worker count of the :class:`PlacementPlan`, so a serial run
+        with ``max_workers=2`` records the same migration schedule a
+        two-worker process pool executes for real.
+    migration:
+        The live-migration knob (epoch mode only).  ``None``/"off" (the
+        default) keeps the assignment static for the session; ``"manual"``
+        enables the seam with no automatic policy (moves come from
+        :meth:`rebalance`); a
+        :class:`~repro.cluster.migration.MigrationPlan` schedules explicit
+        moves; a :class:`~repro.cluster.migration.ThresholdMigrationPolicy`
+        rebalances automatically under load skew.  Whatever the schedule,
+        results are **placement-invariant**: the run's fingerprint equals
+        the static-assignment run's (the extended equivalence harness pins
+        this).
     seed:
         Root seed; all shard seeds derive from it.
     """
@@ -118,6 +140,7 @@ class ClusterSystem:
         epoch: float = 0.005,
         epoch_policy: Optional[EpochPolicy] = None,
         max_workers: Optional[int] = None,
+        migration=None,
         seed: int = 0,
     ) -> None:
         if shard_count <= 0:
@@ -126,6 +149,13 @@ class ClusterSystem:
             raise ConfigurationError(
                 f"unknown execution backend {backend!r}; expected None, 'shared' "
                 f"or one of {BACKEND_NAMES}"
+            )
+        self._migration_enabled, self._migration_policy = normalize_migration(migration)
+        if self._migration_enabled and (backend in (None, "shared")):
+            raise ConfigurationError(
+                "live migration needs an epoch-barrier execution backend "
+                "(serial/thread/process); the shared clock has no placement "
+                "to migrate"
             )
         self.shard_count = shard_count
         self.replicas_per_shard = replicas_per_shard
@@ -155,8 +185,26 @@ class ClusterSystem:
         self.epoch_policy: Optional[EpochPolicy] = (
             (epoch_policy or FixedEpochPolicy(epoch)) if self._epoch_mode else None
         )
+        # The shard -> worker assignment, first-class and mutable.  One plan
+        # per cluster, shared by the scheduler (which decides moves), the
+        # backend (which routes per-epoch commands and executes moves) and
+        # rebalance().  Worker slots are logical: the process pool maps them
+        # onto worker processes, serial/thread keep them as bookkeeping, so
+        # the same migration schedule records identically on every backend.
+        self.placement: Optional[PlacementPlan] = None
+        if self._epoch_mode:
+            worker_count = max_workers or min(shard_count, os.cpu_count() or 1) or 1
+            self.placement = PlacementPlan(
+                shard_count, max(1, min(worker_count, shard_count))
+            )
         self.scheduler: Optional[EpochScheduler] = (
-            EpochScheduler(policy=self.epoch_policy) if self._epoch_mode else None
+            EpochScheduler(
+                policy=self.epoch_policy,
+                placement=self.placement,
+                migration=self._migration_policy,
+            )
+            if self._epoch_mode
+            else None
         )
         self._backend = make_backend(self.backend_name, max_workers) if self._epoch_mode else None
         self._session_open = False
@@ -240,7 +288,13 @@ class ClusterSystem:
         assert self.scheduler is not None and self._backend is not None
         if not self._session_open:
             specs = [shard.spec() for shard in self.shards]
-            self._backend.open(self.shards, specs, self._partitioned)
+            self._backend.open(
+                self.shards,
+                specs,
+                self._partitioned,
+                placement=self.placement,
+                record_history=self._migration_enabled,
+            )
             self._session_open = True
         reports = self.scheduler.run(
             self._backend, self.settlement, until=until, max_events=max_events
@@ -275,6 +329,68 @@ class ClusterSystem:
             return self._result
         return self._run_epochs()
 
+    def rebalance(
+        self, moves: Optional[Sequence[Union[Move, Tuple[int, int]]]] = None
+    ) -> List[MigrationRecord]:
+        """Rebalance the shard placement, live, at the current barrier.
+
+        With ``moves`` given (``Move`` objects or ``(shard, worker)``
+        pairs), executes exactly those; without, runs the greedy balancer
+        over the per-shard load observed so far (simulator events plus
+        settlement volume) and moves the hottest shards off the busiest
+        workers while that strictly lowers the peak.  Requires migration to
+        be enabled (``migration=`` anything but off) and an epoch backend.
+
+        Callable between runs only: after any ``run()``/``run(until=...)``
+        return, every shard is quiescent through the current barrier, which
+        is exactly the state a migration needs.  Called before the first
+        ``run()`` it simply edits the initial placement — the shards have
+        not started executing anywhere yet, so there is nothing to move and
+        no migration is recorded.
+
+        Results are placement-invariant: a rebalanced run's fingerprint
+        equals the static run's, whatever moves are made — only wall-clock
+        load distribution changes.
+        """
+        if not self._migration_enabled or self.placement is None:
+            raise ConfigurationError(
+                "rebalance() needs migration enabled: construct the "
+                "ClusterSystem with migration='manual' (or a policy) and an "
+                "epoch backend"
+            )
+        assert self.scheduler is not None and self._backend is not None
+        if moves is None:
+            normalized = rebalance_moves(self.placement, self.scheduler.current_loads())
+        else:
+            normalized = [
+                move if isinstance(move, Move) else Move(shard=move[0], worker=move[1])
+                for move in moves
+            ]
+        normalized = [
+            move for move in normalized if self.placement.worker_of(move.shard) != move.worker
+        ]
+        if not normalized:
+            return []
+        if not self._session_open:
+            for move in normalized:
+                self.placement.move(move.shard, move.worker)
+            return []
+        records = self._backend.migrate(
+            self.scheduler.barriers, self.scheduler.now, normalized
+        )
+        self.scheduler.migration_log.extend(records)
+        return records
+
+    def worker_loads(self) -> Dict[int, int]:
+        """Cumulative load per logical worker under the current placement.
+
+        The before/after view a ``rebalance()`` call changes; empty workers
+        report zero.  Shared-clock mode has no placement and returns ``{}``.
+        """
+        if self.placement is None or self.scheduler is None:
+            return {}
+        return self.placement.worker_loads(self.scheduler.current_loads())
+
     def close(self) -> None:
         """Release backend resources (worker processes / thread pools)."""
         if self._backend is not None:
@@ -298,6 +414,7 @@ class ClusterSystem:
         self._result.committed_stream = self.committed_signature()
         self._result.settlement_stream = self.settlement_signature()
         self._result.retirement_stream = self.retirement_signature()
+        self._result.migration_stream = self.migration_signature()
         self._result.retired_records = self.retired_records()
         self._result.resident_settlement_records = self.resident_settlement_records()
         audit = self.supply_audit()
@@ -438,6 +555,18 @@ class ClusterSystem:
         if self.settlement is None:
             return []
         return self.settlement.retirement_signature()
+
+    def migration_signature(self) -> List[tuple]:
+        """Deterministic fingerprint of the executed migration schedule.
+
+        Recorded on the result's fingerprint *payload* (it pins migration
+        decisions as backend-invariant) but excluded from the fingerprint
+        *hash* — the hash's contract is precisely that placement never
+        changes results.  Empty on the shared clock and for static runs.
+        """
+        if self.scheduler is None:
+            return []
+        return self.scheduler.migration_signature()
 
     def resident_settlement_records(self) -> int:
         """Outbound ``x{d}:a`` records still resident across shard ledgers.

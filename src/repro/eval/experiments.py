@@ -8,6 +8,7 @@ from an interactive session alike.
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import time
 from dataclasses import dataclass, field
@@ -482,6 +483,10 @@ class ClusterExperimentConfig:
     duration: float = 0.1
     zipf_skew: float = 1.0
     cross_shard_fraction: Optional[float] = None
+    # A HotspotProfile shifting a Zipf hotspot across shards mid-run — the
+    # skew the migration/rebalancing experiments react to.  Needs a router,
+    # like cross_shard_fraction.
+    hotspot: Optional[object] = None
     # Execution backend of the swept systems: None for the classic shared
     # clock, or "serial"/"thread"/"process" for the epoch-barrier backends
     # (see repro.cluster.backends); results are backend-invariant, wall-clock
@@ -492,6 +497,10 @@ class ClusterExperimentConfig:
     # AdaptiveEpochPolicy); only meaningful in backend mode.
     epoch_policy: Optional[object] = None
     max_workers: Optional[int] = None
+    # The ClusterSystem migration knob: None/"off", "manual", a
+    # MigrationPlan, or a ThresholdMigrationPolicy.  Results are
+    # placement-invariant; the knob moves wall-clock load distribution only.
+    migration: Optional[object] = None
     seed: int = 7
     network: NetworkConfig = field(default_factory=NetworkConfig)
     max_events: Optional[int] = 50_000_000
@@ -504,6 +513,7 @@ class ClusterExperimentConfig:
                 duration=self.duration,
                 zipf_skew=self.zipf_skew,
                 cross_shard_fraction=self.cross_shard_fraction,
+                hotspot=self.hotspot,
                 router=router,
                 seed=self.seed,
             )
@@ -585,11 +595,16 @@ def run_cluster(
         epoch=config.epoch,
         epoch_policy=config.epoch_policy,
         max_workers=config.max_workers,
+        # Stateful policies are copied per run (see migration_rebalancing_
+        # experiment): a drained MigrationPlan must not leak between runs.
+        migration=copy.deepcopy(config.migration),
         seed=config.seed,
     )
     if workload is None:
-        router = system.router if config.cross_shard_fraction is not None else None
-        workload = config.workload(router)
+        needs_router = (
+            config.cross_shard_fraction is not None or config.hotspot is not None
+        )
+        workload = config.workload(system.router if needs_router else None)
     system.schedule_submissions(workload)
     result = system.run(max_events=config.max_events)
     total_processes = shard_count * config.replicas_per_shard
@@ -691,6 +706,13 @@ class SoakSample:
     in_flight_amount: int
     conserved: bool
     retirement_backed: bool
+    # Driver-side relay journal residency: certificate objects still held in
+    # the relays' certificates/delivered/retirement journals.  Compaction
+    # behind the retirement watermark bounds this by the in-flight window
+    # (plus one watermark certificate per stream), like the ledgers.
+    resident_journal_records: int = 0
+    # Executed migrations so far (non-zero only in migrated soak runs).
+    migrations: int = 0
 
 
 @dataclass(frozen=True)
@@ -701,7 +723,10 @@ class SoakReport:
     at any checkpoint; ``cumulative_records`` is how many outbound records
     the run produced in total (resident + retired at the end).  A working
     lifecycle keeps the peak well below the cumulative count — the in-flight
-    window, not the history — and retires everything by quiescence.
+    window, not the history — and retires everything by quiescence.  The
+    same bound holds one layer up for the driver-side relay journals:
+    ``peak_journal`` versus ``journal_total`` cumulative certificate
+    deliveries.
     """
 
     samples: List[SoakSample]
@@ -709,6 +734,9 @@ class SoakReport:
     cumulative_records: int
     final_check_ok: bool
     violations: List[str]
+    peak_journal: int = 0
+    journal_total: int = 0
+    migrations: int = 0
 
     @property
     def bounded(self) -> bool:
@@ -717,6 +745,11 @@ class SoakReport:
             self.cumulative_records > 0
             and self.peak_resident < self.cumulative_records
         )
+
+    @property
+    def journal_bounded(self) -> bool:
+        """Relay journals never held the full certificate history either."""
+        return self.journal_total > 0 and self.peak_journal < self.journal_total
 
     @property
     def fully_retired(self) -> bool:
@@ -737,7 +770,11 @@ def settlement_soak_experiment(
     retired record counts *mid-flight* — the regime where unbounded growth
     would show — then drains to quiescence.  The extended supply identity
     (``local + outbound - (minted - retired) == initial``) must hold at every
-    single checkpoint, not just at the end.
+    single checkpoint, not just at the end.  Driver-side relay journal
+    residency is sampled alongside: the journals must track the in-flight
+    window, not the certificate history.  With ``config.migration`` set the
+    soak runs *migrated* — shards move between workers mid-soak while every
+    checkpoint identity still holds.
     """
     config = config or ClusterExperimentConfig(
         duration=0.2, aggregate_rate=4_000.0, user_count=2_000, cross_shard_fraction=0.5
@@ -754,10 +791,13 @@ def settlement_soak_experiment(
         epoch=config.epoch,
         epoch_policy=config.epoch_policy,
         max_workers=config.max_workers,
+        # Stateful policies are copied per run (see migration_rebalancing_
+        # experiment): a drained MigrationPlan must not leak between runs.
+        migration=copy.deepcopy(config.migration),
         seed=config.seed,
     )
-    fraction = config.cross_shard_fraction
-    workload = config.workload(system.router if fraction is not None else None)
+    needs_router = config.cross_shard_fraction is not None or config.hotspot is not None
+    workload = config.workload(system.router if needs_router else None)
     system.schedule_submissions(workload)
 
     initial_supply = (
@@ -779,6 +819,12 @@ def settlement_soak_experiment(
                 in_flight_amount=audit.in_flight,
                 conserved=audit.conserved,
                 retirement_backed=audit.retirement_backed,
+                resident_journal_records=(
+                    system.settlement.resident_journal_records()
+                    if system.settlement
+                    else 0
+                ),
+                migrations=len(system.migration_signature()),
             )
         )
         if audit.total != initial_supply:
@@ -802,6 +848,9 @@ def settlement_soak_experiment(
     report = system.check_definition1()
     if not report.ok:
         violations.extend(report.violations[:3])
+    journal_total = (
+        system.settlement.journal_records_total() if system.settlement else 0
+    )
     system.close()
 
     peak = max(s.resident_settlement_records for s in samples)
@@ -812,6 +861,9 @@ def settlement_soak_experiment(
         cumulative_records=final.resident_settlement_records + final.retired_records,
         final_check_ok=report.ok,
         violations=violations,
+        peak_journal=max(s.resident_journal_records for s in samples),
+        journal_total=journal_total,
+        migrations=final.migrations,
     )
 
 
@@ -829,6 +881,7 @@ class EpochPolicyRow:
     final_epoch: float
     settlement_samples: int
     avg_settlement_latency: float
+    p95_settlement_latency: float
     max_settlement_latency: float
     committed: int
     check_ok: bool
@@ -884,10 +937,111 @@ def epoch_policy_experiment(
                 final_epoch=system.scheduler.epoch,
                 settlement_samples=samples,
                 avg_settlement_latency=average,
+                p95_settlement_latency=system.settlement.settlement_latency_p95(),
                 max_settlement_latency=worst,
                 committed=result.committed_count,
                 check_ok=system.check_definition1().ok,
                 fingerprint=result.fingerprint(),
+            )
+        )
+        system.close()
+    return rows
+
+
+@dataclass(frozen=True)
+class MigrationComparisonRow:
+    """One migration schedule's audited run of the same hotspot workload.
+
+    ``moves`` is the executed migration count; ``snapshot_bytes`` and
+    ``stall_s`` total the per-move measurements (what a move costs);
+    ``fingerprint`` must equal the static row's — placement invariance is
+    the whole point.
+    """
+
+    schedule: str
+    backend: str
+    moves: int
+    snapshot_bytes: int
+    stall_s: float
+    peak_worker_load: int
+    mean_worker_load: float
+    committed: int
+    check_ok: bool
+    fingerprint: str
+    migration_stream: List[tuple]
+
+
+def migration_rebalancing_experiment(
+    schedules: Sequence[Tuple[str, object]],
+    shard_count: int = 4,
+    batch_size: int = 4,
+    backend: str = "serial",
+    max_workers: int = 2,
+    config: Optional[ClusterExperimentConfig] = None,
+) -> List[MigrationComparisonRow]:
+    """One shifting-hotspot workload under several migration schedules.
+
+    Every schedule replays the identical workload (same router salt, same
+    hotspot phases); rows record what moved, what the moves cost (snapshot
+    bytes, wall-clock stall) and the per-worker load distribution the
+    schedule achieved.  Callers assert the placement-invariance contract on
+    the fingerprints: every row must match the static one.
+    """
+    from repro.workloads.cluster_driver import HotspotProfile
+
+    config = config or ClusterExperimentConfig(
+        duration=0.06,
+        aggregate_rate=6_000.0,
+        user_count=2_000,
+        cross_shard_fraction=0.4,
+    )
+    if config.hotspot is None:
+        config = dataclasses.replace(
+            config,
+            hotspot=HotspotProfile(
+                period=config.duration / 3, intensity=0.7, width=8
+            ),
+        )
+    router = ShardRouter(shard_count, config.replicas_per_shard, salt=config.seed)
+    workload = config.workload(router)
+    rows: List[MigrationComparisonRow] = []
+    for label, migration in schedules:
+        system = ClusterSystem(
+            shard_count=shard_count,
+            replicas_per_shard=config.replicas_per_shard,
+            batch_size=batch_size,
+            broadcast=config.broadcast,
+            initial_balance=config.initial_balance,
+            network_config=config.network_copy(),
+            backend=backend,
+            epoch=config.epoch,
+            epoch_policy=config.epoch_policy,
+            max_workers=max_workers,
+            # Policies are stateful (a MigrationPlan drains its schedule, a
+            # threshold policy keeps windows/cooldowns): give each run its
+            # own copy so the caller's objects survive re-invocation.
+            migration=copy.deepcopy(migration),
+            seed=config.seed,
+        )
+        system.schedule_submissions(workload)
+        result = system.run(max_events=config.max_events)
+        records = system.scheduler.migration_log
+        loads = system.worker_loads()
+        rows.append(
+            MigrationComparisonRow(
+                schedule=label,
+                backend=backend,
+                moves=len(records),
+                snapshot_bytes=sum(r.snapshot_bytes for r in records),
+                stall_s=sum(r.stall_s for r in records),
+                peak_worker_load=max(loads.values()) if loads else 0,
+                mean_worker_load=(
+                    sum(loads.values()) / len(loads) if loads else 0.0
+                ),
+                committed=result.committed_count,
+                check_ok=system.check_definition1().ok,
+                fingerprint=result.fingerprint(),
+                migration_stream=list(result.migration_stream or []),
             )
         )
         system.close()

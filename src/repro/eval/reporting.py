@@ -17,6 +17,7 @@ from repro.eval.experiments import (
     ComparisonRow,
     EpochPolicyRow,
     LatencyRow,
+    MigrationComparisonRow,
     SoakReport,
 )
 from repro.eval.metrics import RunSummary
@@ -168,6 +169,8 @@ def format_soak_table(report: SoakReport) -> str:
         "committed",
         "resident",
         "retired",
+        "journal",
+        "migrations",
         "retired amt",
         "minted amt",
         "in flight",
@@ -179,6 +182,8 @@ def format_soak_table(report: SoakReport) -> str:
             str(sample.committed),
             str(sample.resident_settlement_records),
             str(sample.retired_records),
+            str(sample.resident_journal_records),
+            str(sample.migrations),
             str(sample.retired_amount),
             str(sample.minted_amount),
             str(sample.in_flight_amount),
@@ -196,6 +201,7 @@ def format_epoch_policy_table(rows: Sequence[EpochPolicyRow]) -> str:
         "barriers",
         "final epoch ms",
         "avg settle ms",
+        "p95 settle ms",
         "max settle ms",
         "committed",
         "audits",
@@ -206,9 +212,50 @@ def format_epoch_policy_table(rows: Sequence[EpochPolicyRow]) -> str:
             str(row.barriers),
             f"{row.final_epoch * 1000:.2f}",
             f"{row.avg_settlement_latency * 1000:.2f}",
+            f"{row.p95_settlement_latency * 1000:.2f}",
             f"{row.max_settlement_latency * 1000:.2f}",
             str(row.committed),
             "OK" if row.check_ok else "VIOLATED",
+        ]
+        for row in rows
+    ]
+    return _format_table(headers, body)
+
+
+def format_migration_table(rows: Sequence[MigrationComparisonRow]) -> str:
+    """The migration-schedule comparison: one hotspot workload, many plans.
+
+    ``peak/mean`` is the per-worker load imbalance the schedule ended with
+    (lower peak = better balanced); ``bytes``/``stall`` total what the moves
+    cost; ``fingerprint`` is identical down the column — the placement-
+    invariance guarantee, visible at a glance.
+    """
+    headers = [
+        "schedule",
+        "moves",
+        "bytes",
+        "stall ms",
+        "peak load",
+        "peak/mean",
+        "committed",
+        "audits",
+        "fingerprint",
+    ]
+    body = [
+        [
+            row.schedule,
+            str(row.moves),
+            str(row.snapshot_bytes),
+            f"{row.stall_s * 1000:.1f}",
+            str(row.peak_worker_load),
+            (
+                f"{row.peak_worker_load / row.mean_worker_load:.2f}"
+                if row.mean_worker_load
+                else "-"
+            ),
+            str(row.committed),
+            "OK" if row.check_ok else "VIOLATED",
+            row.fingerprint[:12],
         ]
         for row in rows
     ]

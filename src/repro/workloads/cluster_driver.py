@@ -83,6 +83,69 @@ def partition_submissions(
     return per_shard, cross_shard
 
 
+@dataclass(frozen=True)
+class HotspotProfile:
+    """A time-varying Zipf hotspot that shifts across shards mid-run.
+
+    Real payment load is not stationary: a flash sale, a ticket drop, a
+    regional morning rush concentrate traffic on a few merchants for a
+    while, then the spotlight moves.  This profile models exactly that — in
+    phase ``k`` (simulated time ``[k * period, (k+1) * period)``), a fraction
+    ``intensity`` of payments is redirected to one of the ``width`` hottest
+    candidate users *of the focus shard* ``k % shard_count`` (Zipf-skewed by
+    ``skew`` within the candidate set, so the hotspot has its own popularity
+    head).  The focus shard rotates every phase, which is what gives
+    placement rebalancing something real to chase: whichever worker hosts
+    the focus shard is suddenly the busy one, and a phase later it is not.
+
+    Deterministic like everything else in the driver: the redirect draws
+    come from their own forked RNG streams, so the same config yields the
+    same submission list bit for bit.
+    """
+
+    period: float
+    intensity: float = 0.5
+    width: int = 8
+    skew: float = 1.2
+
+    def validate(self) -> None:
+        if self.period <= 0:
+            raise ConfigurationError("hotspot period must be positive")
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ConfigurationError("hotspot intensity must lie in [0, 1]")
+        if self.width < 1:
+            raise ConfigurationError("hotspot width must be at least 1")
+        if self.skew < 0:
+            raise ConfigurationError("hotspot skew must be non-negative")
+
+    def phase(self, time: float) -> int:
+        """The hotspot phase active at simulated ``time``."""
+        return int(time // self.period)
+
+
+def hot_candidates(
+    user_count: int, router: "ShardRouter", width: int
+) -> Dict[int, List[int]]:
+    """The ``width`` lowest-id users of each shard — the hotspot targets.
+
+    Low ids are the head of the Zipf popularity distribution, so the
+    hotspot amplifies users that are already popular *within the focus
+    shard*.  A single pass over the user ids stops as soon as every shard
+    has its candidates (typically after a few dozen ids).
+    """
+    candidates: Dict[int, List[int]] = {shard: [] for shard in range(router.shard_count)}
+    unfilled = router.shard_count
+    for user in range(user_count):
+        bucket = candidates[router.shard_of(user)]
+        if len(bucket) < width:
+            bucket.append(user)
+            if len(bucket) == width:
+                unfilled -= 1
+                if unfilled == 0:
+                    break
+    return candidates
+
+
 @dataclass
 class ClusterWorkloadConfig:
     """Knobs of the open-loop cluster workload.
@@ -110,6 +173,11 @@ class ClusterWorkloadConfig:
     min_amount: Amount = 1
     max_amount: Amount = 5
     cross_shard_fraction: Optional[float] = None
+    # A time-varying hotspot shifting across shards (see HotspotProfile).
+    # Applied after cross-shard steering — the hotspot is the scenario's
+    # point, so it has the last word on the destination — and requires a
+    # router for the same reason cross_shard_fraction does.
+    hotspot: Optional[HotspotProfile] = None
     router: Optional["ShardRouter"] = None
     seed: int = 0
 
@@ -131,6 +199,13 @@ class ClusterWorkloadConfig:
                 raise ConfigurationError(
                     "cross_shard_fraction needs a router (the shard geometry decides "
                     "which destinations are cross-shard)"
+                )
+        if self.hotspot is not None:
+            self.hotspot.validate()
+            if self.router is None:
+                raise ConfigurationError(
+                    "a hotspot needs a router (the focus shard is a property of "
+                    "the cluster geometry)"
                 )
 
     @property
@@ -194,7 +269,10 @@ def iter_cluster_workload(config: ClusterWorkloadConfig) -> Iterator[ClusterSubm
     A destination that collides with its source is deterministically bumped
     to the next user so every submission moves money.  When
     ``cross_shard_fraction`` is set, destinations are steered across (or away
-    from) the shard boundary to realise the requested settlement load.
+    from) the shard boundary to realise the requested settlement load.  When
+    a ``hotspot`` profile is set, a fraction of payments is redirected to
+    the current phase's focus shard last — the hotspot is the scenario, so
+    it overrides the other steering for the submissions it claims.
     """
     config.validate()
     rng = SeededRng(config.seed).fork("cluster-open-loop")
@@ -205,6 +283,11 @@ def iter_cluster_workload(config: ClusterWorkloadConfig) -> Iterator[ClusterSubm
     destination_sampler = ZipfSampler(
         config.user_count, config.zipf_skew, rng.fork("destinations")
     )
+    hotspot = config.hotspot
+    if hotspot is not None:
+        hotspot_draws = rng.fork("hotspot")
+        hotspot_rank = ZipfSampler(hotspot.width, hotspot.skew, rng.fork("hotspot-rank"))
+        candidates = hot_candidates(config.user_count, config.router, hotspot.width)
     now = 0.0
     mean_gap = 1.0 / config.aggregate_rate
     unsatisfiable: set = set()
@@ -221,6 +304,13 @@ def iter_cluster_workload(config: ClusterWorkloadConfig) -> Iterator[ClusterSubm
             destination = _steer_destination(
                 config, source, destination, want_cross, destination_sampler, unsatisfiable
             )
+        if hotspot is not None and hotspot_draws.maybe(hotspot.intensity):
+            focus = hotspot.phase(now) % config.router.shard_count
+            bucket = candidates[focus]
+            if bucket:
+                hot = bucket[hotspot_rank.sample() % len(bucket)]
+                if hot != source:
+                    destination = hot
         yield ClusterSubmission(
             time=now,
             source_user=source,

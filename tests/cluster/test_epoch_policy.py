@@ -192,3 +192,140 @@ class TestSchedulerPolicyIntegration:
         assert system.epoch_policy is None
         assert system.scheduler is None
         system.close()
+
+
+class TestLatencyTargetEpochPolicy:
+    def _policy(self, **kwargs):
+        from repro.cluster import LatencyTargetEpochPolicy
+
+        defaults = dict(
+            target_p95=0.008,
+            initial_epoch=0.004,
+            min_epoch=0.001,
+            max_epoch=0.016,
+            factor=2.0,
+            window=16,
+            min_samples=4,
+            slack=0.5,
+        )
+        defaults.update(kwargs)
+        return LatencyTargetEpochPolicy(**defaults)
+
+    def test_holds_until_enough_samples(self):
+        policy = self._policy()
+        policy.observe_latency([0.05, 0.05, 0.05])  # above target, too few
+        assert policy.next_epoch(0, 0.004, 0) == 0.004
+
+    def test_narrows_when_p95_misses_the_target(self):
+        policy = self._policy()
+        policy.observe_latency([0.02] * 8)
+        assert policy.observed_p95() == 0.02
+        assert policy.next_epoch(0, 0.004, 0) == 0.002
+
+    def test_widens_when_p95_beats_the_target_with_slack(self):
+        policy = self._policy()
+        policy.observe_latency([0.001] * 8)  # far below 0.5 * target
+        assert policy.next_epoch(0, 0.004, 0) == 0.008
+
+    def test_holds_inside_the_dead_band(self):
+        policy = self._policy()
+        policy.observe_latency([0.006] * 8)  # between slack*target and target
+        assert policy.next_epoch(0, 0.004, 0) == 0.004
+
+    def test_clamps_at_both_ends(self):
+        policy = self._policy()
+        policy.observe_latency([0.02] * 8)
+        assert policy.next_epoch(0, 0.001, 0) == 0.001  # at min already
+        fast = self._policy()
+        fast.observe_latency([0.0001] * 8)
+        assert fast.next_epoch(0, 0.016, 0) == 0.016  # at max already
+
+    def test_window_forgets_old_samples(self):
+        policy = self._policy(window=4)
+        policy.observe_latency([0.05] * 4)  # slow era
+        policy.observe_latency([0.001] * 4)  # fast era evicts it
+        assert policy.next_epoch(0, 0.004, 0) == 0.008  # widens: p95 is fast
+
+    def test_decision_is_repeatable_between_observations(self):
+        """Pause/resume re-evaluates next_epoch without new observations;
+        the answer must not drift."""
+        policy = self._policy()
+        policy.observe_latency([0.02] * 8)
+        assert policy.next_epoch(3, 0.004, 5) == policy.next_epoch(3, 0.004, 5)
+
+    def test_p95_is_nearest_rank(self):
+        from repro.cluster.backends import p95
+
+        assert p95([]) == 0.0
+        assert p95([0.5]) == 0.5
+        samples = [float(i) for i in range(1, 21)]  # 1..20
+        assert p95(samples) == 19.0  # ceil(0.95 * 20) = 19th rank
+
+    def test_validation(self):
+        for bad in (
+            dict(target_p95=0.0),
+            dict(min_epoch=0.0),
+            dict(initial_epoch=0.05),  # above max
+            dict(factor=1.0),
+            dict(window=0),
+            dict(min_samples=0),
+            dict(slack=0.0),
+            dict(slack=1.0),
+        ):
+            with pytest.raises(ConfigurationError):
+                self._policy(**bad)
+
+    def test_backend_invariant_and_deterministic(self, fast_network):
+        """The latency feed is built from barrier times and shard-local
+        validation times, so the latency-driven grid — a *stateful* policy —
+        still fingerprints identically on every backend, twice over."""
+        def run_once(backend):
+            system = _build(fast_network, policy=self._policy(target_p95=0.004))
+            if backend != "serial":
+                system.close()
+                system = ClusterSystem(
+                    shard_count=2, replicas_per_shard=4, initial_balance=500,
+                    network_config=fast_network, backend=backend,
+                    epoch_policy=self._policy(target_p95=0.004), seed=3,
+                )
+                workload = cluster_open_loop_workload(
+                    ClusterWorkloadConfig(
+                        user_count=60, aggregate_rate=1_500.0, duration=0.02,
+                        cross_shard_fraction=1.0, router=system.router, seed=3,
+                    )
+                )
+                system.schedule_submissions(workload)
+            result = system.run()
+            fingerprint = result.fingerprint()
+            barriers = system.scheduler.barriers
+            assert system.check_definition1().ok
+            system.close()
+            return fingerprint, barriers
+
+        serial = run_once("serial")
+        assert run_once("serial") == serial  # deterministic per seed
+        assert run_once("thread") == serial
+        assert run_once("process") == serial
+
+    def test_narrows_the_grid_toward_the_goal(self, fast_network):
+        """Against a fixed grid too coarse for the goal, the policy spends
+        more barriers and lands a lower settlement p95."""
+        coarse = _build(fast_network, policy=FixedEpochPolicy(0.008))
+        coarse.run()
+        targeted = _build(
+            fast_network,
+            policy=self._policy(
+                target_p95=0.004, initial_epoch=0.008, min_epoch=0.001,
+                max_epoch=0.016,
+            ),
+        )
+        targeted.run()
+        try:
+            assert targeted.scheduler.barriers > coarse.scheduler.barriers
+            assert (
+                targeted.settlement.settlement_latency_p95()
+                <= coarse.settlement.settlement_latency_p95()
+            )
+        finally:
+            coarse.close()
+            targeted.close()

@@ -53,16 +53,35 @@ class TestFingerprint:
         ).fingerprint()
 
     def test_fingerprint_is_sha256_of_canonical_json(self, fast_network):
+        """The hash covers the canonical payload *minus* the placement
+        sections: the migration stream records where shards were computed,
+        and the fingerprint's contract is exactly that placement never
+        changes results (a migrated run hashes equal to the static run)."""
         result = _run(fast_network)
-        canonical = json.dumps(
-            result.fingerprint_payload(), sort_keys=True, separators=(",", ":")
-        )
+        hashed = {
+            key: value
+            for key, value in result.fingerprint_payload().items()
+            if key not in result.PLACEMENT_SECTIONS
+        }
+        canonical = json.dumps(hashed, sort_keys=True, separators=(",", ":"))
         assert result.fingerprint() == hashlib.sha256(canonical.encode("utf-8")).hexdigest()
         # The canonical form must actually be JSON-round-trippable (no sets,
-        # no dataclasses, no non-string keys sneaking in).
-        assert json.loads(canonical) == json.loads(
+        # no dataclasses, no non-string keys sneaking in) — the *full*
+        # payload included, migration stream and all.
+        full = json.dumps(result.fingerprint_payload(), sort_keys=True)
+        assert json.loads(full) == json.loads(
             json.dumps(result.fingerprint_payload(), sort_keys=True)
         )
+
+    def test_fingerprint_ignores_the_migration_stream(self, fast_network):
+        """Placement metadata may never move the hash — that is the
+        placement-invariance contract stated as a unit test."""
+        result = _run(fast_network, backend="serial")
+        before = result.fingerprint()
+        assert result.migration_stream == []
+        result.migration_stream = [(3, 0.015, 1, 0, 1)]
+        assert result.fingerprint() == before
+        assert result.fingerprint_payload()["migrations"] == [[3, 0.015, 1, 0, 1]]
 
     def test_payload_carries_every_advertised_section(self, fast_network):
         payload = _run(fast_network).fingerprint_payload()
@@ -70,6 +89,7 @@ class TestFingerprint:
             "balances",
             "committed",
             "settlement",
+            "migrations",
             "audit",
             "duration",
             "events_processed",

@@ -159,7 +159,11 @@ class TestUnderQuorumCertificates:
 
 class TestReplayedCertificates:
     def test_replayed_certificate_mints_exactly_once(self, make_system):
-        system = make_system()
+        # Compaction off so the genuine certificate stays resident in the
+        # relay journal after quiescence (with the lifecycle on it would be
+        # compacted behind the retirement watermark) — this test needs the
+        # byte-identical original to replay it against the inboxes.
+        system = make_system(settlement_config=SettlementConfig(compaction=False))
         a = _user_on_shard(system.router, 0)
         b = _user_on_shard(system.router, 1)
         system.schedule_submissions(

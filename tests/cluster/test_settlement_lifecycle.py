@@ -527,3 +527,209 @@ class TestLifecycleConfiguration:
             "CompactionGate",
         ):
             assert hasattr(cluster, name)
+
+
+class TestRelayJournalCompaction:
+    """Driver-side relay journals compact behind the retirement watermark.
+
+    Before this layer the ``certificates``/``delivered`` journals grew with
+    every certificate ever delivered (audit metadata, unbounded exactly like
+    the pre-lifecycle ledgers).  Now a certified retirement watermark
+    evicts everything it subsumes, while the cumulative accumulators —
+    amounts, counts, provisions, signature streams — keep answering for the
+    full history.
+    """
+
+    def _claim(self, sequence, amount=5):
+        from repro.cluster.settlement import SettlementClaim
+
+        return SettlementClaim(
+            source_shard=0, destination_shard=1, issuer=0,
+            sequence=sequence, account="2", amount=amount,
+        )
+
+    def _deliver_claims(self, relay, scheme, sequences):
+        from repro.cluster.settlement import SettlementVoucher
+
+        for sequence in sequences:
+            claim = self._claim(sequence)
+            for signer in (0, 1, 2):
+                relay.submit_voucher(
+                    SettlementVoucher(
+                        claim=claim,
+                        signature=relay.scheme.keypair_for(signer).sign(claim),
+                    )
+                )
+        relay.simulator.run_until_quiescent()
+
+    def test_watermark_evicts_subsumed_certificates(self):
+        relay, simulator, dest_scheme = _relay()
+        self._deliver_claims(relay, dest_scheme, (1, 2, 3))
+        assert len(relay.certificates) == len(relay.delivered) == 3
+        # Acknowledge through sequence 2: entries 1 and 2 are pure history.
+        claim = _ack_claim(sequence=2)
+        for signer in (0, 1, 2):
+            relay.submit_ack(_ack(dest_scheme, signer, claim))
+        assert [c.claim.sequence for c in relay.certificates] == [3]
+        assert [c.claim.sequence for c in relay.delivered] == [3]
+        # The cumulative surfaces still answer for the full history.
+        assert relay.certificates_total == relay.delivered_total == 3
+        assert relay.delivered_amount_total == 15
+        assert len(relay.delivered_signature()) == 3
+        assert sum(relay.provisions().values()) == 15
+
+    def test_newer_watermark_keeps_only_itself_per_stream(self):
+        relay, simulator, dest_scheme = _relay()
+        self._deliver_claims(relay, dest_scheme, (1, 2, 3))
+        for sequence in (1, 2, 3):
+            claim = _ack_claim(sequence=sequence)
+            for signer in (0, 1, 2):
+                relay.submit_ack(_ack(dest_scheme, signer, claim))
+        simulator.run_until_quiescent()
+        # All three watermarks certified and delivered; only the newest
+        # stays journaled — journal residency is one watermark per stream.
+        assert [r.claim.sequence for r in relay.retirement_certificates] == [3]
+        assert [r.claim.sequence for r in relay.retirements_delivered] == [3]
+        assert relay.retirements_delivered_total == 3
+        assert len(relay.retirement_delivery_signature()) == 3
+        assert relay.resident_journal_records == 2  # assembled + delivered
+
+    def test_vouchers_below_the_retirement_watermark_are_absorbed(self):
+        """A straggler (or Byzantine re-signer) vouchering a claim whose
+        stream already retired past it must not re-open a pending entry:
+        compaction dropped the claim from ``_assembled``, and without the
+        watermark guard each such voucher would park one dead dict in
+        ``_pending`` forever — history-proportional growth and phantom
+        'withheld settlement' in the metrics."""
+        from repro.cluster.settlement import SettlementVoucher
+
+        relay, simulator, dest_scheme = _relay()
+        self._deliver_claims(relay, dest_scheme, (1, 2))
+        claim = _ack_claim(sequence=2)
+        for signer in (0, 1, 2):
+            relay.submit_ack(_ack(dest_scheme, signer, claim))
+        assert relay.certified_watermark(0) == 2
+        assert relay.delivered == []  # compacted behind the watermark
+        # Every replica re-vouchers the retired claim 1: absorbed, no
+        # pending entry, no new certificate, journals untouched.
+        retired_claim = self._claim(1)
+        for signer in range(4):
+            assert relay.submit_voucher(
+                SettlementVoucher(
+                    claim=retired_claim,
+                    signature=relay.scheme.keypair_for(signer).sign(retired_claim),
+                )
+            )
+        assert relay.pending_claims == 0
+        assert relay.certificates_total == 2  # nothing re-assembled
+        assert relay.certificates == []
+
+    def test_compaction_purges_dead_under_quorum_pending_entries(self):
+        """A Byzantine variant claim (same stream slot, different content)
+        parks below quorum while the genuine claim settles; once the stream
+        retires past the slot the variant can never certify — compaction
+        must drop it from ``_pending`` or one dead dict per retired claim
+        accumulates for the run's lifetime."""
+        from repro.cluster.settlement import SettlementVoucher
+
+        relay, simulator, dest_scheme = _relay()
+        self._deliver_claims(relay, dest_scheme, (1, 2))
+        variant = self._claim(1, amount=999)  # same slot, inflated amount
+        assert relay.submit_voucher(
+            SettlementVoucher(
+                claim=variant, signature=relay.scheme.keypair_for(3).sign(variant)
+            )
+        )
+        assert relay.pending_claims == 1
+        claim = _ack_claim(sequence=2)
+        for signer in (0, 1, 2):
+            relay.submit_ack(_ack(dest_scheme, signer, claim))
+        assert relay.certified_watermark(0) == 2
+        assert relay.pending_claims == 0  # the dead variant went with the stream
+
+    def test_shared_clock_mode_buffers_no_latency_samples(self, fast_network):
+        """The pending-sample buffer feeds the epoch scheduler's drain; the
+        shared clock has no scheduler, so nothing may accumulate there while
+        the aggregate latency figures still report."""
+        system = _system(fast_network)  # classic shared-clock mode
+        a = _user_on_shard(system.router, 0)
+        b = _user_on_shard(system.router, 1)
+        system.schedule_submissions(
+            [ClusterSubmission(time=0.001, source_user=a, destination_user=b, amount=3)]
+        )
+        system.run()
+        try:
+            samples, average, worst = system.settlement.settlement_latency()
+            assert samples > 0 and worst >= average > 0
+            assert system.settlement.settlement_latency_p95() > 0
+            assert system.settlement._latency_pending == []
+        finally:
+            system.close()
+
+    def test_compaction_off_preserves_the_full_journals(self):
+        relay, simulator, dest_scheme = _relay()
+        relay.config.compaction = False
+        self._deliver_claims(relay, dest_scheme, (1, 2, 3))
+        for sequence in (1, 2, 3):
+            claim = _ack_claim(sequence=sequence)
+            for signer in (0, 1, 2):
+                relay.submit_ack(_ack(dest_scheme, signer, claim))
+        simulator.run_until_quiescent()
+        # The negative control: journals keep the whole history.
+        assert len(relay.certificates) == len(relay.delivered) == 3
+        assert len(relay.retirement_certificates) == 3
+        assert len(relay.retirements_delivered) == 3
+
+    def test_end_to_end_journals_track_the_in_flight_window(self, fast_network):
+        """A full cross-shard run compacts every delivered certificate by
+        quiescence; only the per-stream retirement watermarks stay."""
+        system = _system(fast_network, backend="serial")
+        a = _user_on_shard(system.router, 0)
+        b = _user_on_shard(system.router, 1)
+        system.schedule_submissions(
+            [
+                ClusterSubmission(time=0.001 * k, source_user=a, destination_user=b, amount=1)
+                for k in range(1, 6)
+            ]
+        )
+        system.run()
+        try:
+            fabric = system.settlement
+            assert fabric.certificates_delivered() > 0
+            for relay in fabric.relays:
+                assert relay.certificates == []
+                assert relay.delivered == []
+                assert len(relay.retirements_delivered) <= 1  # one stream here
+            # The audit surfaces survived compaction: delivered amounts match
+            # minted balances, signatures cover the full history.
+            audit = system.supply_audit()
+            assert audit.ledger_matches_relay
+            assert len(system.settlement_signature()) == fabric.certificates_delivered()
+            assert system.check_definition1().ok
+        finally:
+            system.close()
+
+    def test_fingerprint_is_identical_with_and_without_resident_journals(
+        self, fast_network
+    ):
+        """Compaction is memory management, not behaviour: the canonical
+        fingerprint (which reads the signature streams, never the resident
+        journals) is unchanged by it."""
+        def run(compaction):
+            system = _system(
+                fast_network,
+                backend="serial",
+                settlement_config=SettlementConfig(compaction=compaction),
+            )
+            workload = _workload(cross_shard_fraction=0.8, router=system.router)
+            system.schedule_submissions(workload)
+            result = system.run()
+            stream = list(result.settlement_stream)
+            resident = system.settlement.resident_journal_records()
+            system.close()
+            return stream, resident
+
+        with_compaction, resident_on = run(True)
+        without, resident_off = run(False)
+        assert with_compaction == without
+        assert resident_on < resident_off

@@ -112,3 +112,127 @@ class TestClusterWorkload:
             cluster_open_loop_workload(ClusterWorkloadConfig(zipf_skew=-1))
         with pytest.raises(ConfigurationError):
             cluster_open_loop_workload(ClusterWorkloadConfig(min_amount=5, max_amount=1))
+
+
+class TestHotspotProfile:
+    """The time-varying Zipf hotspot: skew that shifts across shards."""
+
+    def _router(self, shards=3):
+        from repro.cluster.routing import ShardRouter
+
+        return ShardRouter(shards, 4, salt=9)
+
+    def _config(self, router, **kwargs):
+        from repro.workloads.cluster_driver import HotspotProfile
+
+        defaults = dict(period=0.02, intensity=0.8, width=4, skew=1.2)
+        defaults.update(kwargs)
+        return ClusterWorkloadConfig(
+            user_count=600,
+            aggregate_rate=8_000.0,
+            duration=0.06,
+            zipf_skew=1.0,
+            hotspot=HotspotProfile(**defaults),
+            router=router,
+            seed=21,
+        )
+
+    def test_focus_shard_dominates_each_phase(self):
+        """Per phase, the focus shard receives the lion's share of payments
+        — and the focus genuinely rotates across shards."""
+        router = self._router()
+        config = self._config(router)
+        submissions = cluster_open_loop_workload(config)
+        assert submissions
+        phases: dict = {}
+        for submission in submissions:
+            phase = config.hotspot.phase(submission.time)
+            shard = router.shard_of(submission.destination_user)
+            counts = phases.setdefault(phase, {})
+            counts[shard] = counts.get(shard, 0) + 1
+        assert len(phases) == 3  # duration / period
+        for phase, counts in phases.items():
+            focus = phase % router.shard_count
+            total = sum(counts.values())
+            # intensity=0.8 steers ~80% of payments at the focus shard; the
+            # unsteered remainder spreads hash-uniformly.  0.6 is a loose,
+            # flake-proof floor far above the uniform ~1/3 share.
+            assert counts.get(focus, 0) > 0.6 * total, (phase, counts)
+
+    def test_hot_candidates_cover_every_shard(self):
+        from repro.workloads.cluster_driver import hot_candidates
+
+        router = self._router()
+        candidates = hot_candidates(600, router, 4)
+        assert set(candidates) == {0, 1, 2}
+        for shard, bucket in candidates.items():
+            assert len(bucket) == 4
+            assert all(router.shard_of(user) == shard for user in bucket)
+            assert bucket == sorted(bucket)  # lowest ids = Zipf head
+
+    def test_hotspot_stream_is_deterministic(self):
+        router = self._router()
+        first = cluster_open_loop_workload(self._config(router))
+        second = cluster_open_loop_workload(self._config(router))
+        assert first == second
+
+    def test_hotspot_changes_the_stream(self):
+        router = self._router()
+        with_hotspot = cluster_open_loop_workload(self._config(router))
+        without = cluster_open_loop_workload(
+            ClusterWorkloadConfig(
+                user_count=600, aggregate_rate=8_000.0, duration=0.06,
+                zipf_skew=1.0, router=router, seed=21,
+            )
+        )
+        assert with_hotspot != without
+
+    def test_no_self_payments_under_hotspot(self):
+        router = self._router()
+        for submission in cluster_open_loop_workload(
+            self._config(router, intensity=1.0)
+        ):
+            assert submission.source_user != submission.destination_user
+
+    def test_composes_with_cross_shard_steering(self):
+        """The hotspot has the last word: with both knobs set, the focus
+        shard still dominates (the fraction knob shapes only the payments
+        the hotspot leaves alone)."""
+        router = self._router()
+        config = self._config(router)
+        config = ClusterWorkloadConfig(
+            user_count=600, aggregate_rate=8_000.0, duration=0.06,
+            zipf_skew=1.0, cross_shard_fraction=0.5, hotspot=config.hotspot,
+            router=router, seed=21,
+        )
+        submissions = cluster_open_loop_workload(config)
+        counts: dict = {}
+        for submission in submissions:
+            phase = config.hotspot.phase(submission.time)
+            shard = router.shard_of(submission.destination_user)
+            counts.setdefault(phase, {}).setdefault(shard, 0)
+            counts[phase][shard] += 1
+        for phase, per_shard in counts.items():
+            focus = phase % router.shard_count
+            assert per_shard.get(focus, 0) > 0.5 * sum(per_shard.values())
+
+    def test_invalid_hotspots_rejected(self):
+        from repro.workloads.cluster_driver import HotspotProfile
+
+        router = self._router()
+        with pytest.raises(ConfigurationError):
+            cluster_open_loop_workload(
+                ClusterWorkloadConfig(hotspot=HotspotProfile(period=0.02), seed=1)
+            )  # no router
+        for bad in (
+            dict(period=0.0),
+            dict(period=0.02, intensity=1.5),
+            dict(period=0.02, width=0),
+            dict(period=0.02, skew=-1.0),
+        ):
+            with pytest.raises(ConfigurationError):
+                cluster_open_loop_workload(
+                    ClusterWorkloadConfig(
+                        hotspot=HotspotProfile(**bad), router=router, seed=1
+                    )
+                )
