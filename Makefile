@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-props test-backends test-migration bench-smoke bench soak example clean
+.PHONY: test test-props test-backends test-migration test-obs bench-smoke bench soak trace example clean
 
 ## Narrows the benchmark's execution-backend sweep, e.g.:
 ##   make bench BACKEND=process
@@ -43,6 +43,19 @@ bench:
 ## epoch-policy trade.  The full-horizon version runs under `make bench`.
 soak:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_settlement_soak.py -q
+
+## The observability suite alone: registry/tracer/profiling units plus the
+## telemetry-invariance harness (fingerprints identical with telemetry off,
+## metrics-only and full tracing, on every backend, migrated runs included).
+test-obs:
+	$(PYTHON) -m pytest tests/obs -q
+
+## Export a Chrome trace_event trace of one cluster run (TRACE_cluster.json)
+## and validate it against the schema — as a JSON array (chrome://tracing /
+## Perfetto) and line-by-line (one event object per line).
+trace:
+	REPRO_BENCH_SMOKE=$(SMOKE) $(PYTHON) -m pytest benchmarks/bench_trace.py -q
+	$(PYTHON) -c "from repro.obs import validate_trace_file; name = 'TRACE_cluster$(if $(SMOKE),_smoke,).json'; print(validate_trace_file(name), 'trace events validated in', name)"
 
 ## The cluster quickstart example.
 example:

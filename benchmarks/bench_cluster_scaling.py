@@ -31,17 +31,22 @@ from pathlib import Path
 import pytest
 
 from repro.cluster import MigrationPlan, ThresholdMigrationPolicy
+from repro.eval.environment import environment_meta
 from repro.eval.experiments import (
     ClusterExperimentConfig,
     backend_comparison_experiment,
     cluster_scaling_experiment,
     cross_shard_settlement_experiment,
     migration_rebalancing_experiment,
+    telemetry_breakdown,
+    telemetry_phase_coverage,
+    telemetry_top_counters,
 )
 from repro.eval.reporting import (
     format_backend_table,
     format_cluster_table,
     format_migration_table,
+    format_telemetry_table,
 )
 from repro.network.node import NetworkConfig
 
@@ -115,6 +120,28 @@ def _row_payload(row, fraction=None) -> dict:
     }
 
 
+def _telemetry_payload(telemetry: dict) -> dict:
+    """One run's telemetry as trajectory-JSON: phases, coverage, counters."""
+    return {
+        "mode": telemetry.get("mode") if telemetry else None,
+        "phase_coverage": round(telemetry_phase_coverage(telemetry), 4),
+        "phases": [
+            {
+                "phase": row.phase,
+                "count": row.count,
+                "total_s": round(row.total_s, 6),
+                "mean_ms": round(row.mean_s * 1000, 4),
+                "share": round(row.share, 4),
+            }
+            for row in telemetry_breakdown(telemetry)
+        ],
+        "top_counters": [
+            {"counter": name, "value": value}
+            for name, value in telemetry_top_counters(telemetry, limit=8)
+        ],
+    }
+
+
 def _update_json(
     key: str, rows: list, config: ClusterExperimentConfig, extra: dict = None
 ) -> None:
@@ -130,6 +157,10 @@ def _update_json(
         payload = json.loads(OUTPUT_PATH.read_text(encoding="utf-8"))
     payload["benchmark"] = "cluster_scaling"
     payload["smoke"] = SMOKE
+    # Provenance: which interpreter, host and revision produced the numbers.
+    # Refreshed on every write so a partially regenerated file is stamped by
+    # the run that last touched it.
+    payload["meta"] = environment_meta()
     payload[key] = {
         "workload": {
             "user_count": config.user_count,
@@ -399,6 +430,22 @@ def test_backend_wall_clock(benchmark):
         + ", ".join(f"{row.backend}={row.fingerprint[:12]}" for row in rows)
     )
 
+    # Telemetry rides along on every run (fingerprint-neutral, asserted
+    # above): per-backend phase breakdowns land in the trajectory JSON, and
+    # the instrumented phases must explain >= 90% of the measured wall time
+    # — otherwise the breakdown has drifted out of the hot path and the
+    # wall-clock columns above are unexplained.
+    telemetry_rows = []
+    for row in rows:
+        coverage = telemetry_phase_coverage(row.telemetry)
+        benchmark.extra_info[f"{row.backend}_phase_coverage"] = round(coverage, 3)
+        assert row.telemetry is not None
+        assert coverage >= 0.9, (
+            f"phase breakdown explains only {coverage:.1%} of backend="
+            f"{row.backend} wall time"
+        )
+        telemetry_rows.append({"backend": row.backend, **_telemetry_payload(row.telemetry)})
+
     # The >= 1.5x process-vs-serial bound is only meaningful where cores
     # exist to parallelise onto.  The gate's outcome is recorded explicitly
     # in the JSON — "passed" where it ran, a named skip reason where it could
@@ -455,8 +502,11 @@ def test_backend_wall_clock(benchmark):
             "speedup_gate": speedup_gate,
         },
     )
+    _update_json("telemetry_rows", telemetry_rows, config)
     print()
     print(format_backend_table(rows))
+    print()
+    print(format_telemetry_table(telemetry_breakdown(rows[0].telemetry)))
     if speedup_gate["status"] in ("passed", "failed"):
         assert speedup >= 1.5, (
             f"ProcessPoolBackend only {speedup:.2f}x faster than serial at "

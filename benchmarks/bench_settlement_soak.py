@@ -44,12 +44,20 @@ from repro.cluster import (
     LatencyTargetEpochPolicy,
     MigrationPlan,
 )
+from repro.eval.environment import environment_meta
 from repro.eval.experiments import (
     ClusterExperimentConfig,
     epoch_policy_experiment,
     settlement_soak_experiment,
+    telemetry_breakdown,
+    telemetry_phase_coverage,
+    telemetry_top_counters,
 )
-from repro.eval.reporting import format_epoch_policy_table, format_soak_table
+from repro.eval.reporting import (
+    format_epoch_policy_table,
+    format_soak_table,
+    format_telemetry_table,
+)
 from repro.network.node import NetworkConfig
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
@@ -95,6 +103,9 @@ def _update_json(key: str, payload: dict) -> None:
         existing = json.loads(OUTPUT_PATH.read_text(encoding="utf-8"))
     existing["benchmark"] = "cluster_scaling"
     existing["smoke"] = SMOKE
+    # Same provenance block as bench_cluster_scaling: both suites share the
+    # artefact, so whichever wrote last stamps the run that produced it.
+    existing["meta"] = environment_meta()
     existing[key] = payload
     OUTPUT_PATH.write_text(json.dumps(existing, indent=2) + "\n", encoding="utf-8")
 
@@ -152,9 +163,19 @@ def test_settlement_soak_bounded_resident_records(benchmark):
         f"quiescence; expected at most the per-stream watermarks"
     )
 
+    # The soak's telemetry (fingerprint-neutral): the phase breakdown spans
+    # every checkpointed run() plus the drain, and must still explain >= 90%
+    # of the total instrumented wall time.
+    coverage = telemetry_phase_coverage(report.telemetry)
+    assert report.telemetry is not None
+    assert coverage >= 0.9, (
+        f"soak phase breakdown explains only {coverage:.1%} of wall time"
+    )
+
     benchmark.extra_info["peak_resident"] = report.peak_resident
     benchmark.extra_info["cumulative_records"] = report.cumulative_records
     benchmark.extra_info["peak_journal"] = report.peak_journal
+    benchmark.extra_info["phase_coverage"] = round(coverage, 3)
     _update_json(
         "soak",
         {
@@ -185,10 +206,35 @@ def test_settlement_soak_bounded_resident_records(benchmark):
                 }
                 for sample in report.samples
             ],
+            "telemetry_rows": [
+                {
+                    "backend": "serial",
+                    "mode": report.telemetry.get("mode"),
+                    "phase_coverage": round(coverage, 4),
+                    "phases": [
+                        {
+                            "phase": row.phase,
+                            "count": row.count,
+                            "total_s": round(row.total_s, 6),
+                            "mean_ms": round(row.mean_s * 1000, 4),
+                            "share": round(row.share, 4),
+                        }
+                        for row in telemetry_breakdown(report.telemetry)
+                    ],
+                    "top_counters": [
+                        {"counter": name, "value": value}
+                        for name, value in telemetry_top_counters(
+                            report.telemetry, limit=8
+                        )
+                    ],
+                }
+            ],
         },
     )
     print()
     print(format_soak_table(report))
+    print()
+    print(format_telemetry_table(telemetry_breakdown(report.telemetry)))
 
 
 def test_epoch_policy_trade(benchmark):

@@ -26,7 +26,12 @@ account with no cross-shard coordination.  This example:
    load, ``rebalance()`` migrates shards between workers mid-run (snapshot,
    detach, rehydrate — no agreement protocol, because shards never
    coordinate), and the final fingerprint still equals the static run's:
-   results are placement-invariant.
+   results are placement-invariant, and
+7. turns the telemetry on full: the same run traced and metered, its phase
+   breakdown and busiest counters printed, a Chrome ``trace_event`` file
+   (``TRACE_quickstart.json``, loadable in chrome://tracing or Perfetto)
+   written and validated — while the fingerprint still equals the
+   untelemetered run's, because telemetry never perturbs results.
 
 Run with:  python examples/cluster_quickstart.py
 """
@@ -35,8 +40,15 @@ import os
 import time
 
 from repro.cluster import ClusterSystem
-from repro.eval.experiments import ClusterExperimentConfig, run_cluster
-from repro.eval.reporting import format_cluster_table
+from repro.eval.experiments import (
+    ClusterExperimentConfig,
+    run_cluster,
+    telemetry_breakdown,
+    telemetry_phase_coverage,
+    telemetry_top_counters,
+)
+from repro.eval.reporting import format_cluster_table, format_telemetry_table
+from repro.obs import validate_trace_file
 from repro.network.node import NetworkConfig
 from repro.workloads.cluster_driver import (
     ClusterSubmission,
@@ -176,12 +188,57 @@ def live_rebalance() -> None:
     live.close()
 
 
+def telemetry_tour() -> None:
+    """The same run metered, traced and profiled-for-free: the telemetry
+    layer records where the wall clock went without moving a single result
+    bit (the fingerprint invariant, checked live below)."""
+    def build(telemetry):
+        system = ClusterSystem(
+            shard_count=2, replicas_per_shard=4, batch_size=4,
+            network_config=NetworkConfig(seed=7), backend="serial",
+            telemetry=telemetry, seed=7,
+        )
+        config = ClusterExperimentConfig(
+            user_count=2_000, aggregate_rate=4_000.0, duration=0.04,
+            cross_shard_fraction=0.5, network=NetworkConfig(seed=7), seed=7,
+        )
+        system.schedule_submissions(config.workload(system.router))
+        return system
+
+    bare = build("off")
+    reference = bare.run().fingerprint()
+    bare.close()
+
+    system = build("full")
+    result = system.run()
+    system.close()
+    telemetry = result.telemetry
+    coverage = telemetry_phase_coverage(telemetry)
+    print("telemetry: the same run with metrics and span tracing on full")
+    print(f"  -> fingerprint equals the telemetry-off run: "
+          f"{result.fingerprint() == reference} (telemetry never perturbs results)")
+    print()
+    print(format_telemetry_table(telemetry_breakdown(telemetry)))
+    print(f"  (phase breakdown explains {coverage:.1%} of the run's wall time)")
+    print()
+    print("  busiest counters (driver + all shards merged):")
+    for name, value in telemetry_top_counters(telemetry, limit=5):
+        print(f"    {name:24s} {value:>10,}")
+    trace_path = "TRACE_quickstart.json"
+    events = result.export_trace(trace_path)
+    validate_trace_file(trace_path)
+    print(f"  -> wrote {trace_path} ({events} trace events, schema-validated;")
+    print(f"     load it in chrome://tracing or https://ui.perfetto.dev)")
+
+
 def main() -> None:
     cross_shard_round_trip()
     print()
     backend_speedup()
     print()
     live_rebalance()
+    print()
+    telemetry_tour()
     print()
     config = ClusterExperimentConfig(
         user_count=100_000,

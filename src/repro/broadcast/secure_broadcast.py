@@ -69,6 +69,18 @@ class BroadcastStats:
             return 0.0
         return self.payload_items / self.delivered
 
+    def record_to(self, metrics, prefix: str = "broadcast") -> None:
+        """Sample this accounting into a :class:`repro.obs.MetricsRegistry`.
+
+        Gauges, not counters: the stats object is already cumulative, so the
+        telemetry capture samples the level once rather than re-counting the
+        hot path.
+        """
+        metrics.set_gauge(f"{prefix}.started", self.broadcasts_started)
+        metrics.set_gauge(f"{prefix}.messages_sent", self.messages_sent)
+        metrics.set_gauge(f"{prefix}.delivered", self.delivered)
+        metrics.set_gauge(f"{prefix}.payload_items", self.payload_items)
+
 
 def payload_item_count(payload: Any) -> int:
     """Number of application-level items carried by a broadcast payload.

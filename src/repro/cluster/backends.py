@@ -44,6 +44,7 @@ reliable, source-ordered certificate delivery, and that batches freely.
 from __future__ import annotations
 
 import abc
+import cProfile
 import itertools
 import math
 import multiprocessing
@@ -54,6 +55,7 @@ import traceback
 import weakref
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -76,9 +78,31 @@ from repro.cluster.shard import AdvanceReport, Shard, ShardSnapshot, ShardSpec
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.types import ProcessId, Transfer
 from repro.network.simulator import Simulator
+from repro.obs.profiling import profile_stats_dict
 from repro.workloads.cluster_driver import RoutedSubmission
 
 BACKEND_NAMES = ("serial", "thread", "process")
+
+
+@contextmanager
+def _phase(metrics, tracer, name, **span_kwargs):
+    """Time a driver-side phase into a histogram and (optionally) a span.
+
+    Telemetry sinks are write-only here: nothing the protocol computes ever
+    reads the measured durations, so attaching them cannot perturb a result
+    (the telemetry invariant).  Both sinks are optional; with neither, the
+    only cost is two ``perf_counter`` calls per phase per barrier.
+    """
+    started = _time.perf_counter()
+    try:
+        if tracer is not None:
+            with tracer.span(name, **span_kwargs) as span:
+                yield span
+        else:
+            yield None
+    finally:
+        if metrics is not None:
+            metrics.observe(name, _time.perf_counter() - started)
 
 
 # -- the epoch-policy seam --------------------------------------------------------------------
@@ -308,6 +332,27 @@ class ExecutionBackend(abc.ABC):
 
     name: str = "abstract"
 
+    #: Optional telemetry sinks, attached by the deployment before ``open``.
+    #: Backends only ever *write* measurements into them — no protocol
+    #: decision reads them back — so results are identical with or without.
+    metrics = None
+    tracer = None
+    #: When true, the process pool samples a ``cProfile`` per worker; the
+    #: in-process backends are covered by the driver-side profiler instead.
+    profile: bool = False
+
+    def attach_telemetry(self, metrics=None, tracer=None, profile: bool = False) -> None:
+        """Install the deployment's telemetry sinks on this session."""
+        self.metrics = metrics
+        self.tracer = tracer
+        self.profile = profile
+
+    def collect_profiles(self) -> List[dict]:
+        """Raw worker ``cProfile`` stats dicts (empty unless profiling
+        out-of-process work — the driver profiler already sees in-process
+        backends)."""
+        return []
+
     @abc.abstractmethod
     def open(
         self,
@@ -399,8 +444,10 @@ class SerialBackend(ExecutionBackend):
         and records the same deterministic signature the process pool would,
         so the equivalence harness can compare recorded migration streams
         across all three backends.  ``snapshot_bytes`` is measured the same
-        way (a pickled :class:`ShardSnapshot`), making the benchmark's
-        bytes-per-move column comparable too.
+        way (a pickled :meth:`~repro.cluster.shard.ShardSnapshot.state_view`
+        — protocol state only, telemetry stripped, so the figure does not
+        depend on which counters happened to be enabled), making the
+        benchmark's bytes-per-move column comparable too.
         """
         if self._placement is None:
             return super().migrate(barrier, time, moves)
@@ -411,25 +458,55 @@ class SerialBackend(ExecutionBackend):
             if source == move.worker:
                 continue
             started = _time.perf_counter()
-            snapshot_bytes = len(pickle.dumps(self._shards[move.shard].snapshot()))
-            self._placement.move(move.shard, move.worker)
-            records.append(
-                MigrationRecord(
-                    barrier=barrier,
-                    time=time,
-                    shard=move.shard,
-                    source_worker=source,
-                    target_worker=move.worker,
-                    snapshot_bytes=snapshot_bytes,
-                    stall_s=_time.perf_counter() - started,
+            with _phase(
+                None, self.tracer, "migrate.snapshot", cat="migration", shard=move.shard
+            ):
+                snapshot_bytes = len(
+                    pickle.dumps(self._shards[move.shard].snapshot().state_view())
                 )
+            self._placement.move(move.shard, move.worker)
+            record = MigrationRecord(
+                barrier=barrier,
+                time=time,
+                shard=move.shard,
+                source_worker=source,
+                target_worker=move.worker,
+                snapshot_bytes=snapshot_bytes,
+                stall_s=_time.perf_counter() - started,
             )
+            records.append(record)
+            if self.metrics is not None:
+                self.metrics.inc("migrate.moves")
+                self.metrics.observe("migrate.snapshot_bytes", snapshot_bytes)
+                self.metrics.observe("migrate.stall_s", record.stall_s)
         return records
 
     def advance(
         self, horizon: Optional[float], max_events: Optional[int] = None
     ) -> Dict[int, AdvanceReport]:
-        return {shard.index: shard.advance(horizon, max_events) for shard in self._shards}
+        if self.tracer is None:
+            return {
+                shard.index: shard.advance(horizon, max_events) for shard in self._shards
+            }
+        return {
+            shard.index: self._traced_advance(shard, horizon, max_events)
+            for shard in self._shards
+        }
+
+    def _traced_advance(
+        self, shard: Shard, horizon: Optional[float], max_events: Optional[int]
+    ) -> AdvanceReport:
+        """One shard's advance under a ``shard.advance`` span (tid = shard)."""
+        with self.tracer.span(
+            "shard.advance",
+            cat="shard",
+            tid=1 + shard.index,
+            sim_start=shard.simulator.now,
+            shard=shard.index,
+        ) as span:
+            report = shard.advance(horizon, max_events)
+            span.sim_end = report.now
+        return report
 
     def apply_mints(
         self, time: float, mints: Dict[int, List[Tuple[ProcessId, Transfer]]]
@@ -477,10 +554,20 @@ class ThreadBackend(SerialBackend):
         self, horizon: Optional[float], max_events: Optional[int] = None
     ) -> Dict[int, AdvanceReport]:
         assert self._pool is not None, "backend session not open"
-        futures = {
-            shard.index: self._pool.submit(shard.advance, horizon, max_events)
-            for shard in self._shards
-        }
+        if self.tracer is None:
+            futures = {
+                shard.index: self._pool.submit(shard.advance, horizon, max_events)
+                for shard in self._shards
+            }
+        else:
+            # Spans are recorded from the pool threads; list.append is atomic
+            # under the GIL, and each shard is touched by exactly one task.
+            futures = {
+                shard.index: self._pool.submit(
+                    self._traced_advance, shard, horizon, max_events
+                )
+                for shard in self._shards
+            }
         return {index: future.result() for index, future in futures.items()}
 
     def close(self) -> None:
@@ -532,6 +619,7 @@ def _worker_main(
     connection,
     specs: List[ShardSpec],
     submissions: Dict[int, List[RoutedSubmission]],
+    profile: bool = False,
 ) -> None:
     """One worker process: builds its shards from specs and serves commands.
 
@@ -543,7 +631,17 @@ def _worker_main(
     its snapshot), ``adopt`` rehydrates one by deterministic replay.  Every
     payload crossing the pipe is plain picklable data; exceptions travel
     back as formatted tracebacks.
+
+    With ``profile`` the whole worker lifetime (shard build included) runs
+    under a :mod:`cProfile` sampler; the ``profile`` command stops it and
+    ships the raw stats dict back (a :class:`pstats.Stats` object does not
+    pickle) for driver-side merging.  Profiling changes *when* things run,
+    never *what* runs — command handling is identical either way.
     """
+    profiler = None
+    if profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
     shards: Dict[int, Shard] = {}
     for spec in specs:
         shard = spec.build()
@@ -591,6 +689,13 @@ def _worker_main(
                 connection.send(
                     ("ok", {index: shards[index].snapshot() for index in sorted(shards)})
                 )
+            elif kind == "profile":
+                if profiler is None:
+                    connection.send(("ok", None))
+                else:
+                    profiler.disable()
+                    connection.send(("ok", profile_stats_dict(profiler)))
+                    profiler = None
             elif kind == "stop":
                 connection.send(("ok", None))
                 break
@@ -670,7 +775,7 @@ class ProcessPoolBackend(ExecutionBackend):
             }
             process = context.Process(
                 target=_worker_main,
-                args=(child, per_worker_specs[slot], worker_submissions),
+                args=(child, per_worker_specs[slot], worker_submissions, self.profile),
                 daemon=True,
                 name=f"shard-worker-{slot}",
             )
@@ -684,10 +789,25 @@ class ProcessPoolBackend(ExecutionBackend):
         )
 
     def _request(self, slot: int, command: tuple) -> None:
-        self._workers[slot][1].send(command)
+        if self.tracer is not None:
+            # Pipe encode: pickling the command into the worker's connection.
+            with self.tracer.span(
+                "pipe.send", cat="pipe", tid=1 + slot, command=command[0]
+            ):
+                self._workers[slot][1].send(command)
+        else:
+            self._workers[slot][1].send(command)
+        if self.metrics is not None:
+            self.metrics.inc("pipe.commands")
+            self.metrics.inc(f"pipe.{command[0]}")
 
     def _collect(self, slot: int) -> Any:
-        status, payload = self._workers[slot][1].recv()
+        if self.tracer is not None:
+            # Pipe decode: blocking until the worker replies, then unpickling.
+            with self.tracer.span("pipe.recv", cat="pipe", tid=1 + slot):
+                status, payload = self._workers[slot][1].recv()
+        else:
+            status, payload = self._workers[slot][1].recv()
         if status != "ok":
             raise SimulationError(f"shard worker {slot} failed:\n{payload}")
         return payload
@@ -739,10 +859,14 @@ class ProcessPoolBackend(ExecutionBackend):
         the transfer is: snapshot-and-detach on the source worker, then
         deterministic replay (spec + arrivals + barrier command history) on
         the target — see :func:`_replay_shard`.  The adopting worker's
-        snapshot must equal the evicted one byte for byte; a mismatch means
-        the replay diverged and the run aborts rather than silently forking
-        the shard's timeline.  Requires the session to have been opened with
-        ``record_history`` (ClusterSystem does whenever migration is on).
+        snapshot must equal the evicted one byte for byte *on its protocol
+        state* (:meth:`~repro.cluster.shard.ShardSnapshot.state_view`);
+        telemetry is excluded because the replay's advance-call pattern
+        legitimately differs from the original timeline's, while a protocol
+        mismatch means the replay diverged and the run aborts rather than
+        silently forking the shard's timeline.  Requires the session to have
+        been opened with ``record_history`` (ClusterSystem does whenever
+        migration is on).
         """
         if self._placement is None:
             return super().migrate(barrier, time, moves)
@@ -760,41 +884,47 @@ class ProcessPoolBackend(ExecutionBackend):
             if source == move.worker:
                 continue
             started = _time.perf_counter()
-            self._request(source, ("evict", [move.shard]))
-            evicted = self._collect(source)[move.shard]
-            self._request(
-                move.worker,
-                (
-                    "adopt",
-                    [
-                        (
-                            self._specs[move.shard],
-                            self._submissions.get(move.shard, []),
-                            self._history[move.shard],
-                            time,
-                        )
-                    ],
-                ),
-            )
-            adopted = self._collect(move.worker)[move.shard]
-            if adopted != evicted:
+            with _phase(
+                None, self.tracer, "migrate.evict_adopt", cat="migration", shard=move.shard
+            ):
+                self._request(source, ("evict", [move.shard]))
+                evicted = self._collect(source)[move.shard]
+                self._request(
+                    move.worker,
+                    (
+                        "adopt",
+                        [
+                            (
+                                self._specs[move.shard],
+                                self._submissions.get(move.shard, []),
+                                self._history[move.shard],
+                                time,
+                            )
+                        ],
+                    ),
+                )
+                adopted = self._collect(move.worker)[move.shard]
+            if adopted.state_view() != evicted.state_view():
                 raise SimulationError(
                     f"shard {move.shard} diverged while migrating from worker "
                     f"{source} to {move.worker}: the adopting replay does not "
                     "match the evicted snapshot"
                 )
             self._placement.move(move.shard, move.worker)
-            records.append(
-                MigrationRecord(
-                    barrier=barrier,
-                    time=time,
-                    shard=move.shard,
-                    source_worker=source,
-                    target_worker=move.worker,
-                    snapshot_bytes=len(pickle.dumps(evicted)),
-                    stall_s=_time.perf_counter() - started,
-                )
+            record = MigrationRecord(
+                barrier=barrier,
+                time=time,
+                shard=move.shard,
+                source_worker=source,
+                target_worker=move.worker,
+                snapshot_bytes=len(pickle.dumps(evicted.state_view())),
+                stall_s=_time.perf_counter() - started,
             )
+            records.append(record)
+            if self.metrics is not None:
+                self.metrics.inc("migrate.moves")
+                self.metrics.observe("migrate.snapshot_bytes", record.snapshot_bytes)
+                self.metrics.observe("migrate.stall_s", record.stall_s)
         return records
 
     def finalize(self) -> None:
@@ -805,6 +935,24 @@ class ProcessPoolBackend(ExecutionBackend):
             snapshots.update(self._collect(slot))
         for shard in self._shards:
             shard.restore(snapshots[shard.index])
+
+    def collect_profiles(self) -> List[dict]:
+        """Stop each worker's sampler and ship its raw stats dict home.
+
+        One round trip per worker, once per session, after the run — so the
+        profile command never interleaves with epoch traffic.  Workers
+        opened without ``profile`` answer ``None`` and are skipped.
+        """
+        if not self.profile or not self._workers:
+            return []
+        for slot in range(len(self._workers)):
+            self._request(slot, ("profile",))
+        collected: List[dict] = []
+        for slot in range(len(self._workers)):
+            raw = self._collect(slot)
+            if raw:
+                collected.append(raw)
+        return collected
 
     @staticmethod
     def _shutdown(workers: List[Tuple[Any, Any]]) -> None:
@@ -886,12 +1034,20 @@ class EpochScheduler:
         policy: Optional[EpochPolicy] = None,
         placement: Optional[PlacementPlan] = None,
         migration: Optional[MigrationPolicy] = None,
+        metrics=None,
+        tracer=None,
     ) -> None:
         if policy is None:
             if epoch is None:
                 raise ConfigurationError("need an epoch width or an EpochPolicy")
             policy = FixedEpochPolicy(epoch)
         self.policy = policy
+        # Driver-side telemetry sinks (repro.obs).  Strictly write-only from
+        # the scheduler's point of view: phase wall-times, exchange counters
+        # and queue depths go in, nothing ever comes back out into a barrier
+        # or width decision — so the schedule is identical with them off.
+        self.metrics = metrics
+        self.tracer = tracer
         # The *current* epoch width; FixedEpochPolicy keeps it constant.
         self.epoch = policy.initial_epoch()
         if self.epoch <= 0:
@@ -981,7 +1137,13 @@ class EpochScheduler:
         """Advance the cluster to quiescence (or ``until``); returns the
         final per-shard reports."""
         if self._reports is None:
-            self._reports = backend.advance(self.now, max_events)
+            with _phase(
+                self.metrics, self.tracer, "phase.advance", cat="scheduler",
+                sim_start=self.now, barrier=self.barriers,
+            ) as span:
+                self._reports = backend.advance(self.now, max_events)
+                if span is not None:
+                    span.sim_end = self.now
             self._check_budget(max_events)
         while True:
             # Migrate phase: every shard is quiescent through ``now`` here
@@ -989,8 +1151,18 @@ class EpochScheduler:
             # move is pure state transfer.  Guarded to run once per taken
             # barrier — a pause/resume re-enters this loop at the same
             # barrier and must not re-decide.
-            self._maybe_migrate(backend)
-            applied = self._exchange(backend, fabric)
+            with _phase(
+                self.metrics, self.tracer, "phase.migrate", cat="scheduler",
+                sim_start=self.now, barrier=self.barriers,
+            ):
+                self._maybe_migrate(backend)
+            with _phase(
+                self.metrics, self.tracer, "phase.exchange", cat="scheduler",
+                sim_start=self.now, barrier=self.barriers,
+            ):
+                applied = self._exchange(backend, fabric)
+            if self.metrics is not None:
+                self.metrics.observe("barrier.queue_depth", self.in_flight)
             if fabric is not None:
                 samples = fabric.take_latency_samples()
                 if samples:
@@ -1035,16 +1207,30 @@ class EpochScheduler:
                 # simulated times during its next epoch.
                 if applied:
                     budget = self._remaining_budget(max_events)
-                    self._reports = backend.advance(self.now, budget)
+                    with _phase(
+                        self.metrics, self.tracer, "phase.advance", cat="scheduler",
+                        sim_start=self.now, barrier=self.barriers,
+                    ) as span:
+                        self._reports = backend.advance(self.now, budget)
+                        if span is not None:
+                            span.sim_end = self.now
                     self._check_budget(max_events)
                 break
             self.epoch = width
             self._volume_since_barrier = 0
             budget = self._remaining_budget(max_events)
-            self._reports = backend.advance(horizon, budget)
+            with _phase(
+                self.metrics, self.tracer, "phase.advance", cat="scheduler",
+                sim_start=self.now, barrier=self.barriers,
+            ) as span:
+                self._reports = backend.advance(horizon, budget)
+                if span is not None:
+                    span.sim_end = horizon
             self._check_budget(max_events)
             self.now = horizon
             self.barriers += 1
+            if self.metrics is not None:
+                self.metrics.inc("scheduler.barriers")
         return self._reports
 
     def _maybe_migrate(self, backend: ExecutionBackend) -> None:
@@ -1087,6 +1273,8 @@ class EpochScheduler:
             self._settlement_load[event.shard] = (
                 self._settlement_load.get(event.shard, 0) + 1
             )
+        if events and self.metrics is not None:
+            self.metrics.inc("exchange.validations", len(events))
         # Consume exactly once: run() can be re-entered (pause/resume, drain
         # after a run) with the same final reports still in hand, and
         # replaying an epoch's validations would voucher — and mint — the
@@ -1124,6 +1312,8 @@ class EpochScheduler:
                 grouped.setdefault(shard, []).append((replica, transfer))
                 self._settlement_load[shard] = self._settlement_load.get(shard, 0) + 1
             applied += len(self._mints)
+            if self.metrics is not None:
+                self.metrics.inc("exchange.mints", len(self._mints))
             self._mints = []
             backend.apply_mints(self.now, grouped)
         if self._retirements:
@@ -1132,6 +1322,8 @@ class EpochScheduler:
                 retire_grouped.setdefault(shard, []).append(transfer)
                 self._settlement_load[shard] = self._settlement_load.get(shard, 0) + 1
             applied += len(self._retirements)
+            if self.metrics is not None:
+                self.metrics.inc("exchange.retirements", len(self._retirements))
             self._retirements = []
             backend.apply_retirements(self.now, retire_grouped)
         return applied
@@ -1152,6 +1344,8 @@ class EpochScheduler:
         for _, _, relay, payload in ready:
             deliver(relay, payload)
         self._volume_since_barrier += len(ready)
+        if self.metrics is not None:
+            self.metrics.inc(f"exchange.{queue_name.lstrip('_')}", len(ready))
         return True
 
     def _next_target(self, applied: int) -> float:

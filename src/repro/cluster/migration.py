@@ -108,6 +108,20 @@ class MigrationRecord:
         )
 
 
+def migration_totals(records: Sequence[MigrationRecord]) -> Dict[str, float]:
+    """Aggregate a migration stream for the telemetry capture.
+
+    Totals only — moves, snapshot bytes shipped, barrier stall time — so the
+    result's telemetry section can summarise the schedule without repeating
+    the full per-move record list the migrations section already carries.
+    """
+    return {
+        "moves": len(records),
+        "snapshot_bytes": sum(record.snapshot_bytes for record in records),
+        "stall_s": sum(record.stall_s for record in records),
+    }
+
+
 class PlacementPlan:
     """The mutable shard -> worker assignment, shared across the stack.
 

@@ -59,6 +59,14 @@ class ClusterResult:
     # fingerprint equal.
     retired_records: Optional[int] = None
     resident_settlement_records: Optional[int] = None
+    # Observability capture (``ClusterSystem._capture_telemetry``): the
+    # telemetry section carries merged metric snapshots (mode, driver,
+    # per-shard, cluster totals, span aggregates); ``trace`` holds the raw
+    # chrome://tracing events when the run traced (telemetry="full").
+    # Volatile by nature — wall-clock figures differ on every run — so the
+    # section rides the payload for inspection but never enters the hash.
+    telemetry: Optional[Dict[str, object]] = None
+    trace: Optional[List[dict]] = None
 
     # -- SystemResult-compatible surface ------------------------------------------------------
 
@@ -159,6 +167,7 @@ class ClusterResult:
             "rejected_count": len(self.rejected),
             "retired_records": self.retired_records,
             "resident_settlement_records": self.resident_settlement_records,
+            "telemetry": self.telemetry,
         }
 
     # Payload sections that describe *where* the run was computed rather
@@ -167,6 +176,28 @@ class ClusterResult:
     # fingerprint hash excludes them: its contract is that placement — and
     # any migration schedule whatsoever — never changes results.
     PLACEMENT_SECTIONS = ("migrations",)
+
+    # Payload sections that describe *how the run felt* rather than what it
+    # computed: wall-clock phase timings, counter volumes, span aggregates.
+    # Excluded from the hash (the telemetry invariant: tracing on, off or
+    # partial never changes results) *and* from payload-level equivalence
+    # comparisons (:meth:`comparable_payload`) — wall time legitimately
+    # differs between backends, runs and telemetry modes.
+    VOLATILE_SECTIONS = ("telemetry",)
+
+    def comparable_payload(self) -> Dict[str, object]:
+        """The payload minus its volatile sections.
+
+        What payload-level equality means across backends, pauses and
+        telemetry modes: everything deterministic — placement sections
+        included, since migration *decisions* must be backend-invariant —
+        with only the wall-clock telemetry stripped.
+        """
+        return {
+            key: value
+            for key, value in self.fingerprint_payload().items()
+            if key not in self.VOLATILE_SECTIONS
+        }
 
     def fingerprint(self) -> str:
         """SHA-256 over the canonical JSON encoding of the run.
@@ -180,14 +211,36 @@ class ClusterResult:
         migration stream) are excluded from the hash: results are
         placement-invariant, so a migrated run and the static run hash
         identically while the payload still records how the shards moved.
+        The volatile sections (:attr:`VOLATILE_SECTIONS` — the telemetry
+        capture) are excluded too: observability is measurement, never
+        content, so fingerprints are identical with telemetry off, on or
+        partial (the telemetry invariant).
         """
+        excluded = self.PLACEMENT_SECTIONS + self.VOLATILE_SECTIONS
         payload = {
             key: value
             for key, value in self.fingerprint_payload().items()
-            if key not in self.PLACEMENT_SECTIONS
+            if key not in excluded
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def export_trace(self, path) -> int:
+        """Write the run's chrome://tracing file; returns the event count.
+
+        The file is a Chrome ``trace_event`` JSON array with one event per
+        line — loadable in chrome://tracing and Perfetto, greppable line by
+        line.  Requires a traced run (``telemetry="full"``).
+        """
+        if self.trace is None:
+            raise ConfigurationError(
+                "this run recorded no trace; construct the ClusterSystem "
+                "with telemetry='full' to trace it"
+            )
+        from repro.obs.tracing import write_trace_events
+
+        write_trace_events(path, self.trace)
+        return len(self.trace)
 
 
 @dataclass(frozen=True)

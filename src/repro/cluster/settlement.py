@@ -197,16 +197,32 @@ class SettlementConfig:
     ``compaction`` switches the acknowledgement/retirement lifecycle; with it
     off, outbound ``x{d}:a`` records accumulate forever (the pre-lifecycle
     behaviour, kept for negative controls and growth measurements).
+
+    ``latency_window`` sizes the fabric's p95 settlement-latency estimator
+    (:meth:`SettlementFabric.settlement_latency_p95`).  The estimator is a
+    *recency window*: a bounded deque of the most recent ``latency_window``
+    source-validation-to-mint samples, over which the nearest-rank p95 is
+    computed.  Windowed rather than whole-run so the fabric's per-mint
+    memory stays O(window) however long the run soaks; the reported figure
+    is therefore "p95 of the last ``latency_window`` mints", which
+    coincides with the whole-run p95 for runs shorter than the window and
+    ages out old samples on longer ones.  The count/average/max figures
+    (:meth:`SettlementFabric.settlement_latency`) remain whole-run O(1)
+    aggregates and are unaffected by the window.  Defaults to
+    :data:`LATENCY_P95_WINDOW`.
     """
 
     voucher_delay: float = 0.001
     delivery_delay: float = 0.002
     ack_delay: float = 0.001
     compaction: bool = True
+    latency_window: int = LATENCY_P95_WINDOW
 
     def validate(self) -> None:
         if self.voucher_delay < 0 or self.delivery_delay < 0 or self.ack_delay < 0:
             raise ConfigurationError("settlement delays must be non-negative")
+        if self.latency_window < 1:
+            raise ConfigurationError("latency_window must be at least 1 sample")
 
 
 # -- account naming ---------------------------------------------------------------------------
@@ -867,7 +883,7 @@ class SettlementFabric:
         self._latency_count = 0
         self._latency_total = 0.0
         self._latency_max = 0.0
-        self._latency_window: deque = deque(maxlen=LATENCY_P95_WINDOW)
+        self._latency_window: deque = deque(maxlen=self.config.latency_window)
         self._latency_pending: List[float] = []
         for shard in shards:
             for pid in sorted(shard.nodes):
@@ -1275,9 +1291,33 @@ class SettlementFabric:
         drives toward its goal; reported next to the average/max so the
         epoch-policy benchmark can show the trade.  Windowed rather than
         whole-run so the fabric's memory stays bounded; for runs shorter
-        than the window the two coincide.
+        than the window the two coincide.  The window size is
+        :attr:`SettlementConfig.latency_window` (see its docstring for the
+        estimator's exact semantics).
         """
         return p95(list(self._latency_window))
+
+    def telemetry_sample(self, metrics) -> None:
+        """Sample lifecycle depths and latencies into an obs registry.
+
+        Gauges over the fabric's own cumulative accounting — the
+        voucher -> certificate -> mint -> ack -> retire stages each report
+        their volume, the journals their resident depth, and the latency
+        aggregates land next to them.  Sampled once at result capture, so
+        the settlement hot path carries no extra work.
+        """
+        metrics.set_gauge("settle.vouchers_dispatched", self.vouchers_dispatched)
+        metrics.set_gauge("settle.certificates_delivered", self.certificates_delivered())
+        metrics.set_gauge("settle.acks_dispatched", self.acks_dispatched)
+        metrics.set_gauge("settle.retired_claims", self.retired_claims())
+        metrics.set_gauge("settle.resident_journal_records", self.resident_journal_records())
+        metrics.set_gauge("settle.journal_records_total", self.journal_records_total())
+        metrics.set_gauge("settle.in_flight", self.scheduler.in_flight if self.scheduler else 0)
+        count, average, maximum = self.settlement_latency()
+        metrics.set_gauge("settle.latency_samples", count)
+        metrics.set_gauge("settle.latency_avg_s", average)
+        metrics.set_gauge("settle.latency_max_s", maximum)
+        metrics.set_gauge("settle.latency_p95_s", self.settlement_latency_p95())
 
     def take_latency_samples(self) -> List[float]:
         """Drain the latency samples recorded since the last call.

@@ -37,6 +37,7 @@ from repro.mp.consensusless_transfer import (
 from repro.mp.system import SystemResult
 from repro.network.node import Network, NetworkConfig, NodeStats
 from repro.network.simulator import Simulator
+from repro.obs import MetricsRegistry, merge_snapshots
 from repro.spec.byzantine_spec import ClientOperation, ProcessObservation, ValidatedTransfer
 
 
@@ -59,12 +60,17 @@ class ShardSpec:
     network_config: Optional[NetworkConfig] = None
     relay_final: bool = True
     seed: int = 0
+    # Whether the built shard records into a repro.obs.MetricsRegistry.
+    # Pure accounting — the registry is never a protocol input — so the
+    # flag can differ between builds of the same spec without changing a
+    # single event (the telemetry invariant, pinned by tests/obs).
+    telemetry: bool = True
 
     def build(self, simulator: Optional[Simulator] = None) -> "Shard":
         """Construct the shard (with its own simulator unless one is given)."""
         return Shard(
             index=self.index,
-            simulator=simulator if simulator is not None else Simulator(),
+            simulator=simulator,
             replicas=self.replicas,
             initial_balance=self.initial_balance,
             broadcast=self.broadcast,
@@ -72,6 +78,7 @@ class ShardSpec:
             network_config=self.network_config,
             relay_final=self.relay_final,
             seed=self.seed,
+            telemetry=self.telemetry,
         )
 
 
@@ -149,6 +156,18 @@ class ShardSnapshot:
     submitted: int
     broadcast_delivered: int
     payload_items: int
+    # The shard's metrics-registry snapshot (repro.obs), shipped back so the
+    # driver can merge worker-side telemetry.  Excluded from the migration
+    # divergence check (see ProcessPoolBackend.migrate): a replayed shard
+    # re-executes the same protocol work but not the same *driving* pattern
+    # (one advance per barrier vs one per replayed command), so telemetry may
+    # legitimately differ where protocol state may not.
+    metrics: Optional[Dict[str, Dict[str, object]]] = None
+
+    def state_view(self) -> "ShardSnapshot":
+        """This snapshot with telemetry stripped: the protocol-state content
+        two snapshots must agree on byte-for-byte (migration's check)."""
+        return dataclasses.replace(self, metrics=None)
 
 
 class Shard:
@@ -157,7 +176,7 @@ class Shard:
     def __init__(
         self,
         index: int,
-        simulator: Simulator,
+        simulator: Optional[Simulator],
         replicas: int = 4,
         initial_balance: Amount = 1_000_000,
         broadcast: str = "bracha",
@@ -165,6 +184,7 @@ class Shard:
         network_config: Optional[NetworkConfig] = None,
         relay_final: bool = True,
         seed: int = 0,
+        telemetry: bool = True,
     ) -> None:
         if replicas < 4:
             raise ConfigurationError(
@@ -179,13 +199,25 @@ class Shard:
         self.broadcast_kind = broadcast
         self.batch_size = batch_size
         self.relay_final = relay_final
-        self.simulator = simulator
+        # ``simulator=None`` means the shard owns its clock (the epoch
+        # backends and worker processes); a passed-in simulator is shared
+        # with other shards (the classic mode), in which case its telemetry
+        # hook belongs to the deployment, not to any one shard.
+        owns_clock = simulator is None
+        self.simulator = simulator if simulator is not None else Simulator()
+        self.metrics = MetricsRegistry() if telemetry else None
+        self._telemetry = telemetry
+        if owns_clock and self.metrics is not None:
+            self.simulator.metrics = self.metrics
         # Every shard derives its own seed lineage so latency streams and key
         # material are independent across shards yet reproducible.
         shard_seed = derive_seed(seed, "shard", index) % (2**31)
         base_config = network_config or NetworkConfig()
-        self.network = Network(simulator, dataclasses.replace(base_config, seed=shard_seed))
+        self.network = Network(self.simulator, dataclasses.replace(base_config, seed=shard_seed))
         self.scheme = SignatureScheme(seed=shard_seed)
+        # Key pairs capture the registry at creation, so wire it before any
+        # node (or the settlement fabric) asks for one.
+        self.scheme.metrics = self.metrics
         self.result = SystemResult()
         self._initial_balance = initial_balance
         # The construction inputs, kept verbatim so spec() can emit the exact
@@ -200,6 +232,12 @@ class Shard:
         self.submitted = 0
         self._validation_events: List[ValidationEvent] = []
         self._stats_override: Optional[Tuple[int, int]] = None
+        # The worker-side registry snapshot a restore() installed (process
+        # backend twins).  Kept separate from ``self.metrics`` — which holds
+        # this object's *own* recording (driver-side fabric activity for a
+        # twin) — and *replaced*, never merged, on every restore, so repeated
+        # pause/finalize cycles cannot double-count worker telemetry.
+        self._worker_metrics: Optional[Dict[str, Dict[str, object]]] = None
 
     # -- construction -------------------------------------------------------------------------
 
@@ -267,6 +305,7 @@ class Shard:
             network_config=self._base_network_config,
             relay_final=self.relay_final,
             seed=self._seed,
+            telemetry=self._telemetry,
         )
 
     def install_validation_collector(self) -> None:
@@ -380,6 +419,30 @@ class Shard:
         """Outbound records retired behind the watermark at replica 0."""
         return self.nodes[0].retired_records
 
+    def metrics_snapshot(self) -> Optional[Dict[str, Dict[str, object]]]:
+        """The shard's registry as plain dicts, cumulative stats sampled in.
+
+        Broadcast accounting and the network's message count are kept by
+        their own layers; sampling them into gauges here (rather than
+        instrumenting those hot paths twice) keeps recording O(1) and the
+        registry the single merged view the driver folds cluster-wide.
+        """
+        if self.metrics is None:
+            return self._worker_metrics
+        if self._worker_metrics is not None:
+            # Restored twin: the run happened on a worker, whose snapshot
+            # already carries the sampled broadcast/network gauges.  Sampling
+            # this twin's never-run local layers would overwrite them with
+            # zeros, so instead overlay the worker figures on whatever this
+            # registry recorded itself (driver-side fabric activity).
+            return merge_snapshots([self.metrics.snapshot(), self._worker_metrics])
+        layer = self.nodes[0].broadcast_layer
+        if layer is not None:
+            layer.stats.record_to(self.metrics)
+        self.metrics.set_gauge("net.messages_sent", self.network.messages_sent)
+        self.metrics.set_gauge("shard.submitted", self.submitted)
+        return self.metrics.snapshot()
+
     def snapshot(self) -> ShardSnapshot:
         """Capture the inspection-relevant final state as picklable data."""
         nodes = {}
@@ -409,6 +472,7 @@ class Shard:
             submitted=self.submitted,
             broadcast_delivered=self.broadcast_instances(),
             payload_items=self.payload_items(),
+            metrics=self.metrics_snapshot(),
         )
 
     def restore(self, snapshot: ShardSnapshot) -> None:
@@ -444,6 +508,11 @@ class Shard:
         self.network.messages_sent = snapshot.messages_sent
         self.submitted = snapshot.submitted
         self._stats_override = (snapshot.broadcast_delivered, snapshot.payload_items)
+        # Replace, never merge: each pause/finalize cycle restores the
+        # worker's *cumulative* registry, so merging would double-count
+        # counters on the second restore.  ``metrics_snapshot`` overlays
+        # this on the twin's own (driver-side fabric) recording.
+        self._worker_metrics = snapshot.metrics
 
     def finalize(self, duration: float) -> SystemResult:
         """Stamp run-wide figures once the shared simulator has quiesced.

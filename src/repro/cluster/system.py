@@ -26,6 +26,7 @@ settled cross-shard money is conserved end to end, not just per shard.
 
 from __future__ import annotations
 
+import cProfile
 import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -36,12 +37,14 @@ from repro.cluster.backends import (
     EpochPolicy,
     EpochScheduler,
     FixedEpochPolicy,
+    _phase as _timed_phase,
     make_backend,
 )
 from repro.cluster.migration import (
     MigrationRecord,
     Move,
     PlacementPlan,
+    migration_totals,
     normalize_migration,
     rebalance_moves,
 )
@@ -55,6 +58,8 @@ from repro.cluster.settlement import (
 from repro.cluster.shard import Shard
 from repro.network.node import NetworkConfig
 from repro.network.simulator import Simulator
+from repro.obs import MetricsRegistry, Tracer, merge_snapshots, normalize_telemetry
+from repro.obs.profiling import merge_profile_stats, profile_stats_dict
 from repro.spec.byzantine_spec import ByzantineAssetTransferChecker
 from repro.workloads.cluster_driver import ClusterSubmission, partition_submissions
 
@@ -121,6 +126,21 @@ class ClusterSystem:
         results are **placement-invariant**: the run's fingerprint equals
         the static-assignment run's (the extended equivalence harness pins
         this).
+    telemetry:
+        The observability mode: ``"off"`` (no registries, no spans),
+        ``"metrics"`` (the default — counters/gauges/histograms across the
+        stack, O(1) per record), or ``"full"`` (metrics plus span tracing of
+        the hot phases, exportable to chrome://tracing via
+        :meth:`~repro.cluster.result.ClusterResult.export_trace`).  Booleans
+        and ``None`` are accepted shorthands.  **Telemetry never perturbs
+        results**: every sink is write-only from the protocol's point of
+        view, so fingerprints are bit-identical across all three modes (the
+        invariance suite pins this).
+    profile:
+        When true, sample a :mod:`cProfile` profiler in the driver (and in
+        every worker process under the process backend); the merged stats
+        come back from :meth:`profile_stats`.  Profiling changes wall-clock
+        timing only, never results.
     seed:
         Root seed; all shard seeds derive from it.
     """
@@ -141,6 +161,8 @@ class ClusterSystem:
         epoch_policy: Optional[EpochPolicy] = None,
         max_workers: Optional[int] = None,
         migration=None,
+        telemetry="metrics",
+        profile: bool = False,
         seed: int = 0,
     ) -> None:
         if shard_count <= 0:
@@ -163,21 +185,40 @@ class ClusterSystem:
         self.seed = seed
         self.backend_name = backend if backend not in (None, "shared") else "shared"
         self._epoch_mode = self.backend_name != "shared"
+        # Observability: a driver-side registry (mode != off) for phase
+        # timings, scheduler counters and end-of-run gauges; a tracer (mode
+        # == full) for chrome://tracing spans.  Both are write-only sinks —
+        # no protocol decision ever reads them — so every mode produces the
+        # same fingerprint (the telemetry invariant).
+        self.telemetry_mode = normalize_telemetry(telemetry)
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if self.telemetry_mode != "off" else None
+        )
+        self.tracer: Optional[Tracer] = Tracer() if self.telemetry_mode == "full" else None
+        self.profile = bool(profile)
+        self._profiler: Optional[cProfile.Profile] = None
+        self._profile_raw: List[dict] = []
         self.simulator = Simulator()
+        if not self._epoch_mode and self.metrics is not None:
+            # The shared clock belongs to the deployment, not to any shard,
+            # so its event counts land in the driver registry.
+            self.simulator.metrics = self.metrics
         self.router = ShardRouter(shard_count, replicas_per_shard, salt=seed)
         self.shards: List[Shard] = [
             Shard(
                 index=index,
                 # Shared clock classically; per-shard clocks under the epoch
                 # backends (shards never talk, so their event sequences are
-                # independent either way).
-                simulator=self.simulator if not self._epoch_mode else Simulator(),
+                # independent either way — ``None`` lets the shard own its
+                # clock and attach its own registry to it).
+                simulator=self.simulator if not self._epoch_mode else None,
                 replicas=replicas_per_shard,
                 initial_balance=initial_balance,
                 broadcast=broadcast,
                 batch_size=batch_size,
                 network_config=network_config,
                 relay_final=relay_final,
+                telemetry=self.telemetry_mode != "off",
                 seed=seed,
             )
             for index in range(shard_count)
@@ -202,11 +243,17 @@ class ClusterSystem:
                 policy=self.epoch_policy,
                 placement=self.placement,
                 migration=self._migration_policy,
+                metrics=self.metrics,
+                tracer=self.tracer,
             )
             if self._epoch_mode
             else None
         )
         self._backend = make_backend(self.backend_name, max_workers) if self._epoch_mode else None
+        if self._backend is not None:
+            self._backend.attach_telemetry(
+                self.metrics, self.tracer, profile=self.profile
+            )
         self._session_open = False
         self._partitioned: Dict[int, List] = {}
         self.settlement: Optional[SettlementFabric] = (
@@ -267,47 +314,75 @@ class ClusterSystem:
             scheduled += 1
         return scheduled
 
+    def _phase(self, name: str):
+        """A driver-phase timing context (histogram + optional span)."""
+        return _timed_phase(self.metrics, self.tracer, name, cat="driver")
+
+    def _ensure_profiler(self) -> None:
+        """Start the driver-side sampler on the first drive call."""
+        if self.profile and self._profiler is None:
+            self._profiler = cProfile.Profile()
+            self._profiler.enable()
+
     def run(
         self, until: Optional[float] = None, max_events: Optional[int] = None
     ) -> ClusterResult:
         """Drive the cluster to quiescence (shared clock or epoch barriers)."""
         self.start()
+        self._ensure_profiler()
         if self._epoch_mode:
             return self._run_epochs(until=until, max_events=max_events)
-        self.simulator.run(until=until, max_events=max_events)
-        duration = self.simulator.now
-        self._result.shard_results = [shard.finalize(duration) for shard in self.shards]
-        self._result.duration = duration
-        self._result.events_processed = self.simulator.processed_events
-        self._capture_result()
+        with self._phase("phase.total"):
+            with self._phase("phase.sim_run"):
+                self.simulator.run(until=until, max_events=max_events)
+            with self._phase("phase.capture"):
+                duration = self.simulator.now
+                self._result.shard_results = [
+                    shard.finalize(duration) for shard in self.shards
+                ]
+                self._result.duration = duration
+                self._result.events_processed = self.simulator.processed_events
+                self._capture_result()
+        # Outside every phase block: the total/capture histograms must have
+        # recorded before the telemetry section snapshots them.
+        self._capture_telemetry()
         return self._result
 
     def _run_epochs(
         self, until: Optional[float] = None, max_events: Optional[int] = None
     ) -> ClusterResult:
         assert self.scheduler is not None and self._backend is not None
-        if not self._session_open:
-            specs = [shard.spec() for shard in self.shards]
-            self._backend.open(
-                self.shards,
-                specs,
-                self._partitioned,
-                placement=self.placement,
-                record_history=self._migration_enabled,
+        with self._phase("phase.total"):
+            if not self._session_open:
+                with self._phase("phase.open"):
+                    specs = [shard.spec() for shard in self.shards]
+                    self._backend.open(
+                        self.shards,
+                        specs,
+                        self._partitioned,
+                        placement=self.placement,
+                        record_history=self._migration_enabled,
+                    )
+                self._session_open = True
+            reports = self.scheduler.run(
+                self._backend, self.settlement, until=until, max_events=max_events
             )
-            self._session_open = True
-        reports = self.scheduler.run(
-            self._backend, self.settlement, until=until, max_events=max_events
-        )
-        self._backend.finalize()
-        duration = self.scheduler.duration()
-        self._result.shard_results = [shard.finalize(duration) for shard in self.shards]
-        self._result.duration = duration
-        self._result.events_processed = self.scheduler.events_processed()
-        self._result.per_shard_events = [
-            reports[shard.index].processed_events for shard in self.shards
-        ]
-        self._capture_result()
+            with self._phase("phase.finalize"):
+                self._backend.finalize()
+            with self._phase("phase.capture"):
+                duration = self.scheduler.duration()
+                self._result.shard_results = [
+                    shard.finalize(duration) for shard in self.shards
+                ]
+                self._result.duration = duration
+                self._result.events_processed = self.scheduler.events_processed()
+                self._result.per_shard_events = [
+                    reports[shard.index].processed_events for shard in self.shards
+                ]
+                self._capture_result()
+        # Outside every phase block: the total/capture histograms must have
+        # recorded before the telemetry section snapshots them.
+        self._capture_telemetry()
         return self._result
 
     def drain(self) -> ClusterResult:
@@ -320,13 +395,21 @@ class ClusterSystem:
         """
         if not self._epoch_mode:
             self.start()
-            self.simulator.run_until_quiescent()
-            duration = self.simulator.now
-            self._result.shard_results = [shard.finalize(duration) for shard in self.shards]
-            self._result.duration = duration
-            self._result.events_processed = self.simulator.processed_events
-            self._capture_result()
+            self._ensure_profiler()
+            with self._phase("phase.total"):
+                with self._phase("phase.sim_run"):
+                    self.simulator.run_until_quiescent()
+                with self._phase("phase.capture"):
+                    duration = self.simulator.now
+                    self._result.shard_results = [
+                        shard.finalize(duration) for shard in self.shards
+                    ]
+                    self._result.duration = duration
+                    self._result.events_processed = self.simulator.processed_events
+                    self._capture_result()
+            self._capture_telemetry()
             return self._result
+        self._ensure_profiler()
         return self._run_epochs()
 
     def rebalance(
@@ -430,6 +513,63 @@ class ClusterSystem:
             "ledger_matches_relay": audit.ledger_matches_relay,
             "retirement_backed": audit.retirement_backed,
         }
+
+    def _capture_telemetry(self) -> None:
+        """Assemble the result's telemetry section (volatile, hash-excluded).
+
+        Driver-side gauges (settlement lifecycle depths, migration totals)
+        are sampled here — once per capture, never on a hot path — then the
+        per-shard registries are snapshotted and everything is merged into a
+        cluster-wide totals view.  The section lands on the fingerprint
+        *payload* for inspection but is excluded from the fingerprint *hash*
+        (wall-clock figures are legitimately different on every run).
+        """
+        if self.metrics is None:
+            self._result.telemetry = None
+            self._result.trace = None
+            return
+        if self.settlement is not None:
+            self.settlement.telemetry_sample(self.metrics)
+        if self.scheduler is not None:
+            totals = migration_totals(self.scheduler.migration_log)
+            self.metrics.set_gauge("migrate.records", totals["moves"])
+            self.metrics.set_gauge("migrate.snapshot_bytes_total", totals["snapshot_bytes"])
+            self.metrics.set_gauge("migrate.stall_s_total", totals["stall_s"])
+        per_shard = {}
+        for shard in self.shards:
+            snapshot = shard.metrics_snapshot()
+            if snapshot is not None:
+                per_shard[str(shard.index)] = snapshot
+        driver = self.metrics.snapshot()
+        telemetry = {
+            "mode": self.telemetry_mode,
+            "driver": driver,
+            "per_shard": per_shard,
+            "totals": merge_snapshots([driver] + list(per_shard.values())),
+        }
+        if self.tracer is not None:
+            telemetry["spans"] = self.tracer.aggregate()
+            self._result.trace = self.tracer.trace_events()
+        self._result.telemetry = telemetry
+
+    def profile_stats(self):
+        """Merged :mod:`pstats` view of the run (``None`` unless profiling).
+
+        Stops the driver-side sampler, pulls each worker's raw stats over
+        the pipe (process backend only — in-process backends are already in
+        the driver profile) and merges everything into one
+        :class:`pstats.Stats`.  Call after the last ``run()``; a later run
+        restarts the driver sampler.
+        """
+        if not self.profile:
+            return None
+        if self._profiler is not None:
+            self._profiler.disable()
+            self._profile_raw.append(profile_stats_dict(self._profiler))
+            self._profiler = None
+        if self._backend is not None and self._session_open:
+            self._profile_raw.extend(self._backend.collect_profiles())
+        return merge_profile_stats(self._profile_raw)
 
     # -- inspection ---------------------------------------------------------------------------
 

@@ -44,12 +44,17 @@ class Signature:
 class KeyPair:
     """The signing capability of one process."""
 
-    def __init__(self, process: ProcessId, secret: bytes) -> None:
+    def __init__(self, process: ProcessId, secret: bytes, metrics=None) -> None:
         self.process = process
         self._secret = secret
+        # Optional repro.obs.MetricsRegistry handed down by the scheme:
+        # sign counts are pure accounting, never a protocol input.
+        self._metrics = metrics
 
     def sign(self, payload: Any) -> Signature:
         """Sign ``payload`` as this process."""
+        if self._metrics is not None:
+            self._metrics.inc("sig.sign")
         tag = hmac.new(self._secret, _canonical_bytes(payload), hashlib.sha256).hexdigest()
         return Signature(signer=self.process, tag=tag)
 
@@ -60,6 +65,10 @@ class SignatureScheme:
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
         self._secrets: Dict[ProcessId, bytes] = {}
+        # Optional repro.obs.MetricsRegistry counting sign/verify volume —
+        # the figure the 10x-engine work decomposes HMAC cost with.  Set it
+        # before key pairs are handed out; pairs capture it at creation.
+        self.metrics = None
 
     # -- key management ---------------------------------------------------------------
 
@@ -71,7 +80,7 @@ class SignatureScheme:
         unforgeability discipline, just as leaking a private key would in a
         real deployment.
         """
-        return KeyPair(process, self._secret_for(process))
+        return KeyPair(process, self._secret_for(process), metrics=self.metrics)
 
     def _secret_for(self, process: ProcessId) -> bytes:
         secret = self._secrets.get(process)
@@ -85,6 +94,8 @@ class SignatureScheme:
 
     def verify(self, payload: Any, signature: Signature) -> bool:
         """Check that ``signature`` is a valid signature of ``payload``."""
+        if self.metrics is not None:
+            self.metrics.inc("sig.verify")
         expected = hmac.new(
             self._secret_for(signature.signer), _canonical_bytes(payload), hashlib.sha256
         ).hexdigest()
@@ -112,6 +123,8 @@ class SignatureScheme:
         """Check a certificate: enough *distinct*, valid signatures over ``payload``."""
         if quorum_size <= 0:
             raise ConfigurationError("quorum_size must be positive")
+        if self.metrics is not None:
+            self.metrics.inc("sig.verify_certificate")
         if certificate.payload_hash != self._payload_hash(payload):
             return False
         signers = set()

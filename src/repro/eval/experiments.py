@@ -24,6 +24,7 @@ from repro.common.errors import ConfigurationError
 from repro.common.types import OwnershipMap
 from repro.eval.metrics import RunSummary, summarize_result
 from repro.mp.consensusless_transfer import account_of
+from repro.obs import top_counters
 from repro.mp.k_shared import KSharedSystem
 from repro.mp.system import ClientSubmission, ConsensuslessSystem
 from repro.network.node import NetworkConfig
@@ -501,6 +502,12 @@ class ClusterExperimentConfig:
     # MigrationPlan, or a ThresholdMigrationPolicy.  Results are
     # placement-invariant; the knob moves wall-clock load distribution only.
     migration: Optional[object] = None
+    # Observability knobs, passed straight through to ClusterSystem:
+    # telemetry mode ("off"/"metrics"/"full") and the cProfile sampler.
+    # Fingerprint-neutral by the telemetry invariant — rows only gain a
+    # telemetry section, never different results.
+    telemetry: object = "metrics"
+    profile: bool = False
     seed: int = 7
     network: NetworkConfig = field(default_factory=NetworkConfig)
     max_events: Optional[int] = 50_000_000
@@ -544,6 +551,10 @@ class ClusterScalingRow:
     resident_settlement_records: int = 0
     retired_records: int = 0
     retired_amount: int = 0
+    # The run's telemetry section (ClusterResult.telemetry): mode, driver
+    # registry, per-shard registries and merged totals.  None when the run
+    # had telemetry off.  Excluded from the fingerprint by construction.
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def amortisation(self) -> float:
@@ -598,6 +609,8 @@ def run_cluster(
         # Stateful policies are copied per run (see migration_rebalancing_
         # experiment): a drained MigrationPlan must not leak between runs.
         migration=copy.deepcopy(config.migration),
+        telemetry=config.telemetry,
+        profile=config.profile,
         seed=config.seed,
     )
     if workload is None:
@@ -630,6 +643,7 @@ def run_cluster(
         resident_settlement_records=system.resident_settlement_records(),
         retired_records=system.retired_records(),
         retired_amount=audit.retired if audit is not None else 0,
+        telemetry=result.telemetry,
     )
     return row, system
 
@@ -680,6 +694,73 @@ def cross_shard_settlement_experiment(
 
 
 @dataclass(frozen=True)
+class TelemetryRow:
+    """One driver phase of a run's telemetry section, ready for a table.
+
+    ``share`` is the phase's fraction of ``phase.total`` wall time; the
+    shares of the non-total rows summing close to 1.0 is the breakdown's
+    *coverage* — how much of the run the instrumented phases account for.
+    """
+
+    phase: str
+    count: int
+    total_s: float
+    mean_s: float
+    share: float
+
+
+def telemetry_breakdown(telemetry: Optional[Dict[str, object]]) -> List[TelemetryRow]:
+    """The driver's per-phase wall-time breakdown, largest share first.
+
+    Reads the ``phase.*`` histograms of the telemetry section's driver
+    registry (``phase.open``/``advance``/``exchange``/``migrate``/
+    ``finalize``/``capture`` in epoch mode, ``phase.sim_run``/``capture``
+    under the shared clock) and normalises each against ``phase.total``.
+    The ``phase.total`` row itself is excluded — it is the denominator.
+    Returns ``[]`` for ``None`` (telemetry off) or a section with no phase
+    histograms.
+    """
+    if not telemetry:
+        return []
+    driver = telemetry.get("driver") or {}
+    histograms = driver.get("histograms") or {}
+    total = (histograms.get("phase.total") or {}).get("total", 0.0)
+    rows = [
+        TelemetryRow(
+            phase=name,
+            count=series.get("count", 0),
+            total_s=series.get("total", 0.0),
+            mean_s=series.get("mean", 0.0),
+            share=series.get("total", 0.0) / total if total > 0 else 0.0,
+        )
+        for name, series in histograms.items()
+        if name.startswith("phase.") and name != "phase.total"
+    ]
+    rows.sort(key=lambda row: (-row.total_s, row.phase))
+    return rows
+
+
+def telemetry_phase_coverage(telemetry: Optional[Dict[str, object]]) -> float:
+    """Fraction of ``phase.total`` wall time the named phases account for.
+
+    The benchmarks assert this stays ≥ 0.9: if instrumentation drifts out of
+    a hot phase, the breakdown silently stops explaining the run — this is
+    the guard.
+    """
+    return sum(row.share for row in telemetry_breakdown(telemetry))
+
+
+def telemetry_top_counters(
+    telemetry: Optional[Dict[str, object]], limit: int = 5
+) -> List[Tuple[str, int]]:
+    """The largest counters of the run's merged (driver + shards) totals."""
+    if not telemetry:
+        return []
+    totals = telemetry.get("totals") or {}
+    return top_counters(totals, limit=limit)
+
+
+@dataclass(frozen=True)
 class BackendComparisonRow:
     """One execution backend's audited run of the same cluster workload."""
 
@@ -687,6 +768,9 @@ class BackendComparisonRow:
     wall_clock_s: float
     fingerprint: str
     row: ClusterScalingRow
+    # The run's telemetry section (same shape as ClusterScalingRow.telemetry)
+    # — per-backend phase timings are the interesting comparison axis here.
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def throughput(self) -> float:
@@ -737,6 +821,8 @@ class SoakReport:
     peak_journal: int = 0
     journal_total: int = 0
     migrations: int = 0
+    # The final run's telemetry section (None with telemetry off).
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def bounded(self) -> bool:
@@ -794,6 +880,8 @@ def settlement_soak_experiment(
         # Stateful policies are copied per run (see migration_rebalancing_
         # experiment): a drained MigrationPlan must not leak between runs.
         migration=copy.deepcopy(config.migration),
+        telemetry=config.telemetry,
+        profile=config.profile,
         seed=config.seed,
     )
     needs_router = config.cross_shard_fraction is not None or config.hotspot is not None
@@ -851,6 +939,7 @@ def settlement_soak_experiment(
     journal_total = (
         system.settlement.journal_records_total() if system.settlement else 0
     )
+    telemetry = system.result.telemetry
     system.close()
 
     peak = max(s.resident_settlement_records for s in samples)
@@ -864,6 +953,7 @@ def settlement_soak_experiment(
         peak_journal=max(s.resident_journal_records for s in samples),
         journal_total=journal_total,
         migrations=final.migrations,
+        telemetry=telemetry,
     )
 
 
@@ -1088,6 +1178,7 @@ def backend_comparison_experiment(
                 wall_clock_s=elapsed,
                 fingerprint=fingerprint,
                 row=scaling_row,
+                telemetry=scaling_row.telemetry,
             )
         )
     return rows

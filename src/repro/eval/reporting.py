@@ -19,6 +19,7 @@ from repro.eval.experiments import (
     LatencyRow,
     MigrationComparisonRow,
     SoakReport,
+    TelemetryRow,
 )
 from repro.eval.metrics import RunSummary
 
@@ -36,7 +37,9 @@ def _format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> s
     ]
     for row in materialised:
         lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
-    return "\n".join(lines)
+    # No trailing padding after the last column: the tables land in golden
+    # tests and diffs, where invisible whitespace is pure noise.
+    return "\n".join(line.rstrip() for line in lines)
 
 
 def format_run_summary(summary: RunSummary) -> str:
@@ -280,6 +283,29 @@ def format_backend_table(rows: Sequence[BackendComparisonRow]) -> str:
             f"{row.throughput:.0f}",
             "OK" if row.row.check.ok else "VIOLATED",
             row.fingerprint[:12],
+        ]
+        for row in rows
+    ]
+    return _format_table(headers, body)
+
+
+def format_telemetry_table(rows: Sequence[TelemetryRow]) -> str:
+    """The run's phase breakdown: where the driver's wall clock went.
+
+    One row per instrumented ``phase.*`` histogram (``phase.total`` is the
+    denominator, not a row); ``share`` is the phase's fraction of total wall
+    time and the column summing near 100% means the breakdown explains the
+    run.  Telemetry is fingerprint-neutral, so this table can be printed for
+    any run without changing what the run computed.
+    """
+    headers = ["phase", "count", "total s", "mean ms", "share"]
+    body = [
+        [
+            row.phase,
+            str(row.count),
+            f"{row.total_s:.3f}",
+            f"{row.mean_s * 1000:.3f}",
+            f"{row.share * 100:.1f}%",
         ]
         for row in rows
     ]

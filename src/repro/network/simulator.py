@@ -50,6 +50,11 @@ class Simulator:
         self._sequence = itertools.count()
         self._now = 0.0
         self.processed_events = 0
+        # Optional observability hook (repro.obs.MetricsRegistry).  The
+        # engine only *counts* into it — once per run() call, never per
+        # event — so attaching a registry cannot perturb event ordering,
+        # timing or any seeded stream (the telemetry invariant).
+        self.metrics = None
 
     @property
     def now(self) -> float:
@@ -96,26 +101,31 @@ class Simulator:
         Returns the virtual time at which the run stopped.
         """
         executed = 0
-        while self._queue:
-            event = self._queue[0]
-            if event.cancelled:
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
                 heapq.heappop(self._queue)
-                continue
-            if until is not None and event.time > until:
-                self._now = until
-                break
-            heapq.heappop(self._queue)
-            self._now = event.time
-            event.action()
-            self.processed_events += 1
-            executed += 1
-            if stop_when is not None and stop_when():
-                break
-            if max_events is not None and executed >= max_events:
-                raise SimulationError(
-                    f"simulation exceeded the event budget of {max_events}; "
-                    "a protocol is likely flooding the network"
-                )
+                self._now = event.time
+                event.action()
+                self.processed_events += 1
+                executed += 1
+                if stop_when is not None and stop_when():
+                    break
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded the event budget of {max_events}; "
+                        "a protocol is likely flooding the network"
+                    )
+        finally:
+            if executed and self.metrics is not None:
+                self.metrics.inc("sim.events", executed)
+                self.metrics.inc("sim.runs")
         return self._now
 
     def run_until_quiescent(self, max_events: int = 10_000_000) -> float:

@@ -1,0 +1,71 @@
+"""cProfile plumbing: per-worker sampling, driver-side merging.
+
+The ``profile=True`` knob on :class:`~repro.cluster.system.ClusterSystem`
+wraps the driver's drive loop in a :class:`cProfile.Profile` and — under the
+process-pool backend — additionally one profiler per worker process.  Worker
+stats cannot cross the pipe as :class:`pstats.Stats` (they hold file
+handles), so workers ship the raw ``profiler.stats`` dict (plain picklable
+tuples) and the driver folds every dict into one :class:`pstats.Stats` here.
+
+Profiling is opt-in precisely because it is the one telemetry layer that
+*does* slow the interpreter down; it still never touches simulated time, so
+even a profiled run fingerprints identically to an unprofiled one (the
+invariance suite includes a profiled configuration).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Dict, List, Optional, Tuple
+
+
+def profile_stats_dict(profiler: cProfile.Profile) -> Dict:
+    """The profiler's raw stats as a plain picklable dict."""
+    profiler.create_stats()
+    return dict(profiler.stats)  # type: ignore[attr-defined]
+
+
+class _StatsCarrier:
+    """Adapter giving a raw stats dict the interface ``pstats.Stats`` loads."""
+
+    def __init__(self, stats: Dict) -> None:
+        self.stats = stats
+
+    def create_stats(self) -> None:  # pstats calls this before reading .stats
+        pass
+
+
+def merge_profile_stats(raw_stats: List[Dict]) -> Optional[pstats.Stats]:
+    """Fold raw per-process stats dicts into one :class:`pstats.Stats`.
+
+    Returns ``None`` for an empty input (profiling off, or a backend with
+    nothing to report) so callers can branch without special-casing.
+    """
+    # Copy each dict: ``pstats.Stats`` adopts the first carrier's mapping by
+    # reference and ``add`` mutates it in place, which would corrupt the
+    # caller's raw stats on a second merge.
+    carriers = [_StatsCarrier(dict(stats)) for stats in raw_stats if stats]
+    if not carriers:
+        return None
+    merged = pstats.Stats(carriers[0])
+    for carrier in carriers[1:]:
+        merged.add(carrier)
+    return merged
+
+
+def profile_summary(stats: Optional[pstats.Stats], top: int = 5) -> List[Tuple[str, int, float]]:
+    """The ``top`` functions by cumulative time: ``(where, calls, cum_s)``.
+
+    A plain-data view of the merged profile for reports and benchmark JSON;
+    sorted by cumulative seconds descending, name-stable on ties.
+    """
+    if stats is None:
+        return []
+    rows: List[Tuple[str, int, float]] = []
+    for (filename, line, name), entry in stats.stats.items():  # type: ignore[attr-defined]
+        calls, _, _, cumulative, _ = entry
+        where = f"{filename.rsplit('/', 1)[-1]}:{line}:{name}"
+        rows.append((where, calls, cumulative))
+    rows.sort(key=lambda row: (-row[2], row[0]))
+    return rows[:top]

@@ -105,7 +105,7 @@ class TestBackendEquivalence:
         for backend in BACKEND_NAMES:
             system, result = _run(fast_network, backend, seed, shards, batch, fraction)
             try:
-                payloads[backend] = result.fingerprint_payload()
+                payloads[backend] = result.comparable_payload()
                 fingerprints[backend] = result.fingerprint()
                 # The runs must also be *audited* equal, not just equal:
                 # every backend passes Definition 1 and conserves supply.
@@ -160,7 +160,7 @@ class TestBackendEquivalence:
                 fast_network, backend, 11, 3, 4, 1.0, epoch_policy=policy()
             )
             try:
-                payloads[backend] = result.fingerprint_payload()
+                payloads[backend] = result.comparable_payload()
                 fingerprints[backend] = result.fingerprint()
                 assert result.retired_records > 0
                 assert result.resident_settlement_records == 0
@@ -182,7 +182,7 @@ class TestBackendEquivalence:
             fast_network, "process", 11, 3, 1, 0.7, max_workers=2
         )
         try:
-            assert process.fingerprint_payload() == serial.fingerprint_payload()
+            assert process.comparable_payload() == serial.comparable_payload()
             assert process.fingerprint() == serial.fingerprint()
         finally:
             serial_system.close()

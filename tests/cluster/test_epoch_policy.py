@@ -172,7 +172,7 @@ class TestSchedulerPolicyIntegration:
         )
         continuous = continuous_system.run()
         try:
-            assert resumed.fingerprint_payload() == continuous.fingerprint_payload()
+            assert resumed.comparable_payload() == continuous.comparable_payload()
             assert resumed.fingerprint() == continuous.fingerprint()
             assert paused.scheduler.barriers == continuous_system.scheduler.barriers
         finally:

@@ -125,7 +125,7 @@ class TestPlacementInvariance:
                 )
                 try:
                     fingerprints[(schedule, backend)] = result.fingerprint()
-                    payloads[(schedule, backend)] = result.fingerprint_payload()
+                    payloads[(schedule, backend)] = result.comparable_payload()
                     streams[(schedule, backend)] = result.migration_stream
                     report = system.check_definition1()
                     assert report.ok, (schedule, backend, report.violations)

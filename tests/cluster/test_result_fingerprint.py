@@ -53,15 +53,18 @@ class TestFingerprint:
         ).fingerprint()
 
     def test_fingerprint_is_sha256_of_canonical_json(self, fast_network):
-        """The hash covers the canonical payload *minus* the placement
-        sections: the migration stream records where shards were computed,
-        and the fingerprint's contract is exactly that placement never
-        changes results (a migrated run hashes equal to the static run)."""
+        """The hash covers the canonical payload *minus* the placement and
+        volatile sections: the migration stream records where shards were
+        computed, the telemetry section records how the run felt, and the
+        fingerprint's contract is exactly that neither ever changes results
+        (a migrated or traced run hashes equal to the static, untraced
+        run)."""
         result = _run(fast_network)
+        excluded = result.PLACEMENT_SECTIONS + result.VOLATILE_SECTIONS
         hashed = {
             key: value
             for key, value in result.fingerprint_payload().items()
-            if key not in result.PLACEMENT_SECTIONS
+            if key not in excluded
         }
         canonical = json.dumps(hashed, sort_keys=True, separators=(",", ":"))
         assert result.fingerprint() == hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -503,7 +503,7 @@ class TestLifecycleStateTravel:
         continuous_system = build()
         continuous = continuous_system.run()
         try:
-            assert resumed.fingerprint_payload() == continuous.fingerprint_payload()
+            assert resumed.comparable_payload() == continuous.comparable_payload()
             assert resumed.fingerprint() == continuous.fingerprint()
             assert resumed.retired_records and resumed.retired_records > 0
             assert resumed.retirement_stream == continuous.retirement_stream

@@ -1,0 +1,141 @@
+"""Unit tests for the metrics registry: instruments, snapshots, merging.
+
+The registry is the telemetry layer's data plane — every recorded number
+travels as a snapshot dict through pickles and merges before a human sees
+it, so the snapshot/merge algebra (counters add, histogram masses add,
+gauges add as sampled per-source levels) is pinned here instrument by
+instrument.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry, merge_snapshots, top_counters
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(3.0)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_histogram_tracks_count_total_min_max_mean(self):
+        histogram = Histogram()
+        for value in (2.0, 0.5, 1.0):
+            histogram.record(value)
+        assert histogram.count == 3
+        assert histogram.total == 3.5
+        assert histogram.min == 0.5
+        assert histogram.max == 2.0
+        assert histogram.mean == pytest.approx(3.5 / 3)
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+    def test_histogram_single_negative_value_sets_both_bounds(self):
+        histogram = Histogram()
+        histogram.record(-1.0)
+        assert histogram.min == -1.0
+        assert histogram.max == -1.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_recording_helpers(self):
+        registry = MetricsRegistry()
+        registry.inc("events", 3)
+        registry.set_gauge("depth", 7)
+        registry.observe("latency", 0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"events": 3}
+        assert snapshot["gauges"] == {"depth": 7}
+        assert snapshot["histograms"]["latency"]["count"] == 1
+        assert snapshot["histograms"]["latency"]["total"] == 0.25
+
+    def test_snapshot_is_sorted_and_json_plain(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.inc("z")
+        registry.inc("a")
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "z"]
+        json.dumps(snapshot)  # nothing non-serialisable sneaks in
+
+    def test_merge_adds_counters_and_histogram_masses(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.inc("n", 2)
+        right.inc("n", 3)
+        left.observe("h", 1.0)
+        right.observe("h", 3.0)
+        right.observe("h", 0.5)
+        left.merge_snapshot(right.snapshot())
+        snapshot = left.snapshot()
+        assert snapshot["counters"]["n"] == 5
+        series = snapshot["histograms"]["h"]
+        assert series["count"] == 3
+        assert series["total"] == 4.5
+        assert series["min"] == 0.5
+        assert series["max"] == 3.0
+
+    def test_merge_adds_gauges_as_per_source_levels(self):
+        """Each source's gauge is its own sampled level; the merged value is
+        the cluster total (e.g. per-shard resident records summing up)."""
+        driver, shard = MetricsRegistry(), MetricsRegistry()
+        driver.set_gauge("resident", 4)
+        shard.set_gauge("resident", 6)
+        driver.merge_snapshot(shard.snapshot())
+        assert driver.snapshot()["gauges"]["resident"] == 10
+
+    def test_merge_none_and_empty_are_no_ops(self):
+        registry = MetricsRegistry()
+        registry.inc("n")
+        registry.merge_snapshot(None)
+        registry.merge_snapshot({})
+        registry.merge_snapshot(MetricsRegistry().snapshot())
+        assert registry.snapshot()["counters"] == {"n": 1}
+
+    def test_merge_empty_histogram_series_does_not_create_bounds(self):
+        registry = MetricsRegistry()
+        other = MetricsRegistry()
+        other.histogram("h")  # created but never recorded
+        registry.merge_snapshot(other.snapshot())
+        assert registry.snapshot()["histograms"]["h"]["count"] == 0
+
+
+class TestModuleHelpers:
+    def test_merge_snapshots_folds_many_including_none(self):
+        registries = []
+        for value in (1, 2, 4):
+            registry = MetricsRegistry()
+            registry.inc("n", value)
+            registries.append(registry.snapshot())
+        merged = merge_snapshots([None] + registries)
+        assert merged["counters"]["n"] == 7
+
+    def test_merge_snapshots_of_nothing_is_an_empty_snapshot(self):
+        merged = merge_snapshots([])
+        assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_top_counters_ranks_by_value_then_name(self):
+        registry = MetricsRegistry()
+        registry.inc("b", 5)
+        registry.inc("a", 5)
+        registry.inc("c", 9)
+        assert top_counters(registry.snapshot(), limit=2) == [("c", 9), ("a", 5)]
+
+    def test_top_counters_of_empty_snapshot(self):
+        assert top_counters({"counters": {}}) == []
+        assert top_counters({}) == []

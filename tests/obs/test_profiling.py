@@ -1,0 +1,79 @@
+"""Unit tests for the cProfile plumbing: raw dicts across pipes, merged
+driver-side.
+
+Worker profilers cannot ship ``pstats.Stats`` over a pipe (it holds stream
+handles), so the contract under test is: ``profile_stats_dict`` produces a
+plain picklable dict, ``merge_profile_stats`` folds many such dicts into one
+``pstats.Stats``, and ``profile_summary`` flattens it for reports.
+"""
+
+import cProfile
+import pickle
+import pstats
+
+from repro.obs import merge_profile_stats, profile_stats_dict, profile_summary
+
+
+def _busy(n: int = 50) -> int:
+    return sum(i * i for i in range(n))
+
+
+def _profiled_dict() -> dict:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _busy()
+    profiler.disable()
+    return profile_stats_dict(profiler)
+
+
+class TestStatsDict:
+    def test_dict_is_picklable(self):
+        raw = _profiled_dict()
+        assert pickle.loads(pickle.dumps(raw)) == raw
+
+    def test_dict_names_the_profiled_function(self):
+        raw = _profiled_dict()
+        assert any(name == "_busy" for (_, _, name) in raw)
+
+
+class TestMerge:
+    def test_empty_and_falsy_inputs_merge_to_none(self):
+        assert merge_profile_stats([]) is None
+        assert merge_profile_stats([{}, {}]) is None
+
+    def test_single_dict_becomes_stats(self):
+        merged = merge_profile_stats([_profiled_dict()])
+        assert isinstance(merged, pstats.Stats)
+
+    def test_merging_two_runs_adds_call_counts(self):
+        first, second = _profiled_dict(), _profiled_dict()
+
+        def busy_calls(stats: pstats.Stats) -> int:
+            return sum(
+                entry[0]
+                for (_, _, name), entry in stats.stats.items()
+                if name == "_busy"
+            )
+
+        merged = merge_profile_stats([first, second])
+        assert busy_calls(merged) == busy_calls(
+            merge_profile_stats([first])
+        ) + busy_calls(merge_profile_stats([second]))
+
+
+class TestSummary:
+    def test_none_summarises_to_empty(self):
+        assert profile_summary(None) == []
+
+    def test_rows_are_cumulative_sorted_and_bounded(self):
+        merged = merge_profile_stats([_profiled_dict()])
+        rows = profile_summary(merged, top=3)
+        assert 0 < len(rows) <= 3
+        cumulative = [row[2] for row in rows]
+        assert cumulative == sorted(cumulative, reverse=True)
+        where, calls, _ = rows[0]
+        assert ":" in where and calls >= 1
+
+    def test_summary_names_are_file_line_function(self):
+        merged = merge_profile_stats([_profiled_dict()])
+        assert any("_busy" in where for where, _, _ in profile_summary(merged, top=20))
