@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-props test-backends test-migration test-obs bench-smoke bench soak trace example clean
+.PHONY: test test-props test-backends test-migration test-obs bench-smoke bench-core bench soak trace example clean
 
 ## Narrows the benchmark's execution-backend sweep, e.g.:
 ##   make bench BACKEND=process
@@ -33,6 +33,13 @@ test-migration:
 ## A fast sanity pass over the cluster benchmark (shrunken grid and load).
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 REPRO_BENCH_BACKEND=$(BACKEND) $(PYTHON) -m pytest benchmarks/bench_cluster_scaling.py -q
+
+## The per-core engine microbenchmarks (verification cache, calendar event
+## queue, pipe codec) in smoke mode: measures each rewritten hot-path layer
+## against its replaced implementation and records the >=5x speedup gate —
+## explicitly passed/failed/skipped, never silent — under core_rows.
+bench-core:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_core.py -q
 
 ## The full benchmark suite (slow; regenerates BENCH_cluster.json).
 bench:

@@ -39,6 +39,24 @@ Figure 4 protocol inside each shard is untouched — which is exactly the
 freedom the set-constrained-delivery view of broadcast-level abstractions
 (Imbs et al., arXiv:1706.05267) predicts: the only cross-shard obligation is
 reliable, source-ordered certificate delivery, and that batches freely.
+
+**Pipe wire format.**  Driver and workers frame every command and reply with
+the compact binary codec of :mod:`repro.cluster.codec` instead of pickle:
+one tag byte per value, varints for integers and lengths, 8-byte IEEE-754
+doubles, length-prefixed UTF-8 strings, containers encoded recursively in
+iteration order, and a fixed append-only registry of the dataclasses the
+protocol actually ships (``ShardSpec``, ``ShardSnapshot`` and its node
+snapshots, ``AdvanceReport``/``ValidationEvent``, the settlement claim /
+voucher / certificate / ack family, transfers and routed submissions)
+encoded as ``tag + field values in declaration order`` — no class paths or
+field names on the wire.  Values outside the registry (profiler stats,
+telemetry snapshots) escape to an embedded pickle blob.  Commands are the
+tuples ``("advance", horizon, max_events)``, ``("mint"|"retire", time,
+per_shard)``, ``("evict", indices)``, ``("adopt", arrivals)``,
+``("snapshot",)``, ``("profile",)`` and ``("stop",)``; replies are
+``("ok", payload)`` or ``("error", traceback_text)``.  The same encoding
+measures ``snapshot_bytes`` for migration stall accounting, on every
+backend, so the bytes-per-move column now reports compact-codec payloads.
 """
 
 from __future__ import annotations
@@ -49,7 +67,6 @@ import itertools
 import math
 import multiprocessing
 import os
-import pickle
 import time as _time
 import traceback
 import weakref
@@ -74,6 +91,9 @@ from repro.cluster.settlement import (
     SettlementVoucher,
     p95,
 )
+from repro.cluster.codec import decode as codec_decode
+from repro.cluster.codec import encode as codec_encode
+from repro.cluster.codec import encoded_size
 from repro.cluster.shard import AdvanceReport, Shard, ShardSnapshot, ShardSpec
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.types import ProcessId, Transfer
@@ -444,10 +464,11 @@ class SerialBackend(ExecutionBackend):
         and records the same deterministic signature the process pool would,
         so the equivalence harness can compare recorded migration streams
         across all three backends.  ``snapshot_bytes`` is measured the same
-        way (a pickled :meth:`~repro.cluster.shard.ShardSnapshot.state_view`
-        — protocol state only, telemetry stripped, so the figure does not
-        depend on which counters happened to be enabled), making the
-        benchmark's bytes-per-move column comparable too.
+        way (the codec-encoded
+        :meth:`~repro.cluster.shard.ShardSnapshot.state_view` — protocol
+        state only, telemetry stripped, so the figure does not depend on
+        which counters happened to be enabled), making the benchmark's
+        bytes-per-move column comparable too.
         """
         if self._placement is None:
             return super().migrate(barrier, time, moves)
@@ -461,8 +482,8 @@ class SerialBackend(ExecutionBackend):
             with _phase(
                 None, self.tracer, "migrate.snapshot", cat="migration", shard=move.shard
             ):
-                snapshot_bytes = len(
-                    pickle.dumps(self._shards[move.shard].snapshot().state_view())
+                snapshot_bytes = encoded_size(
+                    self._shards[move.shard].snapshot().state_view()
                 )
             self._placement.move(move.shard, move.worker)
             record = MigrationRecord(
@@ -629,13 +650,13 @@ def _worker_main(
     arrivals, then alternate ``advance`` / ``mint`` commands until asked for
     the final ``snapshot``.  ``evict`` detaches a migrating shard (returning
     its snapshot), ``adopt`` rehydrates one by deterministic replay.  Every
-    payload crossing the pipe is plain picklable data; exceptions travel
-    back as formatted tracebacks.
+    payload crossing the pipe is framed by the compact codec (see the module
+    docstring); exceptions travel back as formatted tracebacks.
 
     With ``profile`` the whole worker lifetime (shard build included) runs
     under a :mod:`cProfile` sampler; the ``profile`` command stops it and
     ships the raw stats dict back (a :class:`pstats.Stats` object does not
-    pickle) for driver-side merging.  Profiling changes *when* things run,
+    serialise) for driver-side merging.  Profiling changes *when* things run,
     never *what* runs — command handling is identical either way.
     """
     profiler = None
@@ -651,7 +672,7 @@ def _worker_main(
         shards[spec.index] = shard
     while True:
         try:
-            command = connection.recv()
+            command = codec_decode(connection.recv_bytes())
         except EOFError:
             break
         kind = command[0]
@@ -662,21 +683,21 @@ def _worker_main(
                     index: shards[index].advance(horizon, max_events)
                     for index in sorted(shards)
                 }
-                connection.send(("ok", reports))
+                connection.send_bytes(codec_encode(("ok", reports)))
             elif kind == "mint":
                 _, time, per_shard = command
                 for index, mints in per_shard:
                     shards[index].apply_mints(time, mints)
-                connection.send(("ok", None))
+                connection.send_bytes(codec_encode(("ok", None)))
             elif kind == "retire":
                 _, time, per_shard = command
                 for index, transfers in per_shard:
                     shards[index].apply_retirements(time, transfers)
-                connection.send(("ok", None))
+                connection.send_bytes(codec_encode(("ok", None)))
             elif kind == "evict":
                 _, indices = command
                 evicted = {index: shards.pop(index).snapshot() for index in indices}
-                connection.send(("ok", evicted))
+                connection.send_bytes(codec_encode(("ok", evicted)))
             elif kind == "adopt":
                 _, arrivals = command
                 adopted = {}
@@ -684,25 +705,27 @@ def _worker_main(
                     shard = _replay_shard(spec, routed, history, horizon)
                     shards[spec.index] = shard
                     adopted[spec.index] = shard.snapshot()
-                connection.send(("ok", adopted))
+                connection.send_bytes(codec_encode(("ok", adopted)))
             elif kind == "snapshot":
-                connection.send(
-                    ("ok", {index: shards[index].snapshot() for index in sorted(shards)})
+                connection.send_bytes(
+                    codec_encode(
+                        ("ok", {index: shards[index].snapshot() for index in sorted(shards)})
+                    )
                 )
             elif kind == "profile":
                 if profiler is None:
-                    connection.send(("ok", None))
+                    connection.send_bytes(codec_encode(("ok", None)))
                 else:
                     profiler.disable()
-                    connection.send(("ok", profile_stats_dict(profiler)))
+                    connection.send_bytes(codec_encode(("ok", profile_stats_dict(profiler))))
                     profiler = None
             elif kind == "stop":
-                connection.send(("ok", None))
+                connection.send_bytes(codec_encode(("ok", None)))
                 break
             else:
-                connection.send(("error", f"unknown worker command {kind!r}"))
+                connection.send_bytes(codec_encode(("error", f"unknown worker command {kind!r}")))
         except Exception:  # ship the traceback; the driver decides how to fail
-            connection.send(("error", traceback.format_exc()))
+            connection.send_bytes(codec_encode(("error", traceback.format_exc())))
     connection.close()
 
 
@@ -790,24 +813,24 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def _request(self, slot: int, command: tuple) -> None:
         if self.tracer is not None:
-            # Pipe encode: pickling the command into the worker's connection.
+            # Pipe encode: the compact codec frames the command bytes.
             with self.tracer.span(
                 "pipe.send", cat="pipe", tid=1 + slot, command=command[0]
             ):
-                self._workers[slot][1].send(command)
+                self._workers[slot][1].send_bytes(codec_encode(command))
         else:
-            self._workers[slot][1].send(command)
+            self._workers[slot][1].send_bytes(codec_encode(command))
         if self.metrics is not None:
             self.metrics.inc("pipe.commands")
             self.metrics.inc(f"pipe.{command[0]}")
 
     def _collect(self, slot: int) -> Any:
         if self.tracer is not None:
-            # Pipe decode: blocking until the worker replies, then unpickling.
+            # Pipe decode: blocking until the worker replies, then decoding.
             with self.tracer.span("pipe.recv", cat="pipe", tid=1 + slot):
-                status, payload = self._workers[slot][1].recv()
+                status, payload = codec_decode(self._workers[slot][1].recv_bytes())
         else:
-            status, payload = self._workers[slot][1].recv()
+            status, payload = codec_decode(self._workers[slot][1].recv_bytes())
         if status != "ok":
             raise SimulationError(f"shard worker {slot} failed:\n{payload}")
         return payload
@@ -917,7 +940,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 shard=move.shard,
                 source_worker=source,
                 target_worker=move.worker,
-                snapshot_bytes=len(pickle.dumps(evicted.state_view())),
+                snapshot_bytes=encoded_size(evicted.state_view()),
                 stall_s=_time.perf_counter() - started,
             )
             records.append(record)
@@ -958,8 +981,8 @@ class ProcessPoolBackend(ExecutionBackend):
     def _shutdown(workers: List[Tuple[Any, Any]]) -> None:
         for process, connection in workers:
             try:
-                connection.send(("stop",))
-                connection.recv()
+                connection.send_bytes(codec_encode(("stop",)))
+                connection.recv_bytes()
             except (BrokenPipeError, EOFError, OSError):
                 pass
             connection.close()

@@ -100,7 +100,7 @@ def p95(samples: Sequence[float]) -> float:
 # -- wire format ------------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SettlementClaim:
     """The payload source replicas sign: one cross-shard credit, uniquely keyed.
 
@@ -125,7 +125,7 @@ class SettlementClaim:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SettlementVoucher:
     """One source replica's signature over a settlement claim."""
 
@@ -133,7 +133,7 @@ class SettlementVoucher:
     signature: Signature
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SettlementCertificate:
     """A claim plus a quorum certificate of source-replica signatures."""
 
@@ -141,7 +141,7 @@ class SettlementCertificate:
     certificate: QuorumCertificate
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SettlementAckClaim:
     """What a destination replica signs after minting: a stream watermark.
 
@@ -164,7 +164,7 @@ class SettlementAckClaim:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SettlementAck:
     """One destination replica's signature over a stream watermark."""
 
@@ -172,7 +172,7 @@ class SettlementAck:
     signature: Signature
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RetirementCertificate:
     """An ack claim plus a quorum certificate of destination signatures.
 

@@ -215,8 +215,9 @@ class Shard:
         base_config = network_config or NetworkConfig()
         self.network = Network(self.simulator, dataclasses.replace(base_config, seed=shard_seed))
         self.scheme = SignatureScheme(seed=shard_seed)
-        # Key pairs capture the registry at creation, so wire it before any
-        # node (or the settlement fabric) asks for one.
+        # Key pairs read the registry through the scheme at sign time, so
+        # telemetry counts every signature even when it is attached after
+        # pairs were handed out; wiring it here just starts counting early.
         self.scheme.metrics = self.metrics
         self.result = SystemResult()
         self._initial_balance = initial_balance

@@ -52,6 +52,35 @@ def _canonical_bytes(payload: Any) -> bytes:
 _DIGEST_MEMO: dict = {}
 _DIGEST_MEMO_LIMIT = 200_000
 
+# Memo for the canonical encoding itself.  Signing and verification HMAC over
+# the canonical bytes of the *same* payload once per signer per hop (a batch
+# announcement is re-encoded for every replica's signature, a settlement
+# certificate for every trust boundary that re-checks it); caching the bytes
+# keyed on payload identity makes every encoding after the first a dict hit.
+_CANONICAL_MEMO: dict = {}
+_CANONICAL_MEMO_LIMIT = 100_000
+
+
+def canonical_bytes(payload: Any) -> bytes:
+    """The canonical encoding of ``payload``, memoised for hashable payloads.
+
+    Semantically identical to the private encoder: same bytes, same
+    type-discriminating key discipline as :func:`content_hash` (``True``,
+    ``1`` and ``1.0`` compare equal but never share an entry).  Unhashable
+    payloads are simply re-encoded.
+    """
+    try:
+        key = (payload.__class__, payload)
+        cached = _CANONICAL_MEMO.get(key)
+    except TypeError:
+        return _canonical_bytes(payload)
+    if cached is not None:
+        return cached
+    encoded = _canonical_bytes(payload)
+    if len(_CANONICAL_MEMO) < _CANONICAL_MEMO_LIMIT:
+        _CANONICAL_MEMO[key] = encoded
+    return encoded
+
 
 def content_hash(payload: Any) -> str:
     """Return a hex SHA-256 digest of the canonical encoding of ``payload``."""

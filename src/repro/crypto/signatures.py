@@ -16,6 +16,16 @@ discipline.
 The scheme also supports *quorum certificates* — multisets of signatures over
 the same payload from distinct signers — used by the echo broadcast and by
 the k-shared BFT sequencing service.
+
+Verification is cached.  The same certificate is re-checked at every trust
+boundary it crosses (settlement relay -> inbox -> compaction gate), and the
+same per-message signature at every receiving replica; both checks are pure
+functions of their inputs, so the scheme memoises them.  The cache keys cover
+everything the answer depends on — the payload's canonical encoding, the
+claimed signer, the authentication tag, and for certificates the full
+signature tuple, the carried payload hash, the quorum size and the allowed
+signer set — so a forged or mutated artefact can never alias a cached
+verdict: any bit it changes changes the key.
 """
 
 from __future__ import annotations
@@ -27,10 +37,15 @@ from typing import Any, Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import ProcessId
-from repro.crypto.hashing import _canonical_bytes
+from repro.crypto.hashing import canonical_bytes
+
+# Bound on each memo (per scheme).  Far above what any run in this repository
+# produces; the limit only guards pathological workloads from unbounded
+# growth (entries simply stop being added, correctness is unaffected).
+_VERIFY_CACHE_LIMIT = 200_000
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Signature:
     """A signature: the signer's identity plus the authentication tag."""
 
@@ -44,18 +59,25 @@ class Signature:
 class KeyPair:
     """The signing capability of one process."""
 
-    def __init__(self, process: ProcessId, secret: bytes, metrics=None) -> None:
+    def __init__(self, process: ProcessId, secret: bytes, metrics=None, scheme=None) -> None:
         self.process = process
         self._secret = secret
-        # Optional repro.obs.MetricsRegistry handed down by the scheme:
-        # sign counts are pure accounting, never a protocol input.
+        # Optional repro.obs.MetricsRegistry: sign counts are pure
+        # accounting, never a protocol input.  When the pair knows its
+        # issuing scheme it reads the registry *through it at sign time*, so
+        # telemetry attached after key pairs were handed out (the cluster
+        # wires shards before the observability layer) still counts every
+        # signature; the direct ``metrics`` capture remains as a fallback
+        # for pairs constructed without a scheme.
         self._metrics = metrics
+        self._scheme = scheme
 
     def sign(self, payload: Any) -> Signature:
         """Sign ``payload`` as this process."""
-        if self._metrics is not None:
-            self._metrics.inc("sig.sign")
-        tag = hmac.new(self._secret, _canonical_bytes(payload), hashlib.sha256).hexdigest()
+        metrics = self._scheme.metrics if self._scheme is not None else self._metrics
+        if metrics is not None:
+            metrics.inc("sig.sign")
+        tag = hmac.new(self._secret, canonical_bytes(payload), hashlib.sha256).hexdigest()
         return Signature(signer=self.process, tag=tag)
 
 
@@ -66,9 +88,16 @@ class SignatureScheme:
         self._seed = seed
         self._secrets: Dict[ProcessId, bytes] = {}
         # Optional repro.obs.MetricsRegistry counting sign/verify volume —
-        # the figure the 10x-engine work decomposes HMAC cost with.  Set it
-        # before key pairs are handed out; pairs capture it at creation.
+        # the figure the 10x-engine work decomposes HMAC cost with.  Read
+        # live on every operation (key pairs route through the scheme), so
+        # it can be attached or swapped at any point in a run.
         self.metrics = None
+        # Memoised verdicts.  ``_verify_cache`` maps (signer, tag, canonical
+        # payload bytes) -> bool; ``_certificate_cache`` maps the full
+        # certificate identity -> bool.  Both are exact: every input the
+        # verdict depends on is in the key.
+        self._verify_cache: Dict[tuple, bool] = {}
+        self._certificate_cache: Dict[tuple, bool] = {}
 
     # -- key management ---------------------------------------------------------------
 
@@ -80,7 +109,7 @@ class SignatureScheme:
         unforgeability discipline, just as leaking a private key would in a
         real deployment.
         """
-        return KeyPair(process, self._secret_for(process), metrics=self.metrics)
+        return KeyPair(process, self._secret_for(process), scheme=self)
 
     def _secret_for(self, process: ProcessId) -> bytes:
         secret = self._secrets.get(process)
@@ -94,16 +123,34 @@ class SignatureScheme:
 
     def verify(self, payload: Any, signature: Signature) -> bool:
         """Check that ``signature`` is a valid signature of ``payload``."""
+        return self._verify_encoded(canonical_bytes(payload), signature)
+
+    def _verify_encoded(self, encoded: bytes, signature: Signature) -> bool:
+        """Verify against pre-encoded canonical payload bytes (cached)."""
         if self.metrics is not None:
             self.metrics.inc("sig.verify")
+        key = (signature.signer, signature.tag, encoded)
+        cached = self._verify_cache.get(key)
+        if cached is not None:
+            if self.metrics is not None:
+                self.metrics.inc("sig.verify_cached")
+            return cached
         expected = hmac.new(
-            self._secret_for(signature.signer), _canonical_bytes(payload), hashlib.sha256
+            self._secret_for(signature.signer), encoded, hashlib.sha256
         ).hexdigest()
-        return hmac.compare_digest(expected, signature.tag)
+        result = hmac.compare_digest(expected, signature.tag)
+        if len(self._verify_cache) < _VERIFY_CACHE_LIMIT:
+            self._verify_cache[key] = result
+        return result
 
     def verify_all(self, payload: Any, signatures: Iterable[Signature]) -> bool:
-        """Check every signature in ``signatures`` against ``payload``."""
-        return all(self.verify(payload, signature) for signature in signatures)
+        """Check every signature in ``signatures`` against ``payload``.
+
+        The payload is canonically encoded once, whatever the number of
+        signatures — the aggregate check a batch announcement's quorum needs.
+        """
+        encoded = canonical_bytes(payload)
+        return all(self._verify_encoded(encoded, signature) for signature in signatures)
 
     # -- quorum certificates ------------------------------------------------------------
 
@@ -120,28 +167,57 @@ class SignatureScheme:
         quorum_size: int,
         allowed_signers: Optional[FrozenSet[ProcessId]] = None,
     ) -> bool:
-        """Check a certificate: enough *distinct*, valid signatures over ``payload``."""
+        """Check a certificate: enough *distinct*, valid signatures over ``payload``.
+
+        The verdict is memoised on the certificate's full identity — payload
+        encoding, carried payload hash, every (signer, tag) pair, quorum size
+        and allowed-signer set — so the relay/inbox/gate re-checks of one
+        certificate cost one dictionary lookup after first sight, while any
+        mutation (a swapped tag, an extra signer, a different payload) forms
+        a different key and is verified from scratch.
+        """
         if quorum_size <= 0:
             raise ConfigurationError("quorum_size must be positive")
         if self.metrics is not None:
             self.metrics.inc("sig.verify_certificate")
-        if certificate.payload_hash != self._payload_hash(payload):
+        encoded = canonical_bytes(payload)
+        key = (encoded, certificate.payload_hash, certificate.signatures, quorum_size, allowed_signers)
+        cached = self._certificate_cache.get(key)
+        if cached is not None:
+            if self.metrics is not None:
+                self.metrics.inc("sig.verify_certificate_cached")
+            return cached
+        result = self._verify_certificate_uncached(
+            encoded, certificate, quorum_size, allowed_signers
+        )
+        if len(self._certificate_cache) < _VERIFY_CACHE_LIMIT:
+            self._certificate_cache[key] = result
+        return result
+
+    def _verify_certificate_uncached(
+        self,
+        encoded: bytes,
+        certificate: "QuorumCertificate",
+        quorum_size: int,
+        allowed_signers: Optional[FrozenSet[ProcessId]],
+    ) -> bool:
+        if certificate.payload_hash != hashlib.sha256(encoded).hexdigest():
             return False
         signers = set()
         for signature in certificate.signatures:
             if allowed_signers is not None and signature.signer not in allowed_signers:
                 continue
-            if not self.verify(payload, signature):
+            if not self._verify_encoded(encoded, signature):
                 return False
             signers.add(signature.signer)
         return len(signers) >= quorum_size
 
     @staticmethod
     def _payload_hash(payload: Any) -> str:
-        return hashlib.sha256(_canonical_bytes(payload)).hexdigest()
+        return hashlib.sha256(canonical_bytes(payload)).hexdigest()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QuorumCertificate:
     """A set of signatures binding distinct signers to one payload."""
 

@@ -17,7 +17,7 @@ from repro.common.types import AccountId, Transfer
 from repro.crypto.signatures import QuorumCertificate
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransferAnnouncement:
     """The broadcast payload of one transfer (Figure 4, line 4).
 
@@ -34,7 +34,7 @@ class TransferAnnouncement:
         return f"announce({self.transfer}, deps={len(self.dependencies)})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SequencedAnnouncement:
     """A transfer announcement sequenced by a per-account BFT service (§6).
 

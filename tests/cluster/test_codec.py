@@ -1,0 +1,161 @@
+"""Unit tests for the compact worker-pipe codec.
+
+The codec replaces pickle on the process-pool pipes, so the properties that
+matter are exactness (round-tripped values compare equal *and* keep their
+container iteration order — the fingerprint reads reprs downstream) and
+compactness (the snapshot byte counts gate migration stall accounting).
+"""
+
+import pickle
+
+import pytest
+
+from repro.cluster.codec import decode, encode, encoded_size
+from repro.cluster.settlement import (
+    SettlementAckClaim,
+    SettlementCertificate,
+    SettlementClaim,
+)
+from repro.cluster.shard import AdvanceReport, ShardSpec, ValidationEvent
+from repro.common.types import Transfer, TransferId
+from repro.crypto.signatures import SignatureScheme
+from repro.network.node import NetworkConfig, NodeStats
+from repro.workloads.cluster_driver import RoutedSubmission
+
+
+def roundtrip(value):
+    data = encode(value)
+    result = decode(data)
+    assert result == value
+    assert type(result) is type(value)
+    return result
+
+
+class TestScalars:
+    def test_none_and_bools(self):
+        for value in (None, True, False):
+            assert decode(encode(value)) is value
+
+    def test_ints_including_negatives_and_wide(self):
+        for value in (0, 1, -1, 127, 128, -128, 2**40, -(2**40), 2**70, -(2**70)):
+            roundtrip(value)
+
+    def test_floats_are_exact(self):
+        for value in (0.0, -0.0, 1.5, 1e-12, 3.141592653589793, float("inf")):
+            assert decode(encode(value)) == value
+        assert str(decode(encode(-0.0))) == "-0.0"
+
+    def test_strings_and_bytes(self):
+        roundtrip("")
+        roundtrip("x1:17")
+        roundtrip("ünïcode ✓")
+        roundtrip(b"")
+        roundtrip(b"\x00\xff" * 7)
+
+    def test_bool_never_collapses_to_int(self):
+        assert decode(encode(True)) is True
+        assert decode(encode(1)) == 1
+        assert type(decode(encode(1))) is int
+
+
+class TestContainers:
+    def test_lists_tuples_nested(self):
+        roundtrip([1, "two", 3.0, None, [True, (4, 5)]])
+        roundtrip(((), (1,), ("a", ("b",))))
+
+    def test_dict_preserves_insertion_order(self):
+        value = {"z": 1, "a": 2, "m": 3}
+        result = roundtrip(value)
+        assert list(result) == ["z", "a", "m"]
+
+    def test_sets_rebuild_by_insertion_like_pickle(self):
+        value = {TransferId(issuer=3, sequence=9), TransferId(issuer=1, sequence=2)}
+        result = roundtrip(value)
+        # Iteration order must match what pickle's reconstruction would
+        # produce: items inserted in the original iteration order.
+        assert list(result) == list(pickle.loads(pickle.dumps(value)))
+        roundtrip(frozenset({1, 2, 3}))
+
+    def test_tuple_keys_in_dicts(self):
+        roundtrip({(0, "a"): [1, 2], (1, "b"): []})
+
+
+class TestRegisteredTypes:
+    def test_transfer_family(self):
+        roundtrip(Transfer("a", "b", 5, issuer=0, sequence=1))
+        roundtrip(TransferId(issuer=2, sequence=7))
+        roundtrip(RoutedSubmission(time=0.25, issuer=2, destination="x1:0", amount=9))
+
+    def test_shard_spec_with_network_config(self):
+        spec = ShardSpec(
+            index=3, replicas=4, initial_balance=10_000, broadcast="bracha",
+            batch_size=8, network_config=NetworkConfig(seed=7), relay_final=True,
+            seed=42, telemetry=False,
+        )
+        roundtrip(spec)
+
+    def test_settlement_certificates_and_signatures(self):
+        scheme = SignatureScheme(seed=5)
+        claim = SettlementClaim(
+            source_shard=0, destination_shard=1, issuer=2,
+            sequence=4, account="x1:2", amount=11,
+        )
+        certificate = SettlementCertificate(
+            claim=claim,
+            certificate=scheme.make_certificate(
+                claim, [scheme.keypair_for(p).sign(claim) for p in range(3)]
+            ),
+        )
+        restored = roundtrip(certificate)
+        assert scheme.verify_certificate(claim, restored.certificate, quorum_size=3)
+        roundtrip(SettlementAckClaim(0, 1, 2, 4))
+
+    def test_advance_report_with_events(self):
+        report = AdvanceReport(
+            shard=1,
+            events=[
+                ValidationEvent(
+                    time=0.01, shard=1, replica=0,
+                    transfer=Transfer("0", "x1:3", 5, issuer=0, sequence=1), index=0,
+                )
+            ],
+            pending_events=3,
+            next_event_time=0.0125,
+            processed_events=140,
+            now=0.01,
+        )
+        roundtrip(report)
+
+    def test_node_stats(self):
+        roundtrip(NodeStats(sent=4, received=9, processed=9, dropped=0, busy_time=0.25))
+
+
+class TestWireDiscipline:
+    def test_pickle_escape_for_unregistered_values(self):
+        roundtrip(complex(2, 3))
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            decode(encode(1) + b"\x00")
+
+    def test_worker_command_frames(self):
+        for command in (
+            ("advance", 0.005, None),
+            ("mint", 0.005, [(0, [(1, Transfer("x0:1", "1", 3, issuer=1, sequence=2))])]),
+            ("evict", [0, 2]),
+            ("snapshot",),
+            ("stop",),
+        ):
+            roundtrip(command)
+
+    def test_snapshot_like_payload_beats_pickle_on_size(self):
+        transfers = [
+            Transfer(str(i % 4), f"x1:{i % 3}", 1 + i, issuer=i % 4, sequence=i)
+            for i in range(200)
+        ]
+        payload = {
+            "completed": transfers,
+            "hist": {str(a): {TransferId(issuer=a, sequence=s) for s in range(10)} for a in range(4)},
+        }
+        assert roundtrip(payload) == payload
+        assert encoded_size(payload) < len(pickle.dumps(payload))

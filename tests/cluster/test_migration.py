@@ -23,6 +23,7 @@ import pickle
 
 import pytest
 
+from repro.cluster import codec as pipe_codec
 from repro.cluster import ClusterSystem, ShardSpec
 from repro.cluster.backends import BACKEND_NAMES, _replay_shard, _worker_main
 from repro.cluster.migration import (
@@ -475,13 +476,15 @@ class _ScriptedPipe:
         self.responses = []
         self.closed = False
 
-    def recv(self):
+    def recv_bytes(self):
         if not self._commands:
             raise EOFError
-        return self._commands.pop(0)
+        # The real pipe carries codec frames; scripted commands round-trip
+        # through the same encoder the driver uses.
+        return pipe_codec.encode(self._commands.pop(0))
 
-    def send(self, payload):
-        self.responses.append(payload)
+    def send_bytes(self, payload):
+        self.responses.append(pipe_codec.decode(payload))
 
     def close(self):
         self.closed = True

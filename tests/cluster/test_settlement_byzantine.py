@@ -523,3 +523,84 @@ class TestByzantineAcks:
         assert system.shards[1].resident_settlement_records() == 0
         assert audit.conserved and audit.retirement_backed
         assert system.check_definition1().ok
+
+
+class TestVerificationCacheUnderForgery:
+    """The verify cache must be un-poisonable: its key covers payload,
+    signer set and tags, so warming it with a genuine certificate can never
+    make a forged or mutated one pass (nor vice versa)."""
+
+    def _scheme_claim_certificate(self):
+        scheme = SignatureScheme(seed=9)
+        claim = SettlementClaim(
+            source_shard=0, destination_shard=1, issuer=2,
+            sequence=1, account="x1:2", amount=25,
+        )
+        signatures = [scheme.keypair_for(p).sign(claim) for p in range(3)]
+        return scheme, claim, scheme.make_certificate(claim, signatures)
+
+    def _warm(self, scheme, claim, certificate):
+        for _ in range(3):  # relay -> inbox -> gate
+            assert scheme.verify_certificate(claim, certificate, quorum_size=3)
+
+    def test_mutated_claim_misses_the_warm_cache(self):
+        import dataclasses
+
+        scheme, claim, certificate = self._scheme_claim_certificate()
+        self._warm(scheme, claim, certificate)
+        inflated = dataclasses.replace(claim, amount=2_500)
+        assert not scheme.verify_certificate(inflated, certificate, quorum_size=3)
+        # The genuine verdict is still intact afterwards.
+        assert scheme.verify_certificate(claim, certificate, quorum_size=3)
+
+    def test_swapped_tag_misses_the_warm_cache(self):
+        from repro.crypto.signatures import QuorumCertificate, Signature
+
+        scheme, claim, certificate = self._scheme_claim_certificate()
+        self._warm(scheme, claim, certificate)
+        first, second, third = certificate.signatures
+        forged = QuorumCertificate(
+            payload_hash=certificate.payload_hash,
+            signatures=(first, Signature(signer=second.signer, tag=third.tag), third),
+        )
+        assert not scheme.verify_certificate(claim, forged, quorum_size=3)
+
+    def test_forged_signer_identity_misses_the_warm_cache(self):
+        from repro.crypto.signatures import QuorumCertificate, Signature
+
+        scheme, claim, certificate = self._scheme_claim_certificate()
+        self._warm(scheme, claim, certificate)
+        first, second, third = certificate.signatures
+        # A Byzantine relay relabels one honest signature as a fourth signer
+        # to fake quorum breadth.
+        forged = QuorumCertificate(
+            payload_hash=certificate.payload_hash,
+            signatures=(first, second, Signature(signer=3, tag=third.tag)),
+        )
+        assert not scheme.verify_certificate(claim, forged, quorum_size=3)
+
+    def test_replayed_certificate_for_the_next_sequence_is_rejected(self):
+        import dataclasses
+
+        scheme, claim, certificate = self._scheme_claim_certificate()
+        self._warm(scheme, claim, certificate)
+        replay_target = dataclasses.replace(claim, sequence=2)
+        assert not scheme.verify_certificate(replay_target, certificate, quorum_size=3)
+
+    def test_forgeries_never_register_as_cache_hits(self):
+        from repro.obs import MetricsRegistry
+
+        scheme, claim, certificate = self._scheme_claim_certificate()
+        registry = MetricsRegistry()
+        scheme.metrics = registry
+        self._warm(scheme, claim, certificate)
+        hits_after_warm = registry.counter("sig.verify_certificate_cached").value
+        import dataclasses
+
+        assert not scheme.verify_certificate(
+            dataclasses.replace(claim, amount=1), certificate, quorum_size=3
+        )
+        # The forgery took the full verification path, not the cache.
+        assert (
+            registry.counter("sig.verify_certificate_cached").value == hits_after_warm
+        )

@@ -99,3 +99,77 @@ class TestQuorumCertificates:
         certificate = scheme.make_certificate("x", [])
         with pytest.raises(Exception):
             scheme.verify_certificate("x", certificate, quorum_size=0)
+
+
+class TestSignTelemetry:
+    """Key pairs read the metrics registry through their scheme at sign time."""
+
+    def test_late_attached_registry_counts_every_signature(self):
+        from repro.obs import MetricsRegistry
+
+        scheme = SignatureScheme(seed=1)
+        pair = scheme.keypair_for(3)  # handed out before telemetry exists
+        pair.sign("warm-up")  # no registry anywhere yet: nothing to count
+        registry = MetricsRegistry()
+        scheme.metrics = registry
+        pair.sign("a")
+        pair.sign("b")
+        assert registry.counter("sig.sign").value == 2
+
+    def test_detached_registry_stops_counting(self):
+        from repro.obs import MetricsRegistry
+
+        scheme = SignatureScheme(seed=1)
+        registry = MetricsRegistry()
+        scheme.metrics = registry
+        pair = scheme.keypair_for(3)
+        pair.sign("a")
+        scheme.metrics = None
+        pair.sign("b")
+        assert registry.counter("sig.sign").value == 1
+
+
+class TestVerificationCache:
+    """Re-verification is memoised; the key covers every verdict input."""
+
+    def test_repeated_certificate_verification_hits_the_cache(self):
+        from repro.obs import MetricsRegistry
+
+        scheme = SignatureScheme(seed=1)
+        registry = MetricsRegistry()
+        scheme.metrics = registry
+        payload = ("settle", 1, 2, 3)
+        certificate = scheme.make_certificate(
+            payload, [scheme.keypair_for(p).sign(payload) for p in range(3)]
+        )
+        assert scheme.verify_certificate(payload, certificate, quorum_size=3)
+        assert registry.counter("sig.verify_certificate_cached").value == 0
+        for _ in range(5):  # relay -> inbox -> gate style re-checks
+            assert scheme.verify_certificate(payload, certificate, quorum_size=3)
+        assert registry.counter("sig.verify_certificate_cached").value == 5
+        # The per-signature work ran once per signer, not once per re-check.
+        assert registry.counter("sig.verify").value == 3
+
+    def test_cached_and_uncached_verdicts_agree(self):
+        scheme = SignatureScheme(seed=1)
+        payload = ("x", 9)
+        signature = scheme.keypair_for(0).sign(payload)
+        assert scheme.verify(payload, signature)
+        assert scheme.verify(payload, signature)  # cached
+        bad = type(signature)(signer=0, tag="0" * 64)
+        assert not scheme.verify(payload, bad)
+        assert not scheme.verify(payload, bad)  # cached negative
+
+    def test_quorum_size_and_signer_set_are_part_of_the_key(self):
+        scheme = SignatureScheme(seed=1)
+        payload = ("y", 1)
+        certificate = scheme.make_certificate(
+            payload, [scheme.keypair_for(p).sign(payload) for p in range(2)]
+        )
+        assert scheme.verify_certificate(payload, certificate, quorum_size=2)
+        # A stricter question about the same certificate must not reuse the
+        # cached "yes".
+        assert not scheme.verify_certificate(payload, certificate, quorum_size=3)
+        assert not scheme.verify_certificate(
+            payload, certificate, quorum_size=2, allowed_signers=frozenset({0})
+        )

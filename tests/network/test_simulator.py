@@ -82,3 +82,86 @@ class TestScheduling:
             simulator.schedule(0.01 * (index + 1), lambda: counter.append(1))
         simulator.run(stop_when=lambda: len(counter) >= 3)
         assert len(counter) == 3
+
+
+class TestEventBudgetBoundary:
+    """The budget guards livelock, not runs that finish on the last event."""
+
+    def test_draining_on_exactly_the_last_allowed_event_is_clean(self):
+        simulator = Simulator()
+        fired = []
+        for index in range(5):
+            simulator.schedule(0.01 * (index + 1), lambda: fired.append(1))
+        assert simulator.run(max_events=5) == pytest.approx(0.05)
+        assert len(fired) == 5
+        assert simulator.pending_events == 0
+
+    def test_budget_still_raises_when_live_events_remain(self):
+        simulator = Simulator()
+        for index in range(6):
+            simulator.schedule(0.01 * (index + 1), lambda: None)
+        with pytest.raises(SimulationError):
+            simulator.run(max_events=5)
+
+    def test_trailing_cancelled_events_do_not_trip_the_budget(self):
+        simulator = Simulator()
+        for index in range(5):
+            simulator.schedule(0.01 * (index + 1), lambda: None)
+        simulator.schedule(1.0, lambda: None).cancel()
+        assert simulator.run(max_events=5) == pytest.approx(0.05)
+
+    def test_processed_events_still_accumulates_across_runs(self):
+        simulator = Simulator()
+        simulator.schedule(0.01, lambda: None)
+        simulator.run(max_events=1)
+        simulator.schedule(0.01, lambda: None)
+        simulator.run(max_events=1)
+        assert simulator.processed_events == 2
+
+
+class TestPendingEventsAccounting:
+    """pending_events is a live counter, exact under cancellation."""
+
+    def test_schedule_cancel_pop_keep_the_counter_exact(self):
+        simulator = Simulator()
+        events = [simulator.schedule(0.01 * (i + 1), lambda: None) for i in range(4)]
+        assert simulator.pending_events == 4
+        events[1].cancel()
+        events[3].cancel()
+        assert simulator.pending_events == 2
+        events[1].cancel()  # double-cancel must not double-count
+        assert simulator.pending_events == 2
+        simulator.run_until_quiescent()
+        assert simulator.pending_events == 0
+        assert simulator.processed_events == 2
+
+    def test_cancel_after_execution_is_a_no_op(self):
+        simulator = Simulator()
+        event = simulator.schedule(0.01, lambda: None)
+        simulator.run_until_quiescent()
+        assert simulator.pending_events == 0
+        event.cancel()
+        assert simulator.pending_events == 0
+
+    def test_next_event_time_skips_cancelled_heads(self):
+        simulator = Simulator()
+        head = simulator.schedule(0.01, lambda: None)
+        simulator.schedule(0.02, lambda: None)
+        head.cancel()
+        assert simulator.next_event_time == pytest.approx(0.02)
+        assert simulator.pending_events == 1
+
+    def test_interleaved_scheduling_at_shared_timestamps_stays_fifo(self):
+        # Late arrivals into the slot being drained must honour the
+        # (time, sequence) order the heap-based engine defined.
+        simulator = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            simulator.schedule_at(simulator.now, lambda: order.append("late"))
+
+        simulator.schedule(0.0001, first)
+        simulator.schedule_at(0.0001, lambda: order.append("second"))
+        simulator.run_until_quiescent()
+        assert order == ["first", "second", "late"]
