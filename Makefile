@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-props test-backends test-migration test-obs bench-smoke bench-core bench soak trace example clean
+.PHONY: test test-props test-backends test-migration test-checkpoints test-obs bench-smoke bench-core bench soak trace example clean
 
 ## Narrows the benchmark's execution-backend sweep, e.g.:
 ##   make bench BACKEND=process
@@ -29,6 +29,13 @@ test-backends:
 ## plus the arbitrary-barrier ShardSnapshot round trips migration rests on.
 test-migration:
 	$(PYTHON) -m pytest tests/cluster/test_migration.py tests/cluster/test_shard_snapshot.py -q
+
+## The incremental-checkpoint suite alone: delta codec units, checkpoint/
+## restore round trips, delta-stream folding on every backend, fingerprint
+## invariance across cadences (compaction and checkpointed migration
+## included), the replay-log/retirement bounded-growth regressions.
+test-checkpoints:
+	$(PYTHON) -m pytest tests/cluster/test_checkpoints.py -q
 
 ## A fast sanity pass over the cluster benchmark (shrunken grid and load).
 bench-smoke:

@@ -282,14 +282,17 @@ def test_migration_rebalancing(benchmark):
     """Live shard migration under a shifting hotspot: moves, bytes, stall.
 
     One hotspot workload (the focus shard rotates every third of the run)
-    replays under three migration schedules — static assignment, a manual
-    plan following the hotspot, and the threshold policy reacting to the
-    observed load.  Hard assertions: every schedule's run audits clean and
-    produces the *identical* canonical fingerprint (placement invariance —
-    migration may move where shards compute, never what they compute), and
-    the non-static schedules execute real moves.  Per-schedule rows with
-    moves, snapshotted bytes and wall-clock stall per move land in
-    ``BENCH_cluster.json`` under ``migration_rows``.
+    replays under four migration schedules — static assignment, a manual
+    plan following the hotspot, the threshold policy reacting to the
+    observed load, and the manual plan again on the process pool with
+    incremental checkpoints so the moves ship O(delta) payloads.  Hard
+    assertions: every schedule's run audits clean and produces the
+    *identical* canonical fingerprint (placement invariance — migration may
+    move where shards compute, never what they compute), the non-static
+    schedules execute real moves, and the checkpointed moves ship strictly
+    fewer bytes than the full snapshots they verify against.  Per-schedule
+    rows with moves, snapshotted bytes, shipped delta bytes and wall-clock
+    stall per move land in ``BENCH_cluster.json`` under ``migration_rows``.
     """
     from repro.workloads.cluster_driver import HotspotProfile
 
@@ -320,7 +323,7 @@ def test_migration_rebalancing(benchmark):
     ]
 
     def run():
-        return migration_rebalancing_experiment(
+        rows = migration_rebalancing_experiment(
             schedules,
             shard_count=MIGRATION_SHARDS,
             batch_size=BACKEND_BATCH,
@@ -328,6 +331,18 @@ def test_migration_rebalancing(benchmark):
             max_workers=MIGRATION_WORKERS,
             config=config,
         )
+        # The manual plan again on the process pool with incremental
+        # checkpoints: the only configuration that ships real adopt
+        # payloads, so its row carries the measured delta-vs-full bytes.
+        rows += migration_rebalancing_experiment(
+            [("manual-ckpt", MigrationPlan([(third, 0, 1), (2 * third, 1, 0)]))],
+            shard_count=MIGRATION_SHARDS,
+            batch_size=BACKEND_BATCH,
+            backend="process",
+            max_workers=MIGRATION_WORKERS,
+            config=dataclasses.replace(config, checkpoint_every=1),
+        )
+        return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
 
@@ -336,7 +351,8 @@ def test_migration_rebalancing(benchmark):
         benchmark.extra_info[f"{row.schedule}_moves"] = row.moves
         assert row.check_ok, f"audit violated under schedule={row.schedule}"
     # Placement invariance, asserted where the costs are measured: one
-    # fingerprint across all schedules.
+    # fingerprint across all schedules — the checkpointed process-pool run
+    # included (checkpoint cadence is fingerprint-neutral by contract).
     assert len({row.fingerprint for row in rows}) == 1, (
         "migration changed results: "
         + ", ".join(f"{row.schedule}={row.fingerprint[:12]}" for row in rows)
@@ -350,6 +366,14 @@ def test_migration_rebalancing(benchmark):
         if row.moves:
             assert row.snapshot_bytes > 0
             assert row.stall_s >= 0.0
+    # The checkpointed moves shipped O(delta): real payloads, strictly below
+    # the full snapshots the same moves verified against.
+    checkpointed = by_schedule["manual-ckpt"]
+    assert checkpointed.moves == 2
+    assert checkpointed.replayed_events > 0
+    assert 0 < checkpointed.delta_bytes < checkpointed.snapshot_bytes
+    benchmark.extra_info["ckpt_delta_bytes"] = checkpointed.delta_bytes
+    benchmark.extra_info["ckpt_snapshot_bytes"] = checkpointed.snapshot_bytes
 
     _update_json(
         "migration_rows",
@@ -358,13 +382,21 @@ def test_migration_rebalancing(benchmark):
                 "schedule": row.schedule,
                 "backend": row.backend,
                 "moves": row.moves,
+                # snapshot_bytes is the *full* state the move verified
+                # against; delta_bytes is what actually shipped (zero unless
+                # the backend migrates via incremental checkpoints).
                 "snapshot_bytes": row.snapshot_bytes,
+                "delta_bytes": row.delta_bytes,
+                "replayed_events": row.replayed_events,
                 "stall_ms_total": round(row.stall_s * 1000, 3),
                 "stall_ms_per_move": (
                     round(row.stall_s * 1000 / row.moves, 3) if row.moves else None
                 ),
                 "bytes_per_move": (
                     row.snapshot_bytes // row.moves if row.moves else None
+                ),
+                "delta_bytes_per_move": (
+                    row.delta_bytes // row.moves if row.moves else None
                 ),
                 "peak_worker_load": row.peak_worker_load,
                 "mean_worker_load": round(row.mean_worker_load, 1),

@@ -29,9 +29,14 @@ recording the barrier-overhead versus cross-shard-latency trade the adaptive
 grids automate (the latency-target policy drives the p95 column toward its
 goal directly).
 
-Results land in ``BENCH_cluster.json`` under the ``soak`` and
-``epoch_policy_rows`` keys.  ``REPRO_BENCH_SMOKE=1`` (used by ``make soak``)
-shrinks the horizon for CI.
+A third sweep repeats the migrated soak on the process pool twice — with and
+without incremental checkpoints — and compares the growth figures the
+checkpoint seam bounds: the driver's migration replay log and the shards'
+resident local-transfer histories, alongside tracemalloc/RSS memory peaks.
+
+Results land in ``BENCH_cluster.json`` under the ``soak``,
+``checkpoint_soak`` and ``epoch_policy_rows`` keys.  ``REPRO_BENCH_SMOKE=1``
+(used by ``make soak``) shrinks the horizon for CI.
 """
 
 import json
@@ -235,6 +240,125 @@ def test_settlement_soak_bounded_resident_records(benchmark):
     print(format_soak_table(report))
     print()
     print(format_telemetry_table(telemetry_breakdown(report.telemetry)))
+
+
+def test_checkpoint_soak_bounded_memory(benchmark):
+    """The same migrated soak on the process pool, with and without
+    incremental checkpoints: checkpoints bound the driver's replay log and
+    (with ``compact_history``) the shards' local-transfer histories, while
+    the canonical outcome — audits, retirement, migrations — is identical.
+
+    The growth assertions are deterministic event counts (replay-log and
+    resident-record peaks), so they are strict.  The memory figures
+    (tracemalloc traced peak, ``ru_maxrss``) are journaled for trend
+    tracking but only loosely asserted — allocator noise and interpreter
+    warm-up make tight byte bounds flaky."""
+    import dataclasses
+    import resource
+    import tracemalloc
+
+    base = dataclasses.replace(
+        _config(SOAK_DURATION),
+        migration=_soak_migration(SOAK_DURATION),
+        backend="process",
+        max_workers=SOAK_WORKERS,
+    )
+    plain_config = base
+    ckpt_config = dataclasses.replace(
+        base, checkpoint_every=2, compact_history=True
+    )
+
+    def _measured(config):
+        tracemalloc.start()
+        report = settlement_soak_experiment(
+            shard_count=SOAK_SHARDS,
+            batch_size=SOAK_BATCH,
+            checkpoints=SOAK_CHECKPOINTS,
+            config=config,
+        )
+        _, traced_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return report, traced_peak, rss_kb
+
+    def run():
+        # Plain first so its traced peak is not inflated by the other run's
+        # surviving allocations; ru_maxrss is a process high-water mark and
+        # is journaled per run for trend tracking only.
+        return _measured(plain_config), _measured(ckpt_config)
+
+    (plain, plain_peak, plain_rss), (ckpt, ckpt_peak, ckpt_rss) = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+
+    for report in (plain, ckpt):
+        assert not report.violations, report.violations
+        assert report.final_check_ok
+        assert report.fully_retired
+        assert report.migrations == 4
+    # Checkpoints are fingerprint-neutral one level up too: both runs commit
+    # the same workload to the same outcome.
+    assert [s.committed for s in ckpt.samples] == [
+        s.committed for s in plain.samples
+    ]
+
+    # The bugfix belt, measured: without checkpoints the process pool's
+    # migration replay log grows with the run; with them it tracks the
+    # window since the newest baseline.
+    assert plain.peak_replay_log > 0
+    assert ckpt.peak_replay_log < plain.peak_replay_log, (
+        f"replay log not bounded: {ckpt.peak_replay_log} with checkpoints "
+        f"vs {plain.peak_replay_log} without"
+    )
+    # compact_history trims settled ordinary transfers behind the baseline.
+    assert plain.peak_local_records > 0
+    assert ckpt.peak_local_records < plain.peak_local_records, (
+        f"local histories not compacted: {ckpt.peak_local_records} with "
+        f"checkpoints vs {plain.peak_local_records} without"
+    )
+    # The checkpoint stream itself ships deltas, not full snapshots.
+    stats = ckpt.checkpoint_stats
+    assert stats is not None and stats["taken"] > 0
+    assert 0 < stats["delta_bytes"] < stats["full_bytes"]
+    plain_stats = plain.checkpoint_stats
+    assert plain_stats is None or plain_stats["taken"] == 0
+    # Loose memory bound only: the checkpointed run must not cost real
+    # memory for its bookkeeping (generous margin, see docstring).
+    assert ckpt_peak <= plain_peak * 1.5, (
+        f"checkpointed soak traced peak {ckpt_peak} vs plain {plain_peak}"
+    )
+
+    benchmark.extra_info["plain_peak_replay_log"] = plain.peak_replay_log
+    benchmark.extra_info["ckpt_peak_replay_log"] = ckpt.peak_replay_log
+    benchmark.extra_info["ckpt_delta_bytes"] = stats["delta_bytes"]
+    _update_json(
+        "checkpoint_soak",
+        {
+            "duration": SOAK_DURATION,
+            "shard_count": SOAK_SHARDS,
+            "batch_size": SOAK_BATCH,
+            "checkpoints": SOAK_CHECKPOINTS,
+            "backend": "process",
+            "checkpoint_every": ckpt_config.checkpoint_every,
+            "compact_history": ckpt_config.compact_history,
+            "runs": [
+                {
+                    "variant": variant,
+                    "peak_replay_log": report.peak_replay_log,
+                    "peak_local_records": report.peak_local_records,
+                    "peak_resident": report.peak_resident,
+                    "migrations": report.migrations,
+                    "checkpoint_stats": report.checkpoint_stats,
+                    "tracemalloc_peak_bytes": traced,
+                    "ru_maxrss_kb": rss,
+                }
+                for variant, report, traced, rss in (
+                    ("plain", plain, plain_peak, plain_rss),
+                    ("checkpointed", ckpt, ckpt_peak, ckpt_rss),
+                )
+            ],
+        },
+    )
 
 
 def test_epoch_policy_trade(benchmark):

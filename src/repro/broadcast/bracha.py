@@ -161,6 +161,36 @@ class BrachaBroadcast(BroadcastLayer):
         )
         self._transmit_to_all(ready)
 
+    # -- checkpointing --------------------------------------------------------------------
+
+    def _capture_impl_state(self) -> Any:
+        return {
+            "instances": {
+                key: (
+                    dict(state.payload_by_hash),
+                    state.echoed,
+                    state.readied,
+                    state.delivered,
+                    {digest: set(witnesses) for digest, witnesses in state.echoes.items()},
+                    {digest: set(witnesses) for digest, witnesses in state.readies.items()},
+                )
+                for key, state in self._instances.items()
+            }
+        }
+
+    def _restore_impl_state(self, state: Any) -> None:
+        self._instances = {}
+        for key, packed in state["instances"].items():
+            payloads, echoed, readied, delivered, echoes, readies = packed
+            self._instances[tuple(key)] = _InstanceState(
+                payload_by_hash=dict(payloads),
+                echoed=echoed,
+                readied=readied,
+                delivered=delivered,
+                echoes={digest: set(witnesses) for digest, witnesses in echoes.items()},
+                readies={digest: set(witnesses) for digest, witnesses in readies.items()},
+            )
+
     # -- introspection --------------------------------------------------------------------
 
     def instance_count(self) -> int:

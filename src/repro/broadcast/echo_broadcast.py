@@ -209,6 +209,34 @@ class EchoBroadcast(BroadcastLayer):
             state.relayed = True
             self._transmit_to_all(message)
 
+    # -- checkpointing ----------------------------------------------------------------------------
+
+    def _capture_impl_state(self) -> Any:
+        return {
+            "as_origin": {
+                sequence: (state.payload, dict(state.signatures), state.finalised)
+                for sequence, state in self._as_origin.items()
+            },
+            "as_receiver": {
+                key: (state.acknowledged_hash, state.delivered, state.relayed)
+                for key, state in self._as_receiver.items()
+            },
+        }
+
+    def _restore_impl_state(self, state: Any) -> None:
+        self._as_origin = {
+            sequence: _OriginState(
+                payload=payload, signatures=dict(signatures), finalised=finalised
+            )
+            for sequence, (payload, signatures, finalised) in state["as_origin"].items()
+        }
+        self._as_receiver = {
+            tuple(key): _ReceiverState(
+                acknowledged_hash=acknowledged, delivered=delivered, relayed=relayed
+            )
+            for key, (acknowledged, delivered, relayed) in state["as_receiver"].items()
+        }
+
     # -- introspection ----------------------------------------------------------------------------
 
     def pending_instances(self) -> int:

@@ -197,6 +197,25 @@ class BatchingTransferNode(ConsensuslessTransferNode):
             return base + extra_items * config.processing_time
         return base
 
+    # -- checkpointing ------------------------------------------------------------------------
+
+    def capture_live_state(self) -> Dict[str, Any]:
+        state = super().capture_live_state()
+        state["pending_batch"] = [
+            (pending.transfer, pending.submitted_at, pending.announced)
+            for pending in self._pending_batch
+        ]
+        state["batches_issued"] = self.batches_issued
+        return state
+
+    def restore_live_state(self, state: Dict[str, Any]) -> None:
+        super().restore_live_state(state)
+        self._pending_batch = [
+            PendingTransfer(transfer=transfer, submitted_at=submitted_at, announced=announced)
+            for transfer, submitted_at, announced in state["pending_batch"]
+        ]
+        self.batches_issued = state["batches_issued"]
+
     # -- completion ---------------------------------------------------------------------------
 
     def _complete_pending(self, success: bool) -> None:

@@ -57,16 +57,19 @@ from repro.cluster.settlement import (
     SettlementClaim,
     SettlementVoucher,
 )
+from repro.cluster.batching import BatchAnnouncement
+from repro.cluster.checkpoint import CheckpointDelta
 from repro.cluster.shard import (
     AdvanceReport,
     NodeSnapshot,
+    ShardCheckpoint,
     ShardSnapshot,
     ShardSpec,
     ValidationEvent,
 )
 from repro.common.types import Transfer, TransferId
 from repro.crypto.signatures import QuorumCertificate, Signature
-from repro.mp.consensusless_transfer import TransferRecord
+from repro.mp.consensusless_transfer import PendingTransfer, TransferRecord
 from repro.mp.messages import SequencedAnnouncement, TransferAnnouncement
 from repro.network.node import NetworkConfig, NodeStats
 from repro.spec.byzantine_spec import ClientOperation, ValidatedTransfer
@@ -103,6 +106,11 @@ _REGISTRY: Tuple[type, ...] = (
     ClientOperation,
     RoutedSubmission,
     TransferRecord,
+    # Appended for the checkpoint seam (tags stay stable: append-only).
+    BatchAnnouncement,
+    PendingTransfer,
+    ShardCheckpoint,
+    CheckpointDelta,
 )
 _TAG_OF: Dict[type, int] = {cls: _REGISTRY_BASE + i for i, cls in enumerate(_REGISTRY)}
 _FIELDS_OF: Dict[type, Tuple[str, ...]] = {

@@ -96,6 +96,13 @@ class MigrationRecord:
     target_worker: int
     snapshot_bytes: int
     stall_s: float
+    # Incremental-checkpoint measurements (0 on backends that ship nothing):
+    # bytes of the actual adopt payload — the replay tail past the newest
+    # checkpoint, codec-encoded — and how many commands + arrivals the
+    # adopting worker replays.  With checkpoints off, ``delta_bytes`` is the
+    # full genesis-replay payload, so the two columns bracket the saving.
+    delta_bytes: int = 0
+    replayed_events: int = 0
 
     def signature(self) -> tuple:
         """The deterministic, backend-invariant content of this move."""
@@ -119,6 +126,8 @@ def migration_totals(records: Sequence[MigrationRecord]) -> Dict[str, float]:
         "moves": len(records),
         "snapshot_bytes": sum(record.snapshot_bytes for record in records),
         "stall_s": sum(record.stall_s for record in records),
+        "delta_bytes": sum(record.delta_bytes for record in records),
+        "replayed_events": sum(record.replayed_events for record in records),
     }
 
 

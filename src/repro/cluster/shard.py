@@ -65,6 +65,10 @@ class ShardSpec:
     # flag can differ between builds of the same spec without changing a
     # single event (the telemetry invariant, pinned by tests/obs).
     telemetry: bool = True
+    # Compact ordinary local transfer records out of ``hist`` once their
+    # owner spends them (see ConsensuslessTransferNode.compact_consumed).
+    # Balance-preserving by construction, so every fingerprint is unchanged.
+    compact_history: bool = False
 
     def build(self, simulator: Optional[Simulator] = None) -> "Shard":
         """Construct the shard (with its own simulator unless one is given)."""
@@ -79,6 +83,7 @@ class ShardSpec:
             relay_final=self.relay_final,
             seed=self.seed,
             telemetry=self.telemetry,
+            compact_history=self.compact_history,
         )
 
 
@@ -135,6 +140,8 @@ class NodeSnapshot:
     retired_outbound: Dict[AccountId, Amount] = field(default_factory=dict)
     pending_retirements: set = field(default_factory=set)
     retired_records: int = 0
+    compacted_local_records: int = 0
+    stale_retirements_dropped: int = 0
 
 
 @dataclass
@@ -170,6 +177,29 @@ class ShardSnapshot:
         return dataclasses.replace(self, metrics=None)
 
 
+@dataclass
+class ShardCheckpoint:
+    """A shard frozen mid-run at a protocol-quiescent barrier, as plain data.
+
+    Where :class:`ShardSnapshot` captures the *inspection* surface of a
+    finished (or paused) shard, a checkpoint captures enough to resume
+    execution bit-identically: the snapshot plus the live remainder — the
+    per-node validation queues and client pipelines, the broadcast layers'
+    in-flight instance tables, the network RNG position and CPU horizons,
+    and the simulator's clock/sequence counters.  Client arrivals are *not*
+    captured: a checkpoint is only taken when every pending event is a
+    client submission, and those are re-scheduled from the shard's routed
+    submission list on restore (see :meth:`Shard.restore_checkpoint`).
+    """
+
+    index: int
+    time: float
+    sequence: int
+    processed_events: int
+    state: ShardSnapshot
+    live: Dict[str, object] = field(default_factory=dict)
+
+
 class Shard:
     """A replica group executing the transfers of its account partition."""
 
@@ -185,6 +215,7 @@ class Shard:
         relay_final: bool = True,
         seed: int = 0,
         telemetry: bool = True,
+        compact_history: bool = False,
     ) -> None:
         if replicas < 4:
             raise ConfigurationError(
@@ -199,6 +230,7 @@ class Shard:
         self.broadcast_kind = broadcast
         self.batch_size = batch_size
         self.relay_final = relay_final
+        self.compact_history = compact_history
         # ``simulator=None`` means the shard owns its clock (the epoch
         # backends and worker processes); a passed-in simulator is shared
         # with other shards (the classic mode), in which case its telemetry
@@ -264,6 +296,7 @@ class Shard:
                     broadcast_factory=self._broadcast_factory,
                     on_complete=self._record_completion,
                 )
+            node.compact_consumed = self.compact_history
             self.nodes[pid] = node
         self.network.add_nodes(self.nodes.values())
 
@@ -307,6 +340,7 @@ class Shard:
             relay_final=self.relay_final,
             seed=self._seed,
             telemetry=self._telemetry,
+            compact_history=self.compact_history,
         )
 
     def install_validation_collector(self) -> None:
@@ -444,8 +478,13 @@ class Shard:
         self.metrics.set_gauge("shard.submitted", self.submitted)
         return self.metrics.snapshot()
 
-    def snapshot(self) -> ShardSnapshot:
-        """Capture the inspection-relevant final state as picklable data."""
+    def snapshot(self, include_metrics: bool = True) -> ShardSnapshot:
+        """Capture the inspection-relevant final state as picklable data.
+
+        ``include_metrics=False`` skips the telemetry sampling entirely —
+        checkpoints compare and diff snapshots as pure protocol state, so
+        carrying (and re-sampling) gauges there would only add bytes.
+        """
         nodes = {}
         for pid in sorted(self.nodes):
             node = self.nodes[pid]
@@ -463,6 +502,8 @@ class Shard:
                 retired_outbound=dict(node._retired_outbound),
                 pending_retirements=set(node._pending_retirements),
                 retired_records=node.retired_records,
+                compacted_local_records=node.compacted_local_records,
+                stale_retirements_dropped=node.stale_retirements_dropped,
             )
         return ShardSnapshot(
             index=self.index,
@@ -473,7 +514,7 @@ class Shard:
             submitted=self.submitted,
             broadcast_delivered=self.broadcast_instances(),
             payload_items=self.payload_items(),
-            metrics=self.metrics_snapshot(),
+            metrics=self.metrics_snapshot() if include_metrics else None,
         )
 
     def restore(self, snapshot: ShardSnapshot) -> None:
@@ -504,6 +545,8 @@ class Shard:
             node._retired_outbound = dict(node_snapshot.retired_outbound)
             node._pending_retirements = set(node_snapshot.pending_retirements)
             node.retired_records = node_snapshot.retired_records
+            node.compacted_local_records = node_snapshot.compacted_local_records
+            node.stale_retirements_dropped = node_snapshot.stale_retirements_dropped
         self.result.committed = list(snapshot.committed)
         self.result.rejected = list(snapshot.rejected)
         self.network.messages_sent = snapshot.messages_sent
@@ -514,6 +557,131 @@ class Shard:
         # counters on the second restore.  ``metrics_snapshot`` overlays
         # this on the twin's own (driver-side fabric) recording.
         self._worker_metrics = snapshot.metrics
+
+    # -- checkpointing ------------------------------------------------------------------------
+
+    def checkpoint_blockers(self) -> List[str]:
+        """Why this shard cannot be checkpointed right now (empty = it can).
+
+        A checkpoint is only sound at a *protocol-quiescent* instant: every
+        pending simulator event must be a client submission (re-creatable
+        from the routed-submission spec).  An in-flight protocol message or
+        settlement command holds closures over live state and would be lost,
+        so its presence blocks the checkpoint — the caller simply skips this
+        cadence barrier and the shard keeps replaying from its previous
+        checkpoint (or genesis).
+        """
+        blockers = [
+            label
+            for label in self.simulator.live_event_labels()
+            if not label.startswith("client submit ")
+        ]
+        if self._validation_events:
+            blockers.append("undrained validation events")
+        return blockers
+
+    def checkpoint(self) -> Optional[ShardCheckpoint]:
+        """Capture a resumable mid-run image, or ``None`` if not quiescent.
+
+        The capture deep-copies every mutable container, so the returned
+        object stays valid however far this shard runs on (the serial and
+        thread backends keep checkpoints of *live* shards in-process).
+        """
+        if self.checkpoint_blockers():
+            return None
+        state = self.snapshot(include_metrics=False)
+        for node_snapshot in state.nodes.values():
+            # snapshot() shares the live NodeStats object; a checkpoint must
+            # freeze it.
+            node_snapshot.stats = dataclasses.replace(node_snapshot.stats)
+        live = {
+            "nodes": {pid: self.nodes[pid].capture_live_state() for pid in sorted(self.nodes)},
+            "network": self.network.capture_state(),
+        }
+        return ShardCheckpoint(
+            index=self.index,
+            time=self.simulator.now,
+            sequence=self.simulator._sequence,
+            processed_events=self.simulator.processed_events,
+            state=state,
+            live=live,
+        )
+
+    def restore_checkpoint(self, checkpoint: ShardCheckpoint, submissions) -> int:
+        """Resume from ``checkpoint`` on this freshly built, started shard.
+
+        ``submissions`` is the shard's full routed arrival list; the tail
+        strictly after the checkpoint time is re-scheduled (the rest already
+        executed into the captured state).  The arrivals take fresh low
+        sequence numbers — all below the checkpoint's counter and in their
+        original relative order, exactly as in the original timeline where
+        every arrival was scheduled at open — then the clock and sequence
+        counter jump to the checkpoint's values, so deterministic
+        re-execution reproduces the original event order bit-for-bit.
+        Returns the number of arrivals re-scheduled.
+
+        The caller is expected to have run :meth:`start` (and installed a
+        validation collector when settlement is on) before restoring, as
+        :func:`repro.cluster.backends._replay_shard` does.
+        """
+        if checkpoint.index != self.index:
+            raise ConfigurationError(
+                f"checkpoint of shard {checkpoint.index} applied to shard {self.index}"
+            )
+        scheduled = 0
+        for submission in submissions:
+            if submission.time > checkpoint.time:
+                self.submit(submission.time, submission.issuer, submission.destination, submission.amount)
+                scheduled += 1
+        snapshot = checkpoint.state
+        for pid, node_snapshot in snapshot.nodes.items():
+            node = self.nodes[pid]
+            node.seq = dict(node_snapshot.seq)
+            node.rec = dict(node_snapshot.rec)
+            node.hist = {account: set(history) for account, history in node_snapshot.hist.items()}
+            node.deps = set(node_snapshot.deps)
+            node._validated_log = list(node_snapshot.validated_log)
+            node._client_operations = list(node_snapshot.client_operations)
+            node.completed = list(node_snapshot.completed)
+            node.failed_immediately = list(node_snapshot.failed_immediately)
+            # Copy, don't alias: this node runs on and mutates its stats.
+            node.stats = dataclasses.replace(node_snapshot.stats)
+            node._retired_offsets = dict(node_snapshot.retired_offsets)
+            node._retired_outbound = dict(node_snapshot.retired_outbound)
+            node._pending_retirements = set(node_snapshot.pending_retirements)
+            node.retired_records = node_snapshot.retired_records
+            node.compacted_local_records = node_snapshot.compacted_local_records
+            node.stale_retirements_dropped = node_snapshot.stale_retirements_dropped
+        self.result.committed = list(snapshot.committed)
+        self.result.rejected = list(snapshot.rejected)
+        self.submitted = snapshot.submitted
+        # Live remainder: validation queues, client pipelines, broadcast
+        # instance tables, network RNG/CPU/counters.  No ``_stats_override``
+        # and no ``_worker_metrics`` — this twin is *live*, its layers carry
+        # the real cumulative stats from here on.
+        for pid, live_state in checkpoint.live["nodes"].items():
+            self.nodes[pid].restore_live_state(live_state)
+        self.network.restore_state(checkpoint.live["network"])
+        self.simulator.restore_counters(
+            checkpoint.time, checkpoint.sequence, checkpoint.processed_events
+        )
+        return scheduled
+
+    def compacted_local_record_count(self) -> int:
+        """Ordinary local records compacted behind the consumption watermark (replica 0)."""
+        return self.nodes[0].compacted_local_records
+
+    def resident_local_records(self) -> int:
+        """Ordinary (non-settlement) records still resident at replica 0.
+
+        The figure ``compact_history`` bounds, mirroring
+        :meth:`resident_settlement_records` for the local ledger.
+        """
+        return sum(
+            len(records)
+            for account, records in self.nodes[0].hist.items()
+            if parse_external_account(account) is None
+        )
 
     def finalize(self, duration: float) -> SystemResult:
         """Stamp run-wide figures once the shared simulator has quiesced.

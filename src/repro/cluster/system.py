@@ -126,6 +126,25 @@ class ClusterSystem:
         results are **placement-invariant**: the run's fingerprint equals
         the static-assignment run's (the extended equivalence harness pins
         this).
+    checkpoint_every:
+        Incremental-checkpoint cadence in taken barriers (epoch mode only;
+        ``None`` = never).  Every N-th barrier each protocol-quiescent shard
+        records a delta-encoded checkpoint; migration then ships and replays
+        only the post-checkpoint tail (O(delta) instead of O(history)), and
+        the driver's per-shard replay log is truncated behind the checkpoint
+        so long migratable runs hold bounded memory.  Checkpointing only
+        observes state — every cadence fingerprints identically to the
+        no-checkpoint run on every backend (the invariance suite pins it).
+    compact_history:
+        When true, each replica removes a transfer record from its local
+        ``hist`` once the record's credit has been *consumed* — folded into
+        a validated dependency set of a later transfer by the consuming
+        account — keeping balances bit-identical through per-account offset
+        folding (the ``retire_settled`` watermark mechanism, extended to
+        ordinary local records).  Bounds resident history under sustained
+        local traffic; sound for benign issuers (see
+        ``ConsensuslessTransferNode.compact_consumed`` for the Byzantine
+        caveat), which is why it is off by default.
     telemetry:
         The observability mode: ``"off"`` (no registries, no spans),
         ``"metrics"`` (the default — counters/gauges/histograms across the
@@ -161,6 +180,8 @@ class ClusterSystem:
         epoch_policy: Optional[EpochPolicy] = None,
         max_workers: Optional[int] = None,
         migration=None,
+        checkpoint_every: Optional[int] = None,
+        compact_history: bool = False,
         telemetry="metrics",
         profile: bool = False,
         seed: int = 0,
@@ -179,10 +200,20 @@ class ClusterSystem:
                 "(serial/thread/process); the shared clock has no placement "
                 "to migrate"
             )
+        if checkpoint_every is not None and backend in (None, "shared"):
+            raise ConfigurationError(
+                "incremental checkpoints need an epoch-barrier execution "
+                "backend (serial/thread/process); the shared clock has no "
+                "barriers to checkpoint at"
+            )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ConfigurationError("checkpoint_every must be at least 1 barrier")
         self.shard_count = shard_count
         self.replicas_per_shard = replicas_per_shard
         self.batch_size = batch_size
         self.seed = seed
+        self.checkpoint_every = checkpoint_every
+        self.compact_history = bool(compact_history)
         self.backend_name = backend if backend not in (None, "shared") else "shared"
         self._epoch_mode = self.backend_name != "shared"
         # Observability: a driver-side registry (mode != off) for phase
@@ -219,6 +250,7 @@ class ClusterSystem:
                 network_config=network_config,
                 relay_final=relay_final,
                 telemetry=self.telemetry_mode != "off",
+                compact_history=self.compact_history,
                 seed=seed,
             )
             for index in range(shard_count)
@@ -245,6 +277,7 @@ class ClusterSystem:
                 migration=self._migration_policy,
                 metrics=self.metrics,
                 tracer=self.tracer,
+                checkpoint_every=checkpoint_every,
             )
             if self._epoch_mode
             else None
@@ -534,7 +567,15 @@ class ClusterSystem:
             totals = migration_totals(self.scheduler.migration_log)
             self.metrics.set_gauge("migrate.records", totals["moves"])
             self.metrics.set_gauge("migrate.snapshot_bytes_total", totals["snapshot_bytes"])
+            self.metrics.set_gauge("migrate.delta_bytes_total", totals["delta_bytes"])
+            self.metrics.set_gauge("migrate.replayed_events_total", totals["replayed_events"])
             self.metrics.set_gauge("migrate.stall_s_total", totals["stall_s"])
+        if self._backend is not None and self.checkpoint_every is not None:
+            stats = self._backend.checkpoint_stats()
+            self.metrics.set_gauge("checkpoint.taken_total", stats["taken"])
+            self.metrics.set_gauge("checkpoint.skipped_total", stats["skipped"])
+            self.metrics.set_gauge("checkpoint.delta_bytes_total", stats["delta_bytes"])
+            self.metrics.set_gauge("checkpoint.full_bytes_total", stats["full_bytes"])
         per_shard = {}
         for shard in self.shards:
             snapshot = shard.metrics_snapshot()
@@ -719,6 +760,40 @@ class ClusterSystem:
     def retired_records(self) -> int:
         """Outbound records retired behind compaction watermarks, cluster-wide."""
         return sum(shard.retired_record_count() for shard in self.shards)
+
+    def checkpoint_stats(self) -> Dict[str, int]:
+        """Cumulative checkpoint accounting from the backend session.
+
+        Zeros on the shared clock or with checkpoints off.  ``delta_bytes``
+        vs ``full_bytes`` is the incremental stream's measured win.
+        """
+        if self._backend is None:
+            return {"taken": 0, "skipped": 0, "delta_bytes": 0, "full_bytes": 0}
+        return self._backend.checkpoint_stats()
+
+    def resident_local_records(self) -> int:
+        """Ordinary (non-settlement) transfer records resident cluster-wide.
+
+        The figure ``compact_history`` bounds: without it this tracks the
+        whole run's validated local traffic; with it, only unconsumed
+        records remain.
+        """
+        return sum(shard.resident_local_records() for shard in self.shards)
+
+    def compacted_local_records(self) -> int:
+        """Ordinary records removed by consumption compaction, cluster-wide."""
+        return sum(shard.compacted_local_record_count() for shard in self.shards)
+
+    def replay_log_entries(self) -> int:
+        """Commands held in the driver-side migration replay log right now.
+
+        Zero on the shared clock and on backends that migrate without
+        replay; on the process pool this is the figure checkpoint
+        truncation keeps bounded (the soak benchmark samples it).
+        """
+        if self._backend is None:
+            return 0
+        return self._backend.replay_log_entries()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -502,6 +502,12 @@ class ClusterExperimentConfig:
     # MigrationPlan, or a ThresholdMigrationPolicy.  Results are
     # placement-invariant; the knob moves wall-clock load distribution only.
     migration: Optional[object] = None
+    # Incremental-checkpoint cadence in taken barriers (epoch mode only):
+    # bounds the driver replay log and turns migrations O(delta).  And the
+    # consumption-compaction knob for ordinary local records.  Both are
+    # fingerprint-neutral by the checkpoint-invariance harness.
+    checkpoint_every: Optional[int] = None
+    compact_history: bool = False
     # Observability knobs, passed straight through to ClusterSystem:
     # telemetry mode ("off"/"metrics"/"full") and the cProfile sampler.
     # Fingerprint-neutral by the telemetry invariant — rows only gain a
@@ -609,6 +615,8 @@ def run_cluster(
         # Stateful policies are copied per run (see migration_rebalancing_
         # experiment): a drained MigrationPlan must not leak between runs.
         migration=copy.deepcopy(config.migration),
+        checkpoint_every=config.checkpoint_every,
+        compact_history=config.compact_history,
         telemetry=config.telemetry,
         profile=config.profile,
         seed=config.seed,
@@ -797,6 +805,11 @@ class SoakSample:
     resident_journal_records: int = 0
     # Executed migrations so far (non-zero only in migrated soak runs).
     migrations: int = 0
+    # Ordinary (non-settlement) records resident in the ledgers — the figure
+    # ``compact_history`` bounds — and barrier commands held in the driver's
+    # migration replay log — the figure checkpoint truncation bounds.
+    resident_local_records: int = 0
+    replay_log_entries: int = 0
 
 
 @dataclass(frozen=True)
@@ -823,6 +836,12 @@ class SoakReport:
     migrations: int = 0
     # The final run's telemetry section (None with telemetry off).
     telemetry: Optional[Dict[str, object]] = None
+    # Peaks of the two growth figures the checkpoint seam bounds, plus the
+    # backend's cumulative checkpoint accounting (zeros with checkpoints
+    # off) — the memory-soak benchmark compares these across cadences.
+    peak_local_records: int = 0
+    peak_replay_log: int = 0
+    checkpoint_stats: Optional[Dict[str, int]] = None
 
     @property
     def bounded(self) -> bool:
@@ -880,6 +899,8 @@ def settlement_soak_experiment(
         # Stateful policies are copied per run (see migration_rebalancing_
         # experiment): a drained MigrationPlan must not leak between runs.
         migration=copy.deepcopy(config.migration),
+        checkpoint_every=config.checkpoint_every,
+        compact_history=config.compact_history,
         telemetry=config.telemetry,
         profile=config.profile,
         seed=config.seed,
@@ -913,6 +934,8 @@ def settlement_soak_experiment(
                     else 0
                 ),
                 migrations=len(system.migration_signature()),
+                resident_local_records=system.resident_local_records(),
+                replay_log_entries=system.replay_log_entries(),
             )
         )
         if audit.total != initial_supply:
@@ -940,6 +963,7 @@ def settlement_soak_experiment(
         system.settlement.journal_records_total() if system.settlement else 0
     )
     telemetry = system.result.telemetry
+    checkpoint_stats = system.checkpoint_stats()
     system.close()
 
     peak = max(s.resident_settlement_records for s in samples)
@@ -954,6 +978,9 @@ def settlement_soak_experiment(
         journal_total=journal_total,
         migrations=final.migrations,
         telemetry=telemetry,
+        peak_local_records=max(s.resident_local_records for s in samples),
+        peak_replay_log=max(s.replay_log_entries for s in samples),
+        checkpoint_stats=checkpoint_stats,
     )
 
 
@@ -1045,7 +1072,11 @@ class MigrationComparisonRow:
     ``moves`` is the executed migration count; ``snapshot_bytes`` and
     ``stall_s`` total the per-move measurements (what a move costs);
     ``fingerprint`` must equal the static row's — placement invariance is
-    the whole point.
+    the whole point.  ``delta_bytes``/``replayed_events`` total the *actual*
+    adopt payloads — the replay tail past the newest checkpoint — where
+    ``snapshot_bytes`` stays the full-snapshot measurement each move
+    verified against; with checkpoints on, the delta column is the row's
+    real transfer cost and sits strictly below the full one.
     """
 
     schedule: str
@@ -1059,6 +1090,8 @@ class MigrationComparisonRow:
     check_ok: bool
     fingerprint: str
     migration_stream: List[tuple]
+    delta_bytes: int = 0
+    replayed_events: int = 0
 
 
 def migration_rebalancing_experiment(
@@ -1111,6 +1144,8 @@ def migration_rebalancing_experiment(
             # threshold policy keeps windows/cooldowns): give each run its
             # own copy so the caller's objects survive re-invocation.
             migration=copy.deepcopy(migration),
+            checkpoint_every=config.checkpoint_every,
+            compact_history=config.compact_history,
             seed=config.seed,
         )
         system.schedule_submissions(workload)
@@ -1124,6 +1159,8 @@ def migration_rebalancing_experiment(
                 moves=len(records),
                 snapshot_bytes=sum(r.snapshot_bytes for r in records),
                 stall_s=sum(r.stall_s for r in records),
+                delta_bytes=sum(r.delta_bytes for r in records),
+                replayed_events=sum(r.replayed_events for r in records),
                 peak_worker_load=max(loads.values()) if loads else 0,
                 mean_worker_load=(
                     sum(loads.values()) / len(loads) if loads else 0.0

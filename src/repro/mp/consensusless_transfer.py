@@ -117,6 +117,22 @@ class ConsensuslessTransferNode(Node):
         self._retired_outbound: Dict[AccountId, Amount] = {}
         self._pending_retirements: Set[Transfer] = set()
         self.retired_records = 0
+        self.stale_retirements_dropped = 0
+
+        # Local-history compaction (opt-in; the cluster's checkpoint seam
+        # enables it per shard).  When on, an ordinary local transfer record
+        # is dropped from ``hist`` the moment the announcement *consuming* it
+        # as a dependency validates — past that point a benign issuer can
+        # never declare it again (dependencies are cleared when declared,
+        # line 5), so the record is pure history; its amount folds into the
+        # same ``_retired_offsets`` baseline the settlement lifecycle uses,
+        # leaving every balance bit-identical.  The rule is sound for benign
+        # issuers only: a Byzantine *replica* declaring another account's
+        # credit could observe the record compact at different times on
+        # different replicas, so the knob stays off outside the cluster's
+        # benign-replica-group deployments.
+        self.compact_consumed = False
+        self.compacted_local_records = 0
 
         # Client bookkeeping.
         self._pending: Optional[PendingTransfer] = None
@@ -351,8 +367,47 @@ class ConsensuslessTransferNode(Node):
             # the record; now that the record exists locally, compact it.
             self._pending_retirements.discard(transfer)
             self._retire_now(transfer)
+        if self.compact_consumed and announcement.dependencies:
+            for dependency in announcement.dependencies:
+                self._compact_consumed_record(transfer.source, dependency)
         if issuer == self.node_id:                                           # lines 19-20
             self._complete_pending(success=True)
+
+    def _compact_consumed_record(self, consuming_account: AccountId, dependency: Transfer) -> None:
+        """Drop an ordinary local record its owner just spent (see ``compact_consumed``).
+
+        Only the canonical benign consumption pattern compacts: a credit to
+        the consuming account, issued by the owner of its source account,
+        between two ordinary local accounts (settlement mints and ``x{d}:a``
+        outbound records belong to the settlement lifecycle's own retirement
+        path and are left alone).  Both sides fold into
+        ``_retired_offsets`` — net zero, so the supply audit is unmoved.
+        """
+        if dependency.destination != consuming_account:
+            return
+        if dependency.source != account_of(dependency.issuer):
+            return
+        if (
+            dependency.source not in self._initial_balances
+            or dependency.destination not in self._initial_balances
+        ):
+            return
+        records = self.hist.get(dependency.source)
+        if records is None or dependency not in records:
+            return
+        for account in (dependency.source, dependency.destination):
+            involved = self.hist.get(account)
+            if involved is not None:
+                involved.discard(dependency)
+                if not involved:
+                    del self.hist[account]
+        self._retired_offsets[dependency.source] = (
+            self._retired_offsets.get(dependency.source, 0) - dependency.amount
+        )
+        self._retired_offsets[dependency.destination] = (
+            self._retired_offsets.get(dependency.destination, 0) + dependency.amount
+        )
+        self.compacted_local_records += 1
 
     # -- externally-certified credits -------------------------------------------------------------
 
@@ -409,6 +464,21 @@ class ConsensuslessTransferNode(Node):
                 self._retire_now(transfer)
             else:
                 self._pending_retirements.add(transfer)
+        # Sweep entries whose issuer stream has moved past them: if
+        # ``seq[issuer]`` reached the parked sequence number and the record
+        # is still not in ``hist``, the slot validated (or retired) a
+        # *different* transfer — this one can never validate (line 24 admits
+        # only the exact next sequence), so holding its retirement forever
+        # just leaks memory on e.g. a crashed-source stream.
+        if self._pending_retirements:
+            stale = [
+                parked
+                for parked in self._pending_retirements
+                if self.seq.get(parked.issuer, 0) >= parked.sequence
+            ]
+            for parked in stale:
+                self._pending_retirements.discard(parked)
+                self.stale_retirements_dropped += 1
 
     def _retire_now(self, transfer: Transfer) -> None:
         for account in (transfer.source, transfer.destination):
@@ -462,6 +532,40 @@ class ConsensuslessTransferNode(Node):
         if self._on_complete is not None:
             self._on_complete(record)
         self._try_issue_next()
+
+    # -- checkpointing -----------------------------------------------------------------------------
+
+    def capture_live_state(self) -> Dict[str, Any]:
+        """Plain-data snapshot of the state a :class:`NodeSnapshot` omits.
+
+        ``NodeSnapshot`` carries the *settled* protocol state (histories,
+        logs, counters); this captures the in-flight remainder — the
+        validation queue, the client pipeline and the broadcast layer's
+        instance tables — so a checkpoint can rehydrate a mid-run node
+        exactly.  Everything returned is picklable plain data.
+        """
+        return {
+            "to_validate": list(self.to_validate),
+            "pending": None
+            if self._pending is None
+            else (self._pending.transfer, self._pending.submitted_at, self._pending.announced),
+            "submit_queue": list(self._submit_queue),
+            "layer": None if self.broadcast_layer is None else self.broadcast_layer.capture_state(),
+        }
+
+    def restore_live_state(self, state: Dict[str, Any]) -> None:
+        """Install a :meth:`capture_live_state` snapshot onto a started twin."""
+        self.to_validate = [(issuer, announcement) for issuer, announcement in state["to_validate"]]
+        pending = state["pending"]
+        self._pending = (
+            None
+            if pending is None
+            else PendingTransfer(transfer=pending[0], submitted_at=pending[1], announced=pending[2])
+        )
+        self._submit_queue = [(destination, amount) for destination, amount in state["submit_queue"]]
+        if state["layer"] is not None:
+            assert self.broadcast_layer is not None, "node not started"
+            self.broadcast_layer.restore_state(state["layer"])
 
     # -- balances and observations -----------------------------------------------------------------
 

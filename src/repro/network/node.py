@@ -257,6 +257,35 @@ class Network:
         node.stats.processed += 1
         node.on_message(sender, message)
 
+    # -- checkpointing -----------------------------------------------------------------
+
+    def capture_state(self) -> Dict[str, Any]:
+        """Plain-data snapshot of the network's own mutable state.
+
+        Everything here is picklable/codec-plain: the RNG position (so
+        post-checkpoint latency draws replay identically), the per-node CPU
+        horizon, and the delivery counters.  Node membership and config are
+        rebuilt from the shard spec, not captured.
+        """
+        return {
+            "rng": self._rng._random.getstate(),
+            "cpu_free_at": dict(self._cpu_free_at),
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Install a :meth:`capture_state` snapshot onto a freshly built twin."""
+        # Codec round trips turn the getstate tuple-of-tuples into lists;
+        # ``random.setstate`` insists on the exact tuple shape.
+        version, internal, gauss = state["rng"]
+        self._rng._random.setstate((version, tuple(internal), gauss))
+        self._cpu_free_at.update(state["cpu_free_at"])
+        self.messages_sent = state["messages_sent"]
+        self.messages_delivered = state["messages_delivered"]
+        self.messages_dropped = state["messages_dropped"]
+
     # -- metrics -----------------------------------------------------------------------
 
     def cpu_utilisation(self, node_id: ProcessId) -> float:

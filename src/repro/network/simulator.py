@@ -269,6 +269,42 @@ class Simulator:
         """
         return self._live
 
+    def live_event_labels(self) -> List[str]:
+        """Labels of every not-yet-cancelled queued event (unordered scan).
+
+        The checkpoint seam uses this to decide whether a shard is
+        *protocol-quiescent*: a shard can only be checkpointed when every
+        pending event is a client arrival that can be re-scheduled from the
+        routed-submission spec.  In-flight protocol messages hold closures
+        over live node state, so their presence blocks a checkpoint.
+        """
+        labels = [
+            event.label
+            for event in self._current[self._position :]
+            if not event.cancelled
+        ]
+        for bucket in self._buckets.values():
+            labels.extend(event.label for event in bucket if not event.cancelled)
+        return labels
+
+    def restore_counters(self, now: float, sequence: int, processed_events: int) -> None:
+        """Force the clock and counters to a checkpoint's values.
+
+        Used when rehydrating a shard from a checkpoint: the twin schedules
+        the remaining client arrivals first (they take fresh low sequence
+        numbers — all below the checkpoint's, preserving their relative order
+        and their order against every post-checkpoint protocol event), then
+        jumps the clock and the sequence counter here so deterministic
+        re-execution assigns the exact sequence numbers of the original run.
+        """
+        if sequence < self._sequence:
+            raise SimulationError(
+                f"cannot rewind the sequence counter from {self._sequence} to {sequence}"
+            )
+        self._now = now
+        self._sequence = sequence
+        self.processed_events = processed_events
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self._now:.6f}, pending={self.pending_events})"
 

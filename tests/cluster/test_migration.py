@@ -525,7 +525,7 @@ class TestWorkerMigrationLoop:
         source = _ScriptedPipe([("advance", 0.05, None), ("evict", [0]), ("stop",)])
         _worker_main(source, [spec], {0: routed})
         evicted = source.responses[1][1][0]
-        target = _ScriptedPipe([("adopt", [(spec, routed, [], 0.05)]), ("stop",)])
+        target = _ScriptedPipe([("adopt", [(spec, routed, None, [], 0.05)]), ("stop",)])
         _worker_main(target, [], {})
         adopted = target.responses[0][1][0]
         assert adopted == evicted
