@@ -36,7 +36,7 @@ from repro.crypto.hashing import content_hash
 InstanceKey = Tuple[ProcessId, int]
 
 
-@dataclass
+@dataclass(slots=True)
 class _InstanceState:
     """Per-instance bookkeeping at one process."""
 

@@ -37,7 +37,7 @@ from repro.common.errors import ConfigurationError
 from repro.common.types import ProcessId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BroadcastDelivery:
     """One delivered broadcast: who originated it, its sequence, the payload."""
 
@@ -53,7 +53,7 @@ DeliverCallback = Callable[[BroadcastDelivery], None]
 SendCallback = Callable[[ProcessId, Any], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class BroadcastStats:
     """Message accounting shared by every layer implementation."""
 
@@ -89,6 +89,11 @@ def payload_item_count(payload: Any) -> int:
     layer's transfer batches) advertise their size through an ``item_count``
     attribute.  The layers use this to report how much application traffic a
     broadcast instance amortises, without knowing any payload type.
+
+    This sits on the per-delivery stats path and on every per-hop processing
+    cost, so it must stay O(1): composite payloads memoise their count at
+    construction (``BatchAnnouncement.item_count`` is a stored slot, not a
+    recomputation over the batch).
     """
     count = getattr(payload, "item_count", 1)
     return count if isinstance(count, int) and count > 0 else 1

@@ -62,6 +62,24 @@ and an ``adopt`` arrival carries an optional checkpoint so the adopting
 worker restores it and replays only the post-checkpoint tail.  The same encoding
 measures ``snapshot_bytes`` for migration stall accounting, on every
 backend, so the bytes-per-move column now reports compact-codec payloads.
+
+**Envelope wire format.**  The broadcast envelopes themselves — ``SEND`` /
+``ECHO`` / ``READY``, the echo-broadcast ``EchoSignatureMessage`` /
+``FinalMessage``, the account-order ``AccountTaggedPayload`` wrapper and the
+``BroadcastDelivery`` record — are registered in the same codec table, so a
+per-hop message costs one tag byte plus its field values in declaration
+order (``channel``, ``origin``, ``sequence``, ``payload``, then any
+variant-specific fields) rather than a pickle class path and field-name
+dictionary.  The classes carry ``__slots__`` in memory for the same reason
+they are tuple-encoded on the wire: the ~36-messages-per-commit fan-out
+allocates no per-message ``__dict__`` and ships no per-message field names.
+
+**Barrier fan-out.**  Commands addressed to *every* worker with identical
+bytes — ``advance`` each epoch, ``checkpoint``, ``snapshot``, ``profile``
+and ``stop`` at their barriers — are encoded once and the same ``bytes``
+object is written to each pipe (:meth:`ProcessPoolBackend._broadcast`);
+only per-worker payloads (``mint``, ``retire``, ``evict``, ``adopt``) are
+encoded per recipient.
 """
 
 from __future__ import annotations
@@ -953,6 +971,28 @@ class ProcessPoolBackend(ExecutionBackend):
             self.metrics.inc("pipe.commands")
             self.metrics.inc(f"pipe.{command[0]}")
 
+    def _broadcast(self, command: tuple) -> None:
+        """Send one identical command to every worker, zero-copy.
+
+        The per-epoch barrier exchange ships the same bytes to every
+        recipient (``advance`` each epoch; ``checkpoint``, ``snapshot``,
+        ``profile`` at their barriers), so the command is encoded once and
+        framed once — ``send_bytes`` fans the one ``bytes`` object out —
+        instead of re-encoding per recipient worker.
+        """
+        data = codec_encode(command)
+        for slot in range(len(self._workers)):
+            if self.tracer is not None:
+                with self.tracer.span(
+                    "pipe.send", cat="pipe", tid=1 + slot, command=command[0]
+                ):
+                    self._workers[slot][1].send_bytes(data)
+            else:
+                self._workers[slot][1].send_bytes(data)
+            if self.metrics is not None:
+                self.metrics.inc("pipe.commands")
+                self.metrics.inc(f"pipe.{command[0]}")
+
     def _collect(self, slot: int) -> Any:
         if self.tracer is not None:
             # Pipe decode: blocking until the worker replies, then decoding.
@@ -967,8 +1007,7 @@ class ProcessPoolBackend(ExecutionBackend):
     def advance(
         self, horizon: Optional[float], max_events: Optional[int] = None
     ) -> Dict[int, AdvanceReport]:
-        for slot in range(len(self._workers)):
-            self._request(slot, ("advance", horizon, max_events))
+        self._broadcast(("advance", horizon, max_events))
         reports: Dict[int, AdvanceReport] = {}
         for slot in range(len(self._workers)):
             reports.update(self._collect(slot))
@@ -1015,8 +1054,7 @@ class ProcessPoolBackend(ExecutionBackend):
         """
         if not self._workers:
             return {}
-        for slot in range(len(self._workers)):
-            self._request(slot, ("checkpoint",))
+        self._broadcast(("checkpoint",))
         merged: Dict[int, Optional[CheckpointDelta]] = {}
         for slot in range(len(self._workers)):
             merged.update(self._collect(slot))
@@ -1157,8 +1195,7 @@ class ProcessPoolBackend(ExecutionBackend):
         return records
 
     def finalize(self) -> None:
-        for slot in range(len(self._workers)):
-            self._request(slot, ("snapshot",))
+        self._broadcast(("snapshot",))
         snapshots: Dict[int, ShardSnapshot] = {}
         for slot in range(len(self._workers)):
             snapshots.update(self._collect(slot))
@@ -1174,8 +1211,7 @@ class ProcessPoolBackend(ExecutionBackend):
         """
         if not self.profile or not self._workers:
             return []
-        for slot in range(len(self._workers)):
-            self._request(slot, ("profile",))
+        self._broadcast(("profile",))
         collected: List[dict] = []
         for slot in range(len(self._workers)):
             raw = self._collect(slot)
@@ -1185,9 +1221,10 @@ class ProcessPoolBackend(ExecutionBackend):
 
     @staticmethod
     def _shutdown(workers: List[Tuple[Any, Any]]) -> None:
+        stop = codec_encode(("stop",))
         for process, connection in workers:
             try:
-                connection.send_bytes(codec_encode(("stop",)))
+                connection.send_bytes(stop)
                 connection.recv_bytes()
             except (BrokenPipeError, EOFError, OSError):
                 pass

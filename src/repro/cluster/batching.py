@@ -19,7 +19,7 @@ carries over verbatim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.broadcast.messages import FinalMessage, SendMessage
@@ -37,25 +37,29 @@ from repro.mp.messages import TransferAnnouncement
 from repro.spec.byzantine_spec import ClientOperation
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchAnnouncement:
     """Several announcements from one issuer carried by one broadcast.
 
     The inner announcements hold consecutive per-issuer sequence numbers;
     the first one carries the issuer's dependency set (Figure 4 line 5 resets
     it), the rest are dependency-free.  ``item_count`` feeds the generic
-    payload accounting of :mod:`repro.broadcast.secure_broadcast`.
+    payload accounting of :mod:`repro.broadcast.secure_broadcast`; it is
+    memoised at construction (a stored slot, fixed in ``__post_init__``) so
+    the per-delivery stats path and the per-hop processing-cost model read
+    it in O(1) instead of re-walking the batch.  The field is excluded from
+    ``repr`` and comparisons: it is derived accounting, so equality, hashing
+    and the repr-based content hash see exactly the announcements tuple.
     """
 
     announcements: Tuple[TransferAnnouncement, ...]
+    item_count: int = field(default=0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.announcements:
             raise ConfigurationError("a batch needs at least one announcement")
-
-    @property
-    def item_count(self) -> int:
-        return len(self.announcements)
+        if self.item_count != len(self.announcements):
+            object.__setattr__(self, "item_count", len(self.announcements))
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         first = self.announcements[0].transfer

@@ -49,6 +49,15 @@ import struct
 from dataclasses import fields
 from typing import Any, Callable, Dict, List, Tuple
 
+from repro.broadcast.messages import (
+    AccountTaggedPayload,
+    EchoMessage,
+    EchoSignatureMessage,
+    FinalMessage,
+    ReadyMessage,
+    SendMessage,
+)
+from repro.broadcast.secure_broadcast import BroadcastDelivery
 from repro.cluster.settlement import (
     RetirementCertificate,
     SettlementAck,
@@ -111,6 +120,17 @@ _REGISTRY: Tuple[type, ...] = (
     PendingTransfer,
     ShardCheckpoint,
     CheckpointDelta,
+    # Appended for the slotted broadcast envelopes: the per-hop fan-out
+    # messages and the delivery record, tuple-encoded like everything else
+    # in the registry — one tag byte, field values in declaration order,
+    # no class paths or field names on the wire.
+    SendMessage,
+    EchoMessage,
+    ReadyMessage,
+    EchoSignatureMessage,
+    FinalMessage,
+    AccountTaggedPayload,
+    BroadcastDelivery,
 )
 _TAG_OF: Dict[type, int] = {cls: _REGISTRY_BASE + i for i, cls in enumerate(_REGISTRY)}
 _FIELDS_OF: Dict[type, Tuple[str, ...]] = {

@@ -408,9 +408,30 @@ class SettlementRelay:
     def _assemble(self, claim: SettlementClaim) -> None:
         signatures = self._pending.pop(claim)
         ordered = tuple(signature for _, signature in sorted(signatures.items()))
-        certificate = SettlementCertificate(
-            claim=claim, certificate=self.scheme.make_certificate(claim, ordered)
+        # One-check quorum verification at construction: a single batch
+        # verdict covers the whole signer set and primes the certificate
+        # cache, so the downstream relay -> inbox -> gate re-checks are
+        # O(1) from here on.
+        bundle = self.scheme.certify(
+            claim, ordered, self.quorum_size, self.allowed_signers
         )
+        if bundle is None:
+            # Divergence: the batch failed even though every member verified
+            # on arrival.  Fall back to per-signature checks, drop the
+            # forged members, and keep the honest remainder pending.
+            survivors = {
+                signer: signature
+                for signer, signature in signatures.items()
+                if signer in self.allowed_signers
+                and self.scheme.verify(claim, signature)
+            }
+            self.vouchers_rejected += len(signatures) - len(survivors)
+            if survivors:
+                self._pending[claim] = survivors
+                if len(survivors) >= self.quorum_size:
+                    self._assemble(claim)  # the honest members already form a quorum
+            return
+        certificate = SettlementCertificate(claim=claim, certificate=bundle)
         self._assembled.add(claim)
         self.certificates.append(certificate)
         self.certificates_total += 1
@@ -488,9 +509,25 @@ class SettlementRelay:
     def _assemble_retirement(self, claim: SettlementAckClaim) -> None:
         signatures = self._ack_pending.pop(claim)
         ordered = tuple(signature for _, signature in sorted(signatures.items()))
-        certificate = RetirementCertificate(
-            claim=claim, certificate=self.ack_scheme.make_certificate(claim, ordered)
+        # Same one-check discipline as the settlement leg: one batch verdict
+        # at construction, compaction-gate re-checks primed to O(1).
+        bundle = self.ack_scheme.certify(
+            claim, ordered, self.ack_quorum_size, self.ack_allowed_signers
         )
+        if bundle is None:
+            survivors = {
+                signer: signature
+                for signer, signature in signatures.items()
+                if signer in self.ack_allowed_signers
+                and self.ack_scheme.verify(claim, signature)
+            }
+            self.acks_rejected += len(signatures) - len(survivors)
+            if survivors:
+                self._ack_pending[claim] = survivors
+                if len(survivors) >= self.ack_quorum_size:
+                    self._assemble_retirement(claim)
+            return
+        certificate = RetirementCertificate(claim=claim, certificate=bundle)
         self._ack_certified[claim.issuer] = claim.sequence
         # Self-compaction: pending acks the new watermark subsumes are dead.
         self._ack_pending = {

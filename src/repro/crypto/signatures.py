@@ -26,6 +26,18 @@ claimed signer, the authentication tag, and for certificates the full
 signature tuple, the carried payload hash, the quorum size and the allowed
 signer set — so a forged or mutated artefact can never alias a cached
 verdict: any bit it changes changes the key.
+
+Quorum verification is *one check*.  :meth:`SignatureScheme.verify_quorum`
+answers "is this signature set a valid ``quorum_size`` quorum from
+``allowed_signers`` over this payload" as a single batch verdict, memoised on
+the full signer/tag tuple — so every site that re-derives the same quorum
+(certificate assembly, replica re-validation) pays one dictionary hit instead
+of ``2f+1`` per-signature checks.  :meth:`SignatureScheme.certify` assembles
+a certificate through that batch verdict and primes the certificate cache
+with it, so the downstream relay -> inbox -> gate re-checks are O(1) from the
+moment of construction.  The batch keys have the same exactness discipline as
+the per-signature ones: a forged member, a swapped signer identity or a
+mutated payload changes the key and can never alias a warm batch.
 """
 
 from __future__ import annotations
@@ -98,6 +110,10 @@ class SignatureScheme:
         # verdict depends on is in the key.
         self._verify_cache: Dict[tuple, bool] = {}
         self._certificate_cache: Dict[tuple, bool] = {}
+        # Aggregate quorum verdicts: (encoded payload, signature tuple,
+        # quorum size, allowed signers) -> bool.  One entry answers for the
+        # whole signer set, so re-deriving a quorum is one lookup.
+        self._quorum_cache: Dict[tuple, bool] = {}
 
     # -- key management ---------------------------------------------------------------
 
@@ -151,6 +167,93 @@ class SignatureScheme:
         """
         encoded = canonical_bytes(payload)
         return all(self._verify_encoded(encoded, signature) for signature in signatures)
+
+    def verify_quorum(
+        self,
+        payload: Any,
+        signatures: Iterable[Signature],
+        quorum_size: int,
+        allowed_signers: Optional[FrozenSet[ProcessId]] = None,
+    ) -> bool:
+        """One-check quorum verification: a batch verdict over a signer set.
+
+        True iff ``signatures`` carries valid signatures over ``payload``
+        from at least ``quorum_size`` *distinct* signers, every one of them
+        inside ``allowed_signers`` (when given).  Stricter than
+        :meth:`verify_certificate` on membership — a construction site knows
+        exactly which signers it admitted, so an outsider signature means
+        divergence, not something to skip.
+
+        The verdict is memoised on the payload's *value* (class plus
+        equality — the same value-keying discipline as the canonical-encoding
+        memo in :mod:`repro.crypto.hashing`, so equal payloads share one
+        canonical encoding and hence one verdict), the full ``(signer, tag)``
+        tuple, the quorum size and the allowed-signer set.  Any forged
+        member, swapped identity or mutated payload changes the key, so a
+        forgery can never alias a warm batch — it takes the full
+        per-signature path and fails there.  Unhashable payloads skip the
+        memo and verify from scratch each time.
+        """
+        if quorum_size <= 0:
+            raise ConfigurationError("quorum_size must be positive")
+        if self.metrics is not None:
+            self.metrics.inc("sig.verify_quorum")
+        bundle = tuple(signatures)
+        try:
+            key = (payload.__class__, payload, bundle, quorum_size, allowed_signers)
+            cached = self._quorum_cache.get(key)
+        except TypeError:
+            key = None
+            cached = None
+        if cached is not None:
+            if self.metrics is not None:
+                self.metrics.inc("sig.verify_quorum_cached")
+            return cached
+        encoded = canonical_bytes(payload)
+        signers = set()
+        result = True
+        for signature in bundle:
+            if allowed_signers is not None and signature.signer not in allowed_signers:
+                result = False
+                break
+            if not self._verify_encoded(encoded, signature):
+                result = False
+                break
+            signers.add(signature.signer)
+        result = result and len(signers) >= quorum_size
+        if key is not None and len(self._quorum_cache) < _VERIFY_CACHE_LIMIT:
+            self._quorum_cache[key] = result
+        return result
+
+    def certify(
+        self,
+        payload: Any,
+        signatures: Iterable[Signature],
+        quorum_size: int,
+        allowed_signers: Optional[FrozenSet[ProcessId]] = None,
+    ) -> Optional["QuorumCertificate"]:
+        """One-check certificate assembly: batch-verify, bundle, prime.
+
+        Runs :meth:`verify_quorum` over the signature set and, on success,
+        returns the assembled :class:`QuorumCertificate` with the
+        certificate-verdict cache primed under the exact key the downstream
+        :meth:`verify_certificate` re-checks will form — so every trust
+        boundary after construction pays one dictionary hit.  Returns
+        ``None`` when the batch fails; the caller falls back to per-signature
+        verification to find the divergent member.  The priming is sound
+        because the batch verdict is strictly stronger than the certificate
+        check for the same payload, signatures, quorum and signer set.
+        """
+        bundle = tuple(signatures)
+        if not self.verify_quorum(payload, bundle, quorum_size, allowed_signers):
+            return None
+        encoded = canonical_bytes(payload)
+        payload_hash = hashlib.sha256(encoded).hexdigest()
+        certificate = QuorumCertificate(payload_hash=payload_hash, signatures=bundle)
+        key = (encoded, payload_hash, bundle, quorum_size, allowed_signers)
+        if len(self._certificate_cache) < _VERIFY_CACHE_LIMIT:
+            self._certificate_cache[key] = True
+        return certificate
 
     # -- quorum certificates ------------------------------------------------------------
 

@@ -50,6 +50,38 @@ class TestBatchAnnouncement:
         with pytest.raises(ConfigurationError):
             BatchAnnouncement(())
 
+    def test_item_count_is_memoised_not_recomputed(self):
+        # The count is a stored slot fixed at construction — the O(1)
+        # contract of the per-delivery stats path — and it is derived
+        # accounting: a wrong constructor value is corrected, and equality,
+        # hashing and the repr-based content hash see only the announcements.
+        transfers = tuple(
+            TransferAnnouncement(Transfer("0", "1", 1, issuer=0, sequence=s))
+            for s in (1, 2)
+        )
+        batch = BatchAnnouncement(transfers)
+        assert BatchAnnouncement(transfers, item_count=99).item_count == 2
+        assert BatchAnnouncement(transfers, item_count=99) == batch
+        assert hash(BatchAnnouncement(transfers, item_count=99)) == hash(batch)
+        assert "item_count" not in repr(batch)
+
+    def test_stats_count_batch_items_per_delivery(self):
+        # Counter correctness end to end: the per-delivery stats path reads
+        # the memoised count, so payload_items advances by the batch size.
+        from repro.broadcast.secure_broadcast import BroadcastStats
+
+        transfers = tuple(
+            TransferAnnouncement(Transfer("0", "1", 1, issuer=0, sequence=s))
+            for s in (1, 2, 3)
+        )
+        stats = BroadcastStats()
+        for payload in (BatchAnnouncement(transfers), transfers[0]):
+            stats.delivered += 1
+            stats.payload_items += payload_item_count(payload)
+        assert stats.payload_items == 4
+        assert stats.delivered == 2
+        assert stats.items_per_broadcast == 2.0
+
 
 class TestBatchingTransferNode:
     def test_batches_amortise_broadcast_instances(self, fast_network):

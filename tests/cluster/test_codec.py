@@ -129,6 +129,56 @@ class TestRegisteredTypes:
     def test_node_stats(self):
         roundtrip(NodeStats(sent=4, received=9, processed=9, dropped=0, busy_time=0.25))
 
+    def test_broadcast_envelopes(self):
+        # The slotted per-hop envelopes are registered types: one tag byte
+        # plus field values, no class paths or field names on the wire.
+        from repro.broadcast.messages import (
+            AccountTaggedPayload,
+            EchoMessage,
+            EchoSignatureMessage,
+            FinalMessage,
+            ReadyMessage,
+            SendMessage,
+        )
+        from repro.broadcast.secure_broadcast import BroadcastDelivery
+
+        scheme = SignatureScheme(seed=5)
+        payload = ("batch", 1, 2)
+        for envelope in (
+            SendMessage(channel="xfer", origin=0, sequence=1, payload=payload),
+            EchoMessage(channel="xfer", origin=0, sequence=1, payload=payload),
+            ReadyMessage(channel="xfer", origin=0, sequence=1, payload=payload),
+            EchoSignatureMessage(
+                channel="xfer", origin=0, sequence=1, payload=payload,
+                signature=scheme.keypair_for(2).sign(payload),
+            ),
+            AccountTaggedPayload(account="x1:2", account_sequence=4, body=payload),
+            BroadcastDelivery(origin=0, sequence=1, payload=payload),
+        ):
+            assert len(encode(envelope)) < len(pickle.dumps(envelope))
+            roundtrip(envelope)
+        final = FinalMessage(
+            channel="xfer", origin=0, sequence=1, payload=payload,
+            certificate=scheme.make_certificate(
+                payload, [scheme.keypair_for(p).sign(payload) for p in range(3)]
+            ),
+        )
+        restored = roundtrip(final)
+        assert scheme.verify_certificate(payload, restored.certificate, quorum_size=3)
+
+    def test_batch_announcement_keeps_its_memoised_count(self):
+        from repro.cluster.batching import BatchAnnouncement
+        from repro.mp.messages import TransferAnnouncement
+
+        batch = BatchAnnouncement(
+            tuple(
+                TransferAnnouncement(Transfer("0", "1", 1, issuer=0, sequence=s))
+                for s in (1, 2, 3)
+            )
+        )
+        restored = roundtrip(batch)
+        assert restored.item_count == 3
+
 
 class TestWireDiscipline:
     def test_pickle_escape_for_unregistered_values(self):

@@ -604,3 +604,119 @@ class TestVerificationCacheUnderForgery:
         assert (
             registry.counter("sig.verify_certificate_cached").value == hits_after_warm
         )
+
+
+class TestOneCheckAssemblyFallback:
+    """Certificate assembly runs one batch verdict; when it fails, the relay
+    falls back to per-signature checks, drops exactly the divergent members
+    and keeps the honest remainder — so a forged entry that somehow reached
+    the pending table can delay a certificate but never corrupt one."""
+
+    def _relay(self, **kwargs):
+        from repro.network.simulator import Simulator
+        from repro.cluster.settlement import SettlementRelay
+
+        simulator = Simulator()
+        scheme = SignatureScheme(seed=11)
+        relay = SettlementRelay(
+            source_shard=0,
+            destination_shard=1,
+            simulator=simulator,
+            scheme=scheme,
+            quorum_size=3,
+            allowed_signers=frozenset(range(4)),
+            config=SettlementConfig(),
+            **kwargs,
+        )
+        return relay, simulator, scheme
+
+    def _claim(self, sequence=1):
+        return SettlementClaim(
+            source_shard=0, destination_shard=1, issuer=0,
+            sequence=sequence, account="2", amount=5,
+        )
+
+    def test_forged_pending_entry_is_dropped_and_honest_quorum_assembles(self):
+        from repro.crypto.signatures import Signature
+
+        relay, simulator, scheme = self._relay()
+        claim = self._claim()
+        for signer in (0, 1):
+            assert relay.submit_voucher(
+                SettlementVoucher(claim=claim, signature=scheme.keypair_for(signer).sign(claim))
+            )
+        # A forged signature lands in the pending table *past* the arrival
+        # check (a compromised relay store, not a submitted voucher).
+        relay._pending[claim][9] = Signature(signer=9, tag="f" * 64)
+        rejected_before = relay.vouchers_rejected
+        # The third honest voucher completes a 4-entry set: the batch verdict
+        # fails, the fallback drops the forgery, and the honest three still
+        # form the certificate in the same step.
+        assert relay.submit_voucher(
+            SettlementVoucher(claim=claim, signature=scheme.keypair_for(2).sign(claim))
+        )
+        assert len(relay.certificates) == 1
+        certificate = relay.certificates[0].certificate
+        assert {s.signer for s in certificate.signatures} == {0, 1, 2}
+        assert relay.vouchers_rejected == rejected_before + 1
+        assert scheme.verify_certificate(
+            claim, certificate, quorum_size=3, allowed_signers=frozenset(range(4))
+        )
+
+    def test_forged_entry_below_quorum_keeps_the_claim_pending(self):
+        from repro.crypto.signatures import Signature
+
+        relay, simulator, scheme = self._relay()
+        claim = self._claim()
+        assert relay.submit_voucher(
+            SettlementVoucher(claim=claim, signature=scheme.keypair_for(0).sign(claim))
+        )
+        relay._pending[claim][9] = Signature(signer=9, tag="f" * 64)
+        # The next honest voucher brings the set to apparent quorum; the
+        # batch verdict fails, the forgery is dropped, and the two honest
+        # signatures stay pending — no certificate from a fake quorum.
+        assert relay.submit_voucher(
+            SettlementVoucher(claim=claim, signature=scheme.keypair_for(1).sign(claim))
+        )
+        assert not relay.certificates
+        assert relay.pending_claims == 1
+        assert set(relay._pending[claim]) == {0, 1}
+        # The genuine third voucher completes the honest quorum.
+        assert relay.submit_voucher(
+            SettlementVoucher(claim=claim, signature=scheme.keypair_for(2).sign(claim))
+        )
+        assert len(relay.certificates) == 1
+
+    def test_forged_ack_pending_entry_cannot_certify_retirement(self):
+        from repro.crypto.signatures import Signature
+
+        ack_scheme = SignatureScheme(seed=12)
+        relay, simulator, scheme = self._relay(
+            ack_scheme=ack_scheme,
+            ack_quorum_size=3,
+            ack_allowed_signers=frozenset(range(4)),
+        )
+        ack_claim = SettlementAckClaim(
+            source_shard=0, destination_shard=1, issuer=0, sequence=1
+        )
+        for signer in (0, 1):
+            assert relay.submit_ack(
+                SettlementAck(
+                    claim=ack_claim,
+                    signature=ack_scheme.keypair_for(signer).sign(ack_claim),
+                )
+            )
+        relay._ack_pending[ack_claim][9] = Signature(signer=9, tag="f" * 64)
+        rejected_before = relay.acks_rejected
+        assert relay.submit_ack(
+            SettlementAck(
+                claim=ack_claim,
+                signature=ack_scheme.keypair_for(2).sign(ack_claim),
+            )
+        )
+        # Fallback dropped the forgery and the honest quorum still certified
+        # the watermark.
+        assert relay.acks_rejected == rejected_before + 1
+        assert relay.certified_watermark(0) == 1
+        certificate = relay.retirement_certificates[-1]
+        assert {s.signer for s in certificate.certificate.signatures} == {0, 1, 2}

@@ -173,3 +173,121 @@ class TestVerificationCache:
         assert not scheme.verify_certificate(
             payload, certificate, quorum_size=2, allowed_signers=frozenset({0})
         )
+
+
+class TestOneCheckQuorum:
+    """verify_quorum/certify: one batch verdict per signer set, memoised so
+    a forged member, swapped identity, mutated payload or replayed bundle
+    can never alias a warm batch."""
+
+    def _scheme_payload_bundle(self, quorum=3):
+        scheme = SignatureScheme(seed=5)
+        payload = ("claim", 0, 1, 7)
+        bundle = tuple(scheme.keypair_for(p).sign(payload) for p in range(quorum))
+        return scheme, payload, bundle
+
+    def test_quorum_of_distinct_valid_signers_passes(self):
+        scheme, payload, bundle = self._scheme_payload_bundle()
+        assert scheme.verify_quorum(payload, bundle, quorum_size=3)
+        assert scheme.verify_quorum(
+            payload, bundle, quorum_size=3, allowed_signers=frozenset(range(4))
+        )
+
+    def test_duplicate_signers_do_not_inflate_the_quorum(self):
+        scheme, payload, bundle = self._scheme_payload_bundle()
+        padded = bundle[:2] + (bundle[1],)
+        assert not scheme.verify_quorum(payload, padded, quorum_size=3)
+
+    def test_outsider_signer_fails_the_whole_batch(self):
+        # Stricter than verify_certificate: a construction site knows which
+        # signers it admitted, so an outsider is divergence, not noise.
+        scheme, payload, bundle = self._scheme_payload_bundle()
+        certificate = scheme.make_certificate(payload, bundle)
+        allowed = frozenset({0, 1})
+        assert scheme.verify_certificate(
+            payload, certificate, quorum_size=2, allowed_signers=allowed
+        )
+        assert not scheme.verify_quorum(
+            payload, bundle, quorum_size=2, allowed_signers=allowed
+        )
+
+    def test_invalid_quorum_size_rejected(self):
+        scheme, payload, bundle = self._scheme_payload_bundle()
+        with pytest.raises(Exception):
+            scheme.verify_quorum(payload, bundle, quorum_size=0)
+
+    def test_repeated_checks_hit_the_batch_cache(self):
+        from repro.obs import MetricsRegistry
+
+        scheme, payload, bundle = self._scheme_payload_bundle()
+        registry = MetricsRegistry()
+        scheme.metrics = registry
+        assert scheme.verify_quorum(payload, bundle, quorum_size=3)
+        assert registry.counter("sig.verify_quorum_cached").value == 0
+        for _ in range(6):  # the trust boundaries of both settlement legs
+            assert scheme.verify_quorum(payload, bundle, quorum_size=3)
+        assert registry.counter("sig.verify_quorum_cached").value == 6
+        # The per-signature work ran once per signer, not once per re-check.
+        assert registry.counter("sig.verify").value == 3
+
+    def test_forged_member_never_aliases_a_warm_batch(self):
+        from repro.crypto.signatures import Signature
+        from repro.obs import MetricsRegistry
+
+        scheme, payload, bundle = self._scheme_payload_bundle()
+        registry = MetricsRegistry()
+        scheme.metrics = registry
+        for _ in range(3):
+            assert scheme.verify_quorum(payload, bundle, quorum_size=3)
+        hits_after_warm = registry.counter("sig.verify_quorum_cached").value
+        forged = bundle[:2] + (Signature(signer=2, tag="0" * 64),)
+        assert not scheme.verify_quorum(payload, forged, quorum_size=3)
+        swapped = bundle[:2] + (Signature(signer=3, tag=bundle[2].tag),)
+        assert not scheme.verify_quorum(payload, swapped, quorum_size=3)
+        assert not scheme.verify_quorum(("claim", 0, 1, 8), bundle, quorum_size=3)
+        # Every forgery took the full per-signature path, not the cache —
+        # and the genuine verdict is intact afterwards.
+        assert registry.counter("sig.verify_quorum_cached").value == hits_after_warm
+        assert scheme.verify_quorum(payload, bundle, quorum_size=3)
+
+    def test_stricter_questions_never_reuse_a_cached_yes(self):
+        scheme, payload, bundle = self._scheme_payload_bundle()
+        assert scheme.verify_quorum(payload, bundle, quorum_size=3)
+        assert not scheme.verify_quorum(payload, bundle, quorum_size=4)
+        assert not scheme.verify_quorum(
+            payload, bundle, quorum_size=3, allowed_signers=frozenset({0, 1})
+        )
+
+    def test_unhashable_payloads_verify_without_the_memo(self):
+        scheme = SignatureScheme(seed=5)
+        payload = ["batch", [1, 2], {"k": 3}]
+        bundle = tuple(scheme.keypair_for(p).sign(payload) for p in range(3))
+        assert scheme.verify_quorum(payload, bundle, quorum_size=3)
+        assert scheme.verify_quorum(payload, bundle, quorum_size=3)
+        assert not scheme.verify_quorum(["batch", [1, 2], {"k": 4}], bundle, quorum_size=3)
+
+    def test_certify_returns_a_certificate_and_primes_downstream_checks(self):
+        from repro.obs import MetricsRegistry
+
+        scheme, payload, bundle = self._scheme_payload_bundle()
+        registry = MetricsRegistry()
+        scheme.metrics = registry
+        allowed = frozenset(range(4))
+        certificate = scheme.certify(payload, bundle, 3, allowed)
+        assert certificate is not None
+        assert certificate.signatures == bundle
+        # The first downstream re-check is already a cache hit: assembly
+        # primed the certificate verdict under the exact downstream key.
+        assert scheme.verify_certificate(
+            payload, certificate, quorum_size=3, allowed_signers=allowed
+        )
+        assert registry.counter("sig.verify_certificate_cached").value == 1
+
+    def test_certify_rejects_a_divergent_batch(self):
+        from repro.crypto.signatures import Signature
+
+        scheme, payload, bundle = self._scheme_payload_bundle()
+        forged = bundle[:2] + (Signature(signer=2, tag="0" * 64),)
+        assert scheme.certify(payload, forged, 3, frozenset(range(4))) is None
+        under_quorum = bundle[:2]
+        assert scheme.certify(payload, under_quorum, 3, frozenset(range(4))) is None
