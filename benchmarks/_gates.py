@@ -1,0 +1,78 @@
+"""Shared journal and gate plumbing for the benchmark suites.
+
+Every benchmark in this directory writes into one machine-readable artefact
+(``BENCH_cluster.json``, or ``BENCH_cluster_smoke.json`` under
+``REPRO_BENCH_SMOKE=1``) and gates its claims the same way: the gate's
+outcome — ``passed``, ``failed`` or a *named* skip reason — is journalled
+**before** any assertion runs, so a miss is recorded as ``failed`` and an
+environment that cannot support the measurement (single-core host, smoke
+grid, pathologically slow machine) surfaces as an honest pytest skip, never
+as a silent pass.  The three suites used to carry their own copies of this
+logic; this module is the single implementation.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.environment import environment_meta
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+CPU_COUNT = os.cpu_count() or 1
+# Smoke runs write alongside rather than clobbering the tracked trajectory.
+_OUTPUT_NAME = "BENCH_cluster_smoke.json" if SMOKE else "BENCH_cluster.json"
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / _OUTPUT_NAME
+
+
+def journal(section: str, content) -> None:
+    """Read-modify-write one named section of the benchmark JSON.
+
+    Each pytest item owns one key of the payload, so any item can be rerun
+    alone without clobbering or mislabeling another's rows.  The provenance
+    block is refreshed on every write: a partially regenerated file is
+    stamped by the run that last touched it.
+    """
+    payload = {}
+    if OUTPUT_PATH.exists():
+        payload = json.loads(OUTPUT_PATH.read_text(encoding="utf-8"))
+    payload["benchmark"] = "cluster_scaling"
+    payload["smoke"] = SMOKE
+    payload["meta"] = environment_meta()
+    payload[section] = content
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def speedup_gate(required: float, measured=None, skip: str = None, **fields) -> dict:
+    """Build a gate record: requirement, measurement, decided status.
+
+    ``skip`` names the reason the bound is unobtainable in this environment
+    (``"skipped_single_core_host"``, ``"skipped_smoke_grid"``, ...); without
+    one, a present measurement decides ``passed``/``failed`` strictly.
+    Extra keyword fields (layer, cpu_count, backend) ride along verbatim.
+    """
+    gate = {"required": required, **fields}
+    if measured is not None:
+        gate["measured"] = round(measured, 2)
+    if skip is not None:
+        gate["status"] = skip
+    elif measured is not None:
+        gate["status"] = "passed" if measured >= required else "failed"
+    return gate
+
+
+def enforce_gate(gate: dict, message: str) -> None:
+    """Assert a decided gate; surface a skipped one as a pytest skip.
+
+    Call *after* the gate has been journalled: the artefact then records the
+    verdict whatever this function does next.  ``failed`` raises with the
+    caller's message, ``passed`` returns, and any ``skipped_*`` status skips
+    the test loudly — the one outcome this helper rules out is a gate that
+    silently evaporates.
+    """
+    status = gate.get("status")
+    if status in ("passed", "failed"):
+        assert status == "passed", message
+    else:
+        pytest.skip(f"{status}: {message}")

@@ -24,14 +24,10 @@ Setting ``REPRO_BENCH_SMOKE=1`` shrinks the grids and the offered load
 """
 
 import dataclasses
-import json
 import os
-from pathlib import Path
 
-import pytest
-
+from _gates import CPU_COUNT, SMOKE, enforce_gate, journal, speedup_gate
 from repro.cluster import MigrationPlan, ThresholdMigrationPolicy
-from repro.eval.environment import environment_meta
 from repro.eval.experiments import (
     ClusterExperimentConfig,
     backend_comparison_experiment,
@@ -49,8 +45,6 @@ from repro.eval.reporting import (
     format_telemetry_table,
 )
 from repro.network.node import NetworkConfig
-
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
 SHARD_COUNTS = (1, 2) if SMOKE else (1, 2, 4, 8)
 BATCH_SIZES = (1, 8) if SMOKE else (1, 8, 32)
@@ -70,14 +64,9 @@ BACKEND_BATCH = 8
 MIGRATION_SHARDS = 4
 MIGRATION_WORKERS = 2
 MIGRATION_DURATION = 0.03 if SMOKE else 0.06
-# The process pool can only beat the serial reference when the machine has
-# cores to run shards on; on a single-CPU runner the sweep still proves
-# result equivalence and records honest timings, but the speedup assertion
-# would measure the container, not the code.
-CPU_COUNT = os.cpu_count() or 1
-# Smoke runs write alongside rather than clobbering the tracked trajectory.
-_OUTPUT_NAME = "BENCH_cluster_smoke.json" if SMOKE else "BENCH_cluster.json"
-OUTPUT_PATH = Path(__file__).resolve().parent.parent / _OUTPUT_NAME
+# The sparse-barrier stall gate: sparse pacing must cut the measured
+# rendezvous stall by at least this fraction on a multi-core host.
+SPARSE_STALL_REDUCTION_REQUIRED = 0.30
 
 
 def _config() -> ClusterExperimentConfig:
@@ -152,16 +141,7 @@ def _update_json(
     so either can be rerun alone without clobbering or mislabeling the
     other's rows.
     """
-    payload = {}
-    if OUTPUT_PATH.exists():
-        payload = json.loads(OUTPUT_PATH.read_text(encoding="utf-8"))
-    payload["benchmark"] = "cluster_scaling"
-    payload["smoke"] = SMOKE
-    # Provenance: which interpreter, host and revision produced the numbers.
-    # Refreshed on every write so a partially regenerated file is stamped by
-    # the run that last touched it.
-    payload["meta"] = environment_meta()
-    payload[key] = {
+    section = {
         "workload": {
             "user_count": config.user_count,
             "aggregate_rate": config.aggregate_rate,
@@ -172,8 +152,8 @@ def _update_json(
         "rows": rows,
     }
     if extra:
-        payload[key].update(extra)
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        section.update(extra)
+    journal(key, section)
 
 
 def test_cluster_scaling_grid(benchmark):
@@ -484,23 +464,24 @@ def test_backend_wall_clock(benchmark):
     # not — and a skipped gate surfaces as an honest pytest skip below, never
     # as a silent pass or a failure dressed up as documentation.
     speedup = None
-    speedup_gate = {"required": 1.5, "cpu_count": CPU_COUNT}
     if "serial" not in by_backend or "process" not in by_backend:
-        speedup_gate["status"] = "skipped_backend_subset"
+        gate = speedup_gate(
+            1.5, skip="skipped_backend_subset", cpu_count=CPU_COUNT
+        )
     else:
         speedup = (
             by_backend["serial"].wall_clock_s / by_backend["process"].wall_clock_s
         )
         benchmark.extra_info["process_speedup"] = round(speedup, 2)
-        speedup_gate["measured"] = round(speedup, 2)
-        if SMOKE:
-            speedup_gate["status"] = "skipped_smoke_grid"
-        elif CPU_COUNT < 2:
-            speedup_gate["status"] = "skipped_single_core_host"
-        else:
-            # Evaluate *before* the JSON write: a multi-core host that misses
-            # the bound must journal "failed", not a premature "passed".
-            speedup_gate["status"] = "passed" if speedup >= 1.5 else "failed"
+        # The skip reasons are decided *before* the JSON write: a multi-core
+        # host that misses the bound must journal "failed", never a premature
+        # "passed" or a silent omission.
+        skip = (
+            "skipped_smoke_grid"
+            if SMOKE
+            else ("skipped_single_core_host" if CPU_COUNT < 2 else None)
+        )
+        gate = speedup_gate(1.5, measured=speedup, skip=skip, cpu_count=CPU_COUNT)
 
     _update_json(
         "backend_rows",
@@ -531,7 +512,7 @@ def test_backend_wall_clock(benchmark):
             "batch_size": BACKEND_BATCH,
             "cross_shard_fraction": 0.25,
             "fingerprints_identical": len({row.fingerprint for row in rows}) == 1,
-            "speedup_gate": speedup_gate,
+            "speedup_gate": gate,
         },
     )
     _update_json("telemetry_rows", telemetry_rows, config)
@@ -539,14 +520,150 @@ def test_backend_wall_clock(benchmark):
     print(format_backend_table(rows))
     print()
     print(format_telemetry_table(telemetry_breakdown(rows[0].telemetry)))
-    if speedup_gate["status"] in ("passed", "failed"):
-        assert speedup >= 1.5, (
+    # The smoke grid and a missing serial/process pair journal their named
+    # skip without failing the item (the equivalence and coverage assertions
+    # above already ran); only a single-core host surfaces as a pytest skip.
+    if gate["status"] in ("passed", "failed"):
+        enforce_gate(
+            gate,
             f"ProcessPoolBackend only {speedup:.2f}x faster than serial at "
-            f"{BACKEND_SHARDS} shards on {CPU_COUNT} CPUs"
+            f"{BACKEND_SHARDS} shards on {CPU_COUNT} CPUs",
         )
-    elif speedup_gate["status"] == "skipped_single_core_host":
-        pytest.skip(
+    elif gate["status"] == "skipped_single_core_host":
+        enforce_gate(
+            gate,
             f"process-vs-serial speedup gate needs >= 2 CPUs, host has "
-            f"{CPU_COUNT}; measured {speedup:.2f}x recorded in "
-            f"{_OUTPUT_NAME} under backend_rows.speedup_gate"
+            f"{CPU_COUNT}; measured {speedup:.2f}x recorded in the journal "
+            f"under backend_rows.speedup_gate",
+        )
+
+
+def test_sparse_barrier_stall(benchmark):
+    """Dense vs sparse barrier pacing: identical fingerprints, less stall.
+
+    The tracked cross-shard config runs twice on the process pool — once
+    under the classic dense rendezvous, once under sparse dependency-driven
+    pacing — and the ``barrier_stall`` histogram (time between the first and
+    last shard reaching each rendezvous, recorded by every backend) is
+    compared.  Hard assertions: the two runs produce the *identical*
+    canonical fingerprint (sparse pacing may move wall-clock stall, never
+    results), the sparse run actually skipped rendezvous (its barrier log
+    records skips or run-ahead), and on a multi-core host the accumulated
+    stall drops by at least 30%.  ``stall_rows`` and ``sparse_gate`` land in
+    the trajectory JSON; a single-core host journals an honest
+    ``skipped_single_core_host``, never a silent pass.
+    """
+    config = dataclasses.replace(_config(), cross_shard_fraction=0.25)
+
+    def run():
+        runs = {}
+        for mode in ("dense", "sparse"):
+            runs[mode] = backend_comparison_experiment(
+                shard_count=BACKEND_SHARDS,
+                batch_size=BACKEND_BATCH,
+                backends=("process",),
+                config=dataclasses.replace(config, barrier_mode=mode),
+            )[0]
+        return runs
+
+    runs = benchmark.pedantic(run, rounds=1, iterations=1)
+    dense, sparse = runs["dense"], runs["sparse"]
+
+    # Correctness before speed: sparse pacing is fingerprint-identical.
+    assert dense.fingerprint == sparse.fingerprint, (
+        "sparse barrier pacing changed results: "
+        f"dense={dense.fingerprint[:12]} sparse={sparse.fingerprint[:12]}"
+    )
+
+    def _stall(row):
+        histograms = (row.telemetry or {}).get("driver", {}).get("histograms", {})
+        return histograms.get(
+            "barrier_stall", {"count": 0, "total": 0.0, "mean": 0.0, "max": 0.0}
+        )
+
+    def _counter(row, name):
+        return (row.telemetry or {}).get("driver", {}).get("counters", {}).get(name, 0)
+
+    stall_rows = []
+    for mode, row in (("dense", dense), ("sparse", sparse)):
+        stall = _stall(row)
+        coverage = telemetry_phase_coverage(row.telemetry)
+        # The overlapped dispatch/exchange/collect phases carry their own
+        # spans, so the driver phase breakdown keeps explaining the run.
+        assert coverage >= 0.9, (
+            f"phase breakdown explains only {coverage:.1%} of the {mode} run"
+        )
+        stall_rows.append(
+            {
+                "barrier_mode": mode,
+                "wall_clock_s": round(row.wall_clock_s, 3),
+                "barriers": _counter(row, "scheduler.barriers"),
+                "barrier_skips": _counter(row, "barrier.skips"),
+                "early_dispatches": _counter(row, "barrier.early_dispatch"),
+                "sparse_fallbacks": _counter(row, "barrier.sparse_fallback"),
+                "stall_count": stall["count"],
+                "stall_total_ms": round(stall["total"] * 1000, 3),
+                "stall_mean_ms": round(stall["mean"] * 1000, 4),
+                "stall_max_ms": round(stall["max"] * 1000, 4),
+                "phase_coverage": round(coverage, 4),
+                "fingerprint": row.fingerprint,
+            }
+        )
+        benchmark.extra_info[f"{mode}_stall_total_ms"] = stall_rows[-1]["stall_total_ms"]
+
+    by_mode = {row["barrier_mode"]: row for row in stall_rows}
+    # The sparse schedule must actually be sparse on this workload —
+    # otherwise the stall comparison below measures nothing.
+    assert by_mode["sparse"]["barrier_skips"] + by_mode["sparse"]["early_dispatches"] > 0, (
+        "sparse pacing never skipped a rendezvous or dispatched early"
+    )
+    # A single-worker pool completes each rendezvous with one reply, so the
+    # stall histogram is legitimately empty there; with real parallelism the
+    # dense run must have measured something or the gate below is vacuous.
+    if CPU_COUNT >= 2:
+        assert by_mode["dense"]["stall_count"] > 0
+
+    dense_stall = by_mode["dense"]["stall_total_ms"]
+    sparse_stall = by_mode["sparse"]["stall_total_ms"]
+    reduction = 1 - sparse_stall / dense_stall if dense_stall > 0 else 0.0
+    benchmark.extra_info["stall_reduction"] = round(reduction, 3)
+    skip = (
+        "skipped_smoke_grid"
+        if SMOKE
+        else ("skipped_single_core_host" if CPU_COUNT < 2 else None)
+    )
+    gate = speedup_gate(
+        SPARSE_STALL_REDUCTION_REQUIRED,
+        measured=reduction,
+        skip=skip,
+        metric="stall_reduction",
+        cpu_count=CPU_COUNT,
+        dense_stall_total_ms=dense_stall,
+        sparse_stall_total_ms=sparse_stall,
+    )
+    _update_json(
+        "stall_rows",
+        stall_rows,
+        config,
+        extra={
+            "cpu_count": CPU_COUNT,
+            "shard_count": BACKEND_SHARDS,
+            "batch_size": BACKEND_BATCH,
+            "cross_shard_fraction": 0.25,
+            "backend": "process",
+            "fingerprints_identical": dense.fingerprint == sparse.fingerprint,
+            "sparse_gate": gate,
+        },
+    )
+    print()
+    for row in stall_rows:
+        print(row)
+    # Same skip discipline as the wall-clock gate: the smoke grid journals
+    # its named skip without discarding the equivalence assertions above.
+    if gate["status"] != "skipped_smoke_grid":
+        enforce_gate(
+            gate,
+            f"sparse barriers cut stall by only {reduction:.1%} "
+            f"(required {SPARSE_STALL_REDUCTION_REQUIRED:.0%}) on "
+            f"{CPU_COUNT} CPUs: dense {dense_stall}ms vs sparse {sparse_stall}ms",
         )

@@ -46,17 +46,13 @@ import hashlib
 import heapq
 import hmac
 import itertools
-import json
-import os
 import pickle
 import sys
 import time as _time
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Callable, Optional
 
-import pytest
-
+from _gates import CPU_COUNT, SMOKE, enforce_gate, journal as _journal, speedup_gate
 from repro.broadcast.messages import EchoMessage, ReadyMessage, SendMessage
 from repro.cluster.codec import decode as codec_decode
 from repro.cluster.codec import encode as codec_encode
@@ -65,15 +61,12 @@ from repro.cluster.shard import NodeSnapshot, ShardSnapshot
 from repro.common.types import Transfer, TransferId
 from repro.crypto.hashing import _canonical_bytes
 from repro.crypto.signatures import SignatureScheme
-from repro.eval.environment import environment_meta
 from repro.eval.experiments import ClusterExperimentConfig, backend_comparison_experiment
 from repro.mp.consensusless_transfer import TransferRecord
 from repro.mp.messages import TransferAnnouncement
 from repro.network.node import NetworkConfig, NodeStats
 from repro.network.simulator import Simulator
 from repro.spec.byzantine_spec import ClientOperation, ValidatedTransfer
-
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
 SHARDS = 8
 BATCH = 8
@@ -101,9 +94,6 @@ ENVELOPE_INSTANCES = 200 if SMOKE else 600
 ENVELOPE_RATIO_REQUIRED = 2.0
 # Process-vs-serial wall-clock gate (multi-core hosts only).
 PROCESS_SPEEDUP_REQUIRED = 1.5
-
-_OUTPUT_NAME = "BENCH_cluster_smoke.json" if SMOKE else "BENCH_cluster.json"
-OUTPUT_PATH = Path(__file__).resolve().parent.parent / _OUTPUT_NAME
 
 # The serial wall clock recorded for this exact config (8 shards, batch 8,
 # cross_shard_fraction 0.25, seed 7) by the benchmark run immediately
@@ -306,18 +296,6 @@ def _timed(operation: Callable[[], object]) -> float:
     return _time.perf_counter() - started
 
 
-def _journal(section: str, content: dict) -> None:
-    """Merge one named section into the benchmark JSON journal."""
-    payload = {}
-    if OUTPUT_PATH.exists():
-        payload = json.loads(OUTPUT_PATH.read_text(encoding="utf-8"))
-    payload["benchmark"] = "cluster_scaling"
-    payload["smoke"] = SMOKE
-    payload["meta"] = environment_meta()
-    payload[section] = content
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-
-
 def _update_json(rows: list, gate: dict) -> None:
     _journal(
         "core_rows",
@@ -351,9 +329,9 @@ def test_core_engine_layers(benchmark):
     naive = _NaiveScheme(scheme)
     naive_s = _timed(lambda: _verify_workload(naive, scheme, payloads))
     if naive_s > CALIBRATION_BUDGET_S:  # pragma: no cover - pathological host
-        gate = {"required": SPEEDUP_REQUIRED, "status": "skipped_slow_host", "layer": "verify"}
+        gate = speedup_gate(SPEEDUP_REQUIRED, skip="skipped_slow_host", layer="verify")
         _update_json(rows, gate)
-        pytest.skip("host too slow for a stable naive-reference measurement")
+        enforce_gate(gate, "host too slow for a stable naive-reference measurement")
     cached_scheme = SignatureScheme(seed=7)
     cached_payloads = [
         (payload, signatures, certificate)
@@ -462,19 +440,15 @@ def test_core_engine_layers(benchmark):
 
     # The gate: the dominant layer must clear >= 5x, and the outcome is
     # journalled before the assertion so a miss is recorded as "failed".
-    gate = {
-        "required": SPEEDUP_REQUIRED,
-        "layer": "verify",
-        "measured": round(verify_speedup, 2),
-        "status": "passed" if verify_speedup >= SPEEDUP_REQUIRED else "failed",
-    }
+    gate = speedup_gate(SPEEDUP_REQUIRED, measured=verify_speedup, layer="verify")
     _update_json(rows, gate)
     print()
     for row in rows:
         print(row)
-    assert verify_speedup >= SPEEDUP_REQUIRED, (
+    enforce_gate(
+        gate,
         f"verification layer only {verify_speedup:.2f}x over the naive "
-        f"reference (required {SPEEDUP_REQUIRED}x)"
+        f"reference (required {SPEEDUP_REQUIRED}x)",
     )
 
 
@@ -545,13 +519,11 @@ def test_quorum_layer():
 
     naive_s = _timed(lambda: _quorum_workload_naive(scheme, allowed, claims))
     if naive_s > CALIBRATION_BUDGET_S:  # pragma: no cover - pathological host
-        gate = {
-            "required": QUORUM_SPEEDUP_REQUIRED,
-            "layer": "quorum",
-            "status": "skipped_slow_host",
-        }
+        gate = speedup_gate(
+            QUORUM_SPEEDUP_REQUIRED, skip="skipped_slow_host", layer="quorum"
+        )
         _journal("quorum_rows", {"rows": [], "speedup_gate": gate})
-        pytest.skip("host too slow for a stable naive-reference measurement")
+        enforce_gate(gate, "host too slow for a stable naive-reference measurement")
     optimized_s = _timed(lambda: _quorum_workload_onecheck(scheme, allowed, claims))
     speedup = naive_s / optimized_s if optimized_s > 0 else float("inf")
 
@@ -577,18 +549,14 @@ def test_quorum_layer():
             "speedup": round(speedup, 2),
         }
     ]
-    gate = {
-        "required": QUORUM_SPEEDUP_REQUIRED,
-        "layer": "quorum",
-        "measured": round(speedup, 2),
-        "status": "passed" if speedup >= QUORUM_SPEEDUP_REQUIRED else "failed",
-    }
+    gate = speedup_gate(QUORUM_SPEEDUP_REQUIRED, measured=speedup, layer="quorum")
     _journal("quorum_rows", {"rows": rows, "speedup_gate": gate})
     print()
     print(rows[0])
-    assert speedup >= QUORUM_SPEEDUP_REQUIRED, (
+    enforce_gate(
+        gate,
         f"one-check quorum verification only {speedup:.2f}x over the "
-        f"per-signature path (required {QUORUM_SPEEDUP_REQUIRED}x)"
+        f"per-signature path (required {QUORUM_SPEEDUP_REQUIRED}x)",
     )
 
 
@@ -661,19 +629,19 @@ def test_envelope_layer():
             "slotted_construct_ms": round(slotted_s * 1000, 3),
         }
     ]
-    gate = {
-        "required": ENVELOPE_RATIO_REQUIRED,
-        "layer": "envelope",
-        "metric": "wire_bytes_ratio",
-        "measured": round(bytes_ratio, 2),
-        "status": "passed" if bytes_ratio >= ENVELOPE_RATIO_REQUIRED else "failed",
-    }
+    gate = speedup_gate(
+        ENVELOPE_RATIO_REQUIRED,
+        measured=bytes_ratio,
+        layer="envelope",
+        metric="wire_bytes_ratio",
+    )
     _journal("envelope_rows", {"rows": rows, "speedup_gate": gate})
     print()
     print(rows[0])
-    assert bytes_ratio >= ENVELOPE_RATIO_REQUIRED, (
+    enforce_gate(
+        gate,
         f"registered envelopes only {bytes_ratio:.2f}x smaller than the "
-        f"pickle framing (required {ENVELOPE_RATIO_REQUIRED}x)"
+        f"pickle framing (required {ENVELOPE_RATIO_REQUIRED}x)",
     )
 
 
@@ -686,16 +654,16 @@ def test_process_speedup_gate():
     two backends run the tracked config, the fingerprints must match bit for
     bit, and a ratio under 1.5x is a hard failure.
     """
-    cores = os.cpu_count() or 1
+    cores = CPU_COUNT
     if cores < 2:
-        gate = {
-            "required": PROCESS_SPEEDUP_REQUIRED,
-            "layer": "process_vs_serial",
-            "cores": cores,
-            "status": "skipped_single_core",
-        }
+        gate = speedup_gate(
+            PROCESS_SPEEDUP_REQUIRED,
+            skip="skipped_single_core",
+            layer="process_vs_serial",
+            cores=cores,
+        )
         _journal("process_gate", gate)
-        pytest.skip(f"host has {cores} core(s); the process pool cannot win")
+        enforce_gate(gate, f"host has {cores} core(s); the process pool cannot win")
     config = ClusterExperimentConfig(
         user_count=5_000 if SMOKE else 50_000,
         aggregate_rate=8_000.0 if SMOKE else 24_000.0,
@@ -713,20 +681,20 @@ def test_process_speedup_gate():
         "process backend diverged from the serial reference"
     )
     speedup = serial.wall_clock_s / process.wall_clock_s
-    gate = {
-        "required": PROCESS_SPEEDUP_REQUIRED,
-        "layer": "process_vs_serial",
-        "cores": cores,
-        "serial_wall_clock_s": round(serial.wall_clock_s, 3),
-        "process_wall_clock_s": round(process.wall_clock_s, 3),
-        "fingerprint_match": True,
-        "measured": round(speedup, 2),
-        "status": "passed" if speedup >= PROCESS_SPEEDUP_REQUIRED else "failed",
-    }
+    gate = speedup_gate(
+        PROCESS_SPEEDUP_REQUIRED,
+        measured=speedup,
+        layer="process_vs_serial",
+        cores=cores,
+        serial_wall_clock_s=round(serial.wall_clock_s, 3),
+        process_wall_clock_s=round(process.wall_clock_s, 3),
+        fingerprint_match=True,
+    )
     _journal("process_gate", gate)
     print()
     print(gate)
-    assert speedup >= PROCESS_SPEEDUP_REQUIRED, (
+    enforce_gate(
+        gate,
         f"process backend only {speedup:.2f}x over serial on {cores} cores "
-        f"(required {PROCESS_SPEEDUP_REQUIRED}x)"
+        f"(required {PROCESS_SPEEDUP_REQUIRED}x)",
     )

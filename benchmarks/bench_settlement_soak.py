@@ -39,17 +39,13 @@ Results land in ``BENCH_cluster.json`` under the ``soak``,
 (used by ``make soak``) shrinks the horizon for CI.
 """
 
-import json
-import os
-from pathlib import Path
-
+from _gates import SMOKE, journal as _update_json
 from repro.cluster import (
     AdaptiveEpochPolicy,
     FixedEpochPolicy,
     LatencyTargetEpochPolicy,
     MigrationPlan,
 )
-from repro.eval.environment import environment_meta
 from repro.eval.experiments import (
     ClusterExperimentConfig,
     epoch_policy_experiment,
@@ -65,8 +61,6 @@ from repro.eval.reporting import (
 )
 from repro.network.node import NetworkConfig
 
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
-
 SOAK_DURATION = 0.12 if SMOKE else 0.4
 SOAK_CHECKPOINTS = 6 if SMOKE else 12
 SOAK_SHARDS = 2
@@ -74,8 +68,6 @@ SOAK_BATCH = 4
 SOAK_WORKERS = 2
 # The latency-target policy's p95 settlement-latency goal (simulated s).
 LATENCY_TARGET_P95 = 0.006
-_OUTPUT_NAME = "BENCH_cluster_smoke.json" if SMOKE else "BENCH_cluster.json"
-OUTPUT_PATH = Path(__file__).resolve().parent.parent / _OUTPUT_NAME
 
 
 def _config(duration: float) -> ClusterExperimentConfig:
@@ -100,19 +92,6 @@ def _soak_migration(duration: float) -> MigrationPlan:
             (2 * duration / 3, 1, 1),
         ]
     )
-
-
-def _update_json(key: str, payload: dict) -> None:
-    existing = {}
-    if OUTPUT_PATH.exists():
-        existing = json.loads(OUTPUT_PATH.read_text(encoding="utf-8"))
-    existing["benchmark"] = "cluster_scaling"
-    existing["smoke"] = SMOKE
-    # Same provenance block as bench_cluster_scaling: both suites share the
-    # artefact, so whichever wrote last stamps the run that produced it.
-    existing["meta"] = environment_meta()
-    existing[key] = payload
-    OUTPUT_PATH.write_text(json.dumps(existing, indent=2) + "\n", encoding="utf-8")
 
 
 def test_settlement_soak_bounded_resident_records(benchmark):

@@ -508,6 +508,13 @@ class ClusterExperimentConfig:
     # fingerprint-neutral by the checkpoint-invariance harness.
     checkpoint_every: Optional[int] = None
     compact_history: bool = False
+    # Barrier pacing of the epoch scheduler: "dense" (the classic global
+    # rendezvous) or "sparse" (dependency-driven skipping with bounded
+    # ``max_lag`` run-ahead and a pipelined exchange).  Fingerprint-neutral
+    # by the sparse-equivalence harness — pacing moves wall-clock stall,
+    # never results.
+    barrier_mode: str = "dense"
+    max_lag: int = 4
     # Observability knobs, passed straight through to ClusterSystem:
     # telemetry mode ("off"/"metrics"/"full") and the cProfile sampler.
     # Fingerprint-neutral by the telemetry invariant — rows only gain a
@@ -616,6 +623,8 @@ def run_cluster(
         # experiment): a drained MigrationPlan must not leak between runs.
         migration=copy.deepcopy(config.migration),
         checkpoint_every=config.checkpoint_every,
+        barrier_mode=config.barrier_mode,
+        max_lag=config.max_lag,
         compact_history=config.compact_history,
         telemetry=config.telemetry,
         profile=config.profile,
@@ -900,6 +909,8 @@ def settlement_soak_experiment(
         # experiment): a drained MigrationPlan must not leak between runs.
         migration=copy.deepcopy(config.migration),
         checkpoint_every=config.checkpoint_every,
+        barrier_mode=config.barrier_mode,
+        max_lag=config.max_lag,
         compact_history=config.compact_history,
         telemetry=config.telemetry,
         profile=config.profile,
@@ -1145,6 +1156,8 @@ def migration_rebalancing_experiment(
             # own copy so the caller's objects survive re-invocation.
             migration=copy.deepcopy(migration),
             checkpoint_every=config.checkpoint_every,
+            barrier_mode=config.barrier_mode,
+            max_lag=config.max_lag,
             compact_history=config.compact_history,
             seed=config.seed,
         )
